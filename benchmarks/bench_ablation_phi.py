@@ -1,0 +1,55 @@
+"""Experiment A1 — ablation: the φ(i) cut-off heuristic.
+
+The paper argues (Sec. IV-A) that φ is weak at genome scale because it
+reasons about the whole target rather than the branch being explored.
+At reduced scale the opposite holds: random-read substrings vanish from a
+small target quickly, making φ highly selective.  This ablation
+quantifies both claims by running the S-tree baseline and Algorithm A
+with φ on and off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_seconds, format_table
+from repro.bench.suite import MethodSuite
+from repro.bench.workloads import fig11_workload
+
+from conftest import write_result
+
+METHODS = ("A()", "A()-nophi", "BWT", "BWT-nophi")
+K_VALUES = (2, 4)
+
+
+@pytest.mark.benchmark(group="ablation-phi")
+def test_ablation_phi(benchmark, results_dir):
+    workload = fig11_workload(read_length=100)
+    suite = MethodSuite(workload.genome, methods=METHODS)
+    rows = []
+
+    def sweep():
+        for k in K_VALUES:
+            found = set()
+            for result in suite.run_all(workload.reads, k):
+                stats = result.stats
+                rows.append(
+                    [
+                        k,
+                        result.method,
+                        format_seconds(result.avg_seconds),
+                        f"{stats.nodes_expanded:,}" if stats else "-",
+                        f"{stats.phi_pruned:,}" if stats else "-",
+                    ]
+                )
+                found.add(result.n_occurrences)
+            assert len(found) == 1
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["k", "method", "avg time", "nodes", "phi cuts"],
+        rows,
+        title=f"Ablation A1: φ(i) heuristic on/off ({workload.genome_size:,} bp)",
+    )
+    write_result(results_dir, "ablation_phi", table)
+    assert len(rows) == len(K_VALUES) * len(METHODS)

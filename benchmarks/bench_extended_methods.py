@@ -1,0 +1,94 @@
+"""Experiment E1* — extended method roster (beyond the paper's four).
+
+Adds the two related-work families the paper discusses but does not
+benchmark — the O(kn) on-line kangaroo method (Landau–Vishkin, [20]) and
+the hash-table "seed" index ([22]/[4], here as a q-gram index) — plus the
+k-errors variant, over the Fig. 11 workload.  This situates the paper's
+four methods inside the full design space of Sec. II.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines.bwt_seed import BwtSeedMatcher
+from repro.baselines.bitparallel import WuManberMatcher
+from repro.baselines.qgram import QGramIndex
+from repro.bench.reporting import format_seconds, format_table
+from repro.bench.suite import MethodSuite
+from repro.bench.workloads import fig11_workload
+from repro.core.kerrors import KErrorsSearcher
+
+from conftest import write_result
+
+K = 3
+
+
+@pytest.mark.benchmark(group="extended")
+def test_extended_method_roster(benchmark, results_dir):
+    workload = fig11_workload(read_length=100, n_reads=4)
+    suite = MethodSuite(workload.genome, methods=("A()", "BWT", "Amir's", "Cole's", "LV"))
+    rows = []
+
+    def sweep():
+        reference = None
+        for result in suite.run_all(workload.reads, K):
+            if reference is None:
+                reference = result.n_occurrences
+            assert result.n_occurrences == reference
+            rows.append([result.method, format_seconds(result.avg_seconds), "k mismatches"])
+
+        # q-gram index: build once (like the BWT), then query.
+        build_start = time.perf_counter()
+        qgram = QGramIndex(workload.genome, q=12)
+        build = time.perf_counter() - build_start
+        start = time.perf_counter()
+        total = sum(len(qgram.search(read, K)) for read in workload.reads)
+        elapsed = (time.perf_counter() - start) / len(workload.reads)
+        assert total == reference
+        rows.append(
+            [f"q-gram (q=12, build {format_seconds(build)})", format_seconds(elapsed), "k mismatches"]
+        )
+
+        # BWT-seeded pigeonhole: exact FM seeds + verification — the
+        # BWA/Bowtie recipe the paper's introduction references.
+        build_start = time.perf_counter()
+        seeded = BwtSeedMatcher(workload.genome)
+        build = time.perf_counter() - build_start
+        start = time.perf_counter()
+        total = sum(len(seeded.search(read, K)) for read in workload.reads)
+        elapsed = (time.perf_counter() - start) / len(workload.reads)
+        assert total == reference
+        rows.append(
+            [f"BWT-seed (build {format_seconds(build)})", format_seconds(elapsed), "k mismatches"]
+        )
+
+        # Wu–Manber bit-parallel scan (the agrep family).
+        start = time.perf_counter()
+        total = sum(
+            len(WuManberMatcher(read).search(workload.genome, K))
+            for read in workload.reads
+        )
+        elapsed = (time.perf_counter() - start) / len(workload.reads)
+        assert total == reference
+        rows.append(["Wu-Manber", format_seconds(elapsed), "k mismatches"])
+
+        # k errors over the same BWT index (different problem: reported
+        # separately, not compared against the mismatch count).
+        searcher = KErrorsSearcher(suite.index.fm_index)
+        start = time.perf_counter()
+        for read in workload.reads:
+            searcher.search(read, 1)
+        elapsed = (time.perf_counter() - start) / len(workload.reads)
+        rows.append(["BWT k-errors (k=1)", format_seconds(elapsed), "k errors"])
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["method", "avg time/read", "problem"],
+        rows,
+        title=f"E1*: extended method roster (k={K}, {workload.genome_size:,} bp)",
+    )
+    write_result(results_dir, "extended_methods", table)
+    assert len(rows) == 9

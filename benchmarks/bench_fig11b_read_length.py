@@ -1,0 +1,62 @@
+"""Experiment F11b — paper Fig. 11(b): average matching time vs read length.
+
+Paper setup: Rat genome, k = 5, read lengths 100..300 bp.  Paper shape:
+only the BWT method of [34] and Cole's are sensitive to read length (both
+re-search per-character work proportional to m along every surviving
+path); A() and Amir's stay nearly flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plotting import ascii_chart
+from repro.bench.reporting import format_seconds, format_series
+from repro.bench.suite import MethodSuite, PAPER_METHODS
+from repro.bench.workloads import fig11_workload
+
+from conftest import write_result
+
+READ_LENGTHS = (100, 150, 200, 250, 300)
+K = 5
+
+
+@pytest.mark.benchmark(group="fig11b")
+def test_fig11b_sweep(benchmark, results_dir):
+    workloads = [fig11_workload(read_length=length) for length in READ_LENGTHS]
+    suite = MethodSuite(workloads[0].genome)
+    series = {method: [] for method in PAPER_METHODS}
+    seconds = {method: [] for method in PAPER_METHODS}
+    agreement = []
+
+    def sweep():
+        for wl in workloads:
+            found = set()
+            for result in suite.run_all(wl.reads, K):
+                series[result.method].append(format_seconds(result.avg_seconds))
+                seconds[result.method].append(result.avg_seconds * 1000)
+                found.add(result.n_occurrences)
+            agreement.append(len(found) == 1)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_series(
+        "read length",
+        list(READ_LENGTHS),
+        series,
+        title=f"Fig. 11(b): avg matching time vs read length (k={K}, "
+        f"{workloads[0].genome_size:,} bp target)",
+    )
+    chart = ascii_chart(
+        list(READ_LENGTHS), seconds, height=12, width=50,
+        y_label="avg ms/read", log_y=True,
+    )
+    write_result(results_dir, "fig11b_read_length", table + "\n\n" + chart)
+    assert all(agreement)
+
+
+@pytest.mark.parametrize("length", (100, 300))
+@pytest.mark.benchmark(group="fig11b")
+def test_fig11b_algorithm_a(benchmark, length):
+    workload = fig11_workload(read_length=length)
+    suite = MethodSuite(workload.genome)
+    benchmark.pedantic(lambda: suite.run("A()", workload.reads, K), rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""Experiment F12* — per-genome sweep (reconstructed extension).
+
+The source text of the paper is truncated shortly after Fig. 11; its
+evaluation plainly continues over the remaining Table 1 genomes ("In
+Fig. 12, we show ..." is the natural continuation).  This bench
+reconstructs that experiment: the four methods over every catalog genome
+at fixed k and read length.
+
+Expected shape: the on-line methods (Amir's, and the LV family it is
+built on) scale linearly with genome size; the index-based methods scale
+with the search-tree size, which grows much more slowly — so the gap
+between A() and Amir's widens with genome size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_seconds, format_table
+from repro.bench.suite import MethodSuite, PAPER_METHODS
+from repro.bench.workloads import catalog_workload
+from repro.simulate.catalog import GENOME_CATALOG
+
+from conftest import write_result
+
+K = 3
+READ_LENGTH = 100
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_across_genomes(benchmark, results_dir):
+    rows = []
+
+    def sweep():
+        for spec in GENOME_CATALOG:
+            workload = catalog_workload(spec.name, read_length=READ_LENGTH, n_reads=4)
+            suite = MethodSuite(workload.genome)
+            timings = {}
+            found = set()
+            for result in suite.run_all(workload.reads, K):
+                timings[result.method] = result.avg_seconds
+                found.add(result.n_occurrences)
+            assert len(found) == 1
+            rows.append(
+                [spec.name, f"{workload.genome_size:,}"]
+                + [format_seconds(timings[m]) for m in PAPER_METHODS]
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["Genome", "size (bp)"] + list(PAPER_METHODS),
+        rows,
+        title=f"Fig. 12*: avg matching time per genome (k={K}, {READ_LENGTH} bp reads)",
+    )
+    write_result(results_dir, "fig12_genomes", table)
+    assert len(rows) == len(GENOME_CATALOG)

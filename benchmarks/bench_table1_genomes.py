@@ -1,0 +1,53 @@
+"""Experiment T1 — paper Table 1: characteristics of the genomes.
+
+Paper artifact: the roster of five reference genomes and their sizes.
+Here: the synthetic stand-ins at 1/1000 scale (see DESIGN.md), plus the
+measured composition of each generated genome — the part the paper takes
+as given and we must actually synthesise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.simulate.catalog import GENOME_CATALOG, SCALE, build_catalog_genome
+from repro.simulate.genome import summarize_genome
+
+from conftest import write_result
+
+#: Cap used for the composition scan (the two biggest stand-ins are still
+#: megabase-scale; composition converges long before that).
+_COMPOSITION_CAP = 150_000
+
+
+def build_table1_rows():
+    rows = []
+    for spec in GENOME_CATALOG:
+        genome = build_catalog_genome(spec, max_length=_COMPOSITION_CAP)
+        summary = summarize_genome(genome)
+        rows.append(
+            [
+                spec.name,
+                f"{spec.paper_size_bp:,}",
+                f"{spec.scaled_size:,}",
+                f"{len(genome):,}",
+                f"{summary.gc_content:.3f}",
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_genome_catalog(benchmark, results_dir):
+    rows = benchmark.pedantic(build_table1_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["Genome", "Paper size (bp)", f"1/{SCALE} size", "Bench size", "GC"],
+        rows,
+        title="Table 1: characteristics of genomes (synthetic stand-ins)",
+    )
+    write_result(results_dir, "table1_genomes", table)
+    assert len(rows) == 5
+    # Relative order of sizes must match the paper.
+    paper_sizes = [spec.paper_size_bp for spec in GENOME_CATALOG]
+    assert paper_sizes == sorted(paper_sizes, reverse=True)

@@ -1,0 +1,34 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark writes its paper-style table to ``benchmarks/results/``
+(the terminal only shows pytest-benchmark's timing table) and registers
+at least one timed case so ``pytest benchmarks/ --benchmark-only`` reports
+it.
+
+Scale knobs (environment):
+
+* ``REPRO_BENCH_SCALE`` — genome cap in bp (default 120000; see
+  repro.bench.workloads).
+* ``REPRO_BENCH_READS`` — reads per batch (default 10).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, content: str) -> None:
+    """Persist one experiment's table and echo it for -s runs."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(content + "\n")
+    print(f"\n{content}\n[written to {path}]")

@@ -1,0 +1,44 @@
+"""Quickstart: index a target once, run k-mismatch queries against it.
+
+Runs the paper's own worked examples (Sec. I and Sec. IV) through the
+public API.
+
+    python examples/quickstart.py
+"""
+
+from repro import KMismatchIndex
+
+
+def main() -> None:
+    # --- the paper's Sec. I example -------------------------------------
+    target = "ccacacagaagcc"
+    pattern = "aaaaacaaac"
+    index = KMismatchIndex(target)
+
+    print(f"target  : {target}")
+    print(f"pattern : {pattern}")
+    print(f"exact occurrences (k=0): {index.count(pattern)}")
+
+    occurrences = index.search(pattern, k=4)
+    print(f"occurrences with k=4   : {len(occurrences)}")
+    for occ in occurrences:
+        window = target[occ.start:occ.start + len(pattern)]
+        print(f"  start={occ.start}  window={window}  "
+              f"mismatch offsets={list(occ.mismatches)}")
+
+    # --- the paper's Fig. 3 example -------------------------------------
+    index2 = KMismatchIndex("acagaca")
+    print("\ntarget  : acagaca")
+    print("pattern : tcaca, k=2")
+    for occ in index2.search("tcaca", k=2):
+        print(f"  start={occ.start}  mismatches at pattern offsets {list(occ.mismatches)}")
+
+    # --- search statistics (the paper's n') ------------------------------
+    occs, stats = index2.search_with_stats("tcaca", k=2)
+    print(f"\nM-tree leaves (n'): {stats.leaves}, "
+          f"index nodes expanded: {stats.nodes_expanded}, "
+          f"subtrees derived instead of re-searched: {stats.reuse_hits}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""SNP-tolerant probe scanning.
+
+The paper's introduction motivates k-mismatch search with polymorphisms:
+"due to polymorphisms or mutations among individuals ... the read may
+disagree in some positions at any of its occurrences in the genome."
+
+This example makes that concrete: take probe sequences designed against a
+reference genome, then scan an *individual's* genome that carries SNPs.
+Exact search misses the mutated loci; k-mismatch search recovers them and
+pinpoints each variant position.
+
+    python examples/snp_probe_scan.py
+"""
+
+import random
+
+from repro import KMismatchIndex
+from repro.simulate import GenomeConfig, generate_genome
+
+PROBE_LENGTH = 40
+N_PROBES = 8
+SNPS_PER_LOCUS = 2
+
+
+def main() -> None:
+    rng = random.Random(21)
+    reference = generate_genome(GenomeConfig(length=30_000, repeat_fraction=0.2, seed=20))
+
+    # Design probes against the reference, at non-overlapping sites so
+    # each locus carries exactly its own SNPs.
+    probe_sites = []
+    while len(probe_sites) < N_PROBES:
+        site = rng.randrange(0, len(reference) - PROBE_LENGTH)
+        if all(abs(site - other) >= PROBE_LENGTH for other in probe_sites):
+            probe_sites.append(site)
+    probe_sites.sort()
+    probes = [reference[site:site + PROBE_LENGTH] for site in probe_sites]
+
+    # The individual's genome: the reference plus SNPs inside every probe
+    # locus (plus background variation elsewhere).
+    individual = list(reference)
+    planted = {}
+    for site in probe_sites:
+        offsets = sorted(rng.sample(range(PROBE_LENGTH), SNPS_PER_LOCUS))
+        planted[site] = offsets
+        for off in offsets:
+            base = individual[site + off]
+            individual[site + off] = rng.choice([b for b in "acgt" if b != base])
+    individual = "".join(individual)
+
+    index = KMismatchIndex(individual)
+
+    print(f"{N_PROBES} probes of {PROBE_LENGTH} bp; each locus carries "
+          f"{SNPS_PER_LOCUS} SNPs in the individual\n")
+    header = f"{'probe site':>10} | {'exact':>5} | {'k=2 hits':>8} | detected SNP offsets"
+    print(header)
+    print("-" * len(header))
+    recovered = 0
+    for site, probe in zip(probe_sites, probes):
+        exact = index.count(probe)
+        hits = index.search(probe, k=SNPS_PER_LOCUS)
+        at_site = [h for h in hits if h.start == site]
+        detected = list(at_site[0].mismatches) if at_site else []
+        if detected == planted[site]:
+            recovered += 1
+        print(f"{site:>10} | {exact:>5} | {len(hits):>8} | {detected}")
+
+    print(f"\nrecovered the exact SNP offsets at {recovered}/{N_PROBES} loci")
+    assert recovered == N_PROBES
+
+
+if __name__ == "__main__":
+    main()

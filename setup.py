@@ -1,0 +1,10 @@
+"""Legacy build shim.
+
+Metadata lives in pyproject.toml; this file only exists so that editable
+installs work in offline environments where pip's PEP 660 path (which
+needs the `wheel` package) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

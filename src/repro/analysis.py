@@ -1,0 +1,128 @@
+"""Analytical models for k-mismatch search behaviour.
+
+Used by the evaluation harness to sanity-check measurements and choose
+workload parameters:
+
+* :func:`match_probability` / :func:`expected_occurrences` — how many
+  k-mismatch hits a random pattern has in a random i.i.d. target.  This
+  is the quantity that separates the "needle" regime (k small, searches
+  cheap) from the "everything matches" regime (k near m) that makes the
+  paper's Table 2 configurations explode.
+* :func:`expected_stree_nodes` — a first-order model of the S-tree size:
+  level d of the unpruned tree holds at most ``min(W(d), n)`` nodes,
+  where ``W(d)`` counts length-d strings within the mismatch budget of
+  the pattern prefix.  Useful for predicting when a configuration is
+  affordable at a given scale.
+
+All functions are exact combinatorics (no simulation) over the uniform
+i.i.d. model; real genomes deviate through repeat structure, which is
+precisely what the simulator's knobs re-introduce.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import List
+
+from .errors import PatternError
+
+
+def match_probability(m: int, k: int, sigma: int = 4) -> float:
+    """P(Hamming(window, pattern) <= k) for uniform i.i.d. strings.
+
+    Each position matches with probability ``1/sigma``; the distance is
+    Binomial(m, 1 - 1/sigma).
+
+    >>> round(match_probability(4, 4), 6)   # k = m: always within budget
+    1.0
+    >>> match_probability(2, 0, sigma=4) == 1 / 16
+    True
+    """
+    if m <= 0:
+        raise PatternError("m must be positive")
+    if k < 0:
+        raise PatternError("k must be non-negative")
+    if sigma < 2:
+        raise PatternError("alphabet size must be at least 2")
+    if k >= m:
+        return 1.0
+    p_match = 1.0 / sigma
+    p_mismatch = 1.0 - p_match
+    total = 0.0
+    for d in range(k + 1):
+        total += comb(m, d) * (p_mismatch ** d) * (p_match ** (m - d))
+    return total
+
+
+def expected_occurrences(n: int, m: int, k: int, sigma: int = 4) -> float:
+    """Expected number of k-mismatch occurrences in a random length-n target.
+
+    ``(n - m + 1) * match_probability(m, k, sigma)``; 0 when the pattern
+    does not fit.
+
+    >>> expected_occurrences(10, 20, 1) == 0.0
+    True
+    """
+    if n < m:
+        return 0.0
+    return (n - m + 1) * match_probability(m, k, sigma)
+
+
+def _within_budget_strings(d: int, k: int, sigma: int) -> float:
+    """Number of length-d strings within Hamming distance k of a fixed one."""
+    total = 0.0
+    for j in range(min(d, k) + 1):
+        total += comb(d, j) * (sigma - 1) ** j
+    return total
+
+
+def expected_stree_nodes(n: int, m: int, k: int, sigma: int = 4) -> float:
+    """First-order S-tree size model (no φ pruning).
+
+    Level d holds at most ``min(B(d), n)`` nodes, where ``B(d)`` counts
+    the length-d strings within distance ``min(d, k)`` of the pattern
+    prefix — the budget cap — and ``n`` bounds the number of distinct
+    substrings the index can distinguish.  Summed over all m levels.
+
+    This is the quantity the paper's complexity discussion calls "the
+    brute-force search of all possible occurrences" (Sec. IV-A); the
+    measured node counts in the benchmarks sit below it because real
+    ranges die earlier than the model's worst case.
+    """
+    if m <= 0 or n <= 0:
+        raise PatternError("n and m must be positive")
+    total = 0.0
+    for d in range(1, m + 1):
+        total += min(_within_budget_strings(d, k, sigma), float(n))
+    return total
+
+
+def recommended_k_for_error_rate(read_length: int, error_rate: float, quantile: float = 0.99) -> int:
+    """Smallest k covering ``quantile`` of reads under a per-base error rate.
+
+    Read mapping chooses k so that a read with Binomial(m, e) errors maps
+    with probability at least ``quantile`` — the practical rule behind
+    the paper's evaluation running k up to 5 for 100 bp wgsim reads.
+
+    >>> recommended_k_for_error_rate(100, 0.02) >= 4
+    True
+    """
+    if not 0 <= error_rate <= 1:
+        raise PatternError("error_rate must be in [0, 1]")
+    if not 0 < quantile < 1:
+        raise PatternError("quantile must be in (0, 1)")
+    cumulative = 0.0
+    for k in range(read_length + 1):
+        cumulative += (
+            comb(read_length, k)
+            * (error_rate ** k)
+            * ((1 - error_rate) ** (read_length - k))
+        )
+        if cumulative >= quantile:
+            return k
+    return read_length
+
+
+def occurrence_profile(n: int, m: int, sigma: int = 4) -> List[float]:
+    """Expected occurrence counts for every k in 0..m (plotting helper)."""
+    return [expected_occurrences(n, m, k, sigma) for k in range(m + 1)]

@@ -1,0 +1,49 @@
+"""Comparison methods from the paper's evaluation (Sec. V).
+
+Four matchers with one shared signature
+``match(text, pattern, k) -> list[Occurrence]``:
+
+* :mod:`repro.baselines.naive` — the O(mn) scan; ground truth for every
+  property test.
+* :mod:`repro.baselines.landau_vishkin` — O(kn) kangaroo verification at
+  every position; the on-line O(kn + m log m) family ([20]/[9]) the
+  paper's complexity bound is measured against.
+* :mod:`repro.baselines.amir` — "Amir's method" [1]: pattern blocks are
+  located with Aho–Corasick, positions marked, positions marked fewer
+  than the pigeonhole threshold discarded, survivors verified.
+* :mod:`repro.baselines.cole` — "Cole's method" [14]: brute-force
+  k-mismatch DFS over a suffix tree of the target.
+"""
+
+from .naive import naive_search
+from .landau_vishkin import landau_vishkin_search, LandauVishkinMatcher
+from .amir import amir_search, AmirMatcher
+from .cole import cole_search, ColeMatcher
+from .qgram import qgram_search, QGramIndex
+from .bwt_seed import bwt_seed_search, BwtSeedMatcher
+from .bitparallel import (
+    shift_or_search,
+    wu_manber_search,
+    myers_match_ends,
+    WuManberMatcher,
+    MyersMatcher,
+)
+
+__all__ = [
+    "naive_search",
+    "landau_vishkin_search",
+    "LandauVishkinMatcher",
+    "amir_search",
+    "AmirMatcher",
+    "cole_search",
+    "ColeMatcher",
+    "qgram_search",
+    "QGramIndex",
+    "bwt_seed_search",
+    "BwtSeedMatcher",
+    "shift_or_search",
+    "wu_manber_search",
+    "myers_match_ends",
+    "WuManberMatcher",
+    "MyersMatcher",
+]

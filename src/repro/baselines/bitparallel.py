@@ -1,0 +1,183 @@
+"""Bit-parallel on-line matchers (Shift-Or, Wu–Manber, Myers).
+
+The paper's related work (Sec. II) spans the on-line families these
+classics define; they complete the baseline roster with the machinery
+that ``agrep`` made standard:
+
+* :func:`shift_or_search` — exact matching with the Shift-Or automaton
+  (Baeza-Yates & Gonnet): one machine word tracks all pattern prefixes.
+* :class:`WuManberMatcher` — k *mismatches*: k+1 Shift-Or registers,
+  register ``d`` tracking alignments with at most ``d`` mismatches.
+* :class:`MyersMatcher` — k *errors* (Levenshtein): Myers' O(n·⌈m/w⌉)
+  bit-vector dynamic programming, reporting per-end-position distances.
+
+All operate on arbitrary Python strings; words are unbounded Python ints
+so patterns longer than 64 characters need no blocking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.types import Occurrence
+from ..errors import PatternError
+from ..strings.hamming import mismatch_positions
+
+
+def _char_masks(pattern: str) -> Dict[str, int]:
+    """Per-character bitmasks: bit i set when pattern[i] == char."""
+    masks: Dict[str, int] = {}
+    for i, ch in enumerate(pattern):
+        masks[ch] = masks.get(ch, 0) | (1 << i)
+    return masks
+
+
+def shift_or_search(text: str, pattern: str) -> List[int]:
+    """All exact occurrence starts of ``pattern`` via Shift-Or.
+
+    State register ``state`` keeps bit i *clear* when the last i+1 text
+    characters match ``pattern[:i+1]``; a clear top bit signals a match.
+
+    >>> shift_or_search("acagaca", "aca")
+    [0, 4]
+    """
+    m = len(pattern)
+    if m == 0:
+        return []
+    masks = _char_masks(pattern)
+    all_ones = (1 << m) - 1
+    accept = 1 << (m - 1)
+    state = all_ones
+    out: List[int] = []
+    for i, ch in enumerate(text):
+        # The left shift brings in an *active* (0) bit — a fresh alignment
+        # can start at every position; OR-ing the miss mask kills the
+        # prefixes the current character contradicts.
+        state = ((state << 1) & all_ones) | (all_ones & ~masks.get(ch, 0))
+        if not state & accept:
+            out.append(i - m + 1)
+    return out
+
+
+class WuManberMatcher:
+    """k-mismatch matching with Wu–Manber's k+1 Shift-Or registers.
+
+    Register ``R[d]`` has bit i clear when some alignment of
+    ``pattern[:i+1]`` against the text ending here has at most ``d``
+    substitution errors.  Transition per character: a register either
+    extends on a match, or inherits from the register one budget level
+    down (a substitution).  O(n·k) word operations.
+
+    >>> matcher = WuManberMatcher("tcaca")
+    >>> [o.start for o in matcher.search("acagaca", 2)]
+    [0, 2]
+    """
+
+    def __init__(self, pattern: str):
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        self._pattern = pattern
+        self._masks = _char_masks(pattern)
+        self._m = len(pattern)
+
+    def search(self, text: str, k: int) -> List[Occurrence]:
+        """All k-mismatch occurrences of the pattern in ``text``."""
+        if k < 0:
+            raise PatternError(f"k must be non-negative, got {k}")
+        m = self._m
+        if m > len(text):
+            return []
+        k = min(k, m)
+        all_ones = (1 << m) - 1
+        accept = 1 << (m - 1)
+        masks = self._masks
+        registers = [all_ones] * (k + 1)
+        out: List[Occurrence] = []
+        pattern = self._pattern
+        for i, ch in enumerate(text):
+            miss = all_ones & ~masks.get(ch, 0)
+            previous_old = registers[0]
+            registers[0] = ((registers[0] << 1) & all_ones) | miss
+            for d in range(1, k + 1):
+                old = registers[d]
+                # Either extend with a match (shift + miss), or consume
+                # the character as a substitution from the (d-1)-budget
+                # register's previous state (shift only).
+                registers[d] = (((old << 1) & all_ones) | miss) & (
+                    (previous_old << 1) & all_ones
+                )
+                previous_old = old
+            if not registers[k] & accept:
+                start = i - m + 1
+                out.append(
+                    Occurrence(start, tuple(mismatch_positions(text[start:i + 1], pattern)))
+                )
+        return out
+
+
+class MyersMatcher:
+    """k-errors (Levenshtein) matching with Myers' bit-vector DP.
+
+    Maintains the semi-global edit-distance DP column in two bit vectors
+    (positive/negative deltas); ``distances(text)`` yields, per text
+    position, the minimum edit distance of the pattern against any window
+    ending there.  O(n) word operations for m ≤ word size (Python ints
+    extend it to any m).
+
+    >>> matcher = MyersMatcher("acgt")
+    >>> ends = matcher.match_ends("aacgta", 1)
+    >>> 4 in ends   # 'acgt' ends at index 4 (0 errors)
+    True
+    """
+
+    def __init__(self, pattern: str):
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        self._pattern = pattern
+        self._masks = _char_masks(pattern)
+        self._m = len(pattern)
+
+    def iter_distances(self, text: str):
+        """Yield ``(position, distance)``: min edit distance of any window
+        ending at ``position`` (inclusive) against the whole pattern."""
+        m = self._m
+        masks = self._masks
+        all_ones = (1 << m) - 1
+        vp = all_ones  # vertical positive deltas
+        vn = 0         # vertical negative deltas
+        score = m
+        high = 1 << (m - 1)
+        for i, ch in enumerate(text):
+            eq = masks.get(ch, 0)
+            # Hyyrö's formulation: D0 marks DP cells whose diagonal delta
+            # is zero; HP/HN the horizontal +1/-1 deltas.
+            d0 = (((eq & vp) + vp) ^ vp | eq | vn) & all_ones
+            hp = vn | (all_ones & ~(d0 | vp))
+            hn = vp & d0
+            if hp & high:
+                score += 1
+            elif hn & high:
+                score -= 1
+            # Semi-global search: shift a 0 into the horizontal deltas —
+            # D[0, j] stays 0, a window may start anywhere for free.  (The
+            # global-distance variant would carry a 1 here.)
+            x = (hp << 1) & all_ones
+            vp = ((hn << 1) | (all_ones & ~(d0 | x))) & all_ones
+            vn = d0 & x & all_ones
+            yield i, score
+
+    def match_ends(self, text: str, k: int) -> Dict[int, int]:
+        """End positions with distance ≤ k, mapped to their distance."""
+        if k < 0:
+            raise PatternError(f"k must be non-negative, got {k}")
+        return {i: d for i, d in self.iter_distances(text) if d <= k}
+
+
+def wu_manber_search(text: str, pattern: str, k: int) -> List[Occurrence]:
+    """One-shot wrapper over :class:`WuManberMatcher`."""
+    return WuManberMatcher(pattern).search(text, k)
+
+
+def myers_match_ends(text: str, pattern: str, k: int) -> Dict[int, int]:
+    """One-shot wrapper over :class:`MyersMatcher.match_ends`."""
+    return MyersMatcher(pattern).match_ends(text, k)

@@ -1,0 +1,114 @@
+"""BWT-seeded pigeonhole matching (the BWA/Bowtie recipe).
+
+The paper's introduction situates its method against BWA/Bowtie, which
+"already do BWT-based mismatch search": in practice those tools combine
+the two worlds this package implements separately — an FM-index for
+**exact** seed location plus pigeonhole filtration and verification.
+This module builds that hybrid from the package's own parts:
+
+* cut the pattern into ``k + 1`` disjoint blocks (at least one must match
+  exactly in any k-mismatch occurrence);
+* locate each block **exactly** with one FM backward search (no hash
+  table, no text scan — unlike the q-gram and Amir baselines);
+* verify the candidate starts with a budget-capped comparison.
+
+Per query: O(m) backward-search steps + O(hits·k) verification — the
+fastest method in the suite in the low-occurrence regime, degrading
+gracefully (to verify-everything) when k approaches m.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..bwt.fmindex import FMIndex
+from ..core.types import Occurrence
+from ..errors import AlphabetError, PatternError
+from .amir import split_into_blocks
+
+
+class BwtSeedMatcher:
+    """Seed-and-extend k-mismatch matcher over a reusable FM-index.
+
+    Parameters
+    ----------
+    text:
+        The target string.  (The index is built once; unlike the tree
+        searches this matcher uses the *forward* text index, since seeds
+        are located as plain exact queries.)
+
+    >>> matcher = BwtSeedMatcher("ccacacagaagcc")
+    >>> [o.start for o in matcher.search("aaaaacaaac", 4)]
+    [2]
+    """
+
+    def __init__(self, text: str):
+        self._text = text
+        self._fm = FMIndex(text)
+
+    @property
+    def fm_index(self) -> FMIndex:
+        """The underlying (forward-text) FM-index."""
+        return self._fm
+
+    def search(self, pattern: str, k: int) -> List[Occurrence]:
+        """All k-mismatch occurrences of ``pattern`` in the target."""
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        if k < 0:
+            raise PatternError(f"k must be non-negative, got {k}")
+        text = self._text
+        m = len(pattern)
+        if m > len(text):
+            return []
+        if k >= m:
+            # Degenerate: every window matches.
+            return [
+                Occurrence(start, tuple(
+                    i for i in range(m) if text[start + i] != pattern[i]
+                ))
+                for start in range(len(text) - m + 1)
+            ]
+        candidates = self._seed_candidates(pattern, k)
+        return self._verify(sorted(candidates), pattern, k)
+
+    # -- stages --------------------------------------------------------------
+
+    def _seed_candidates(self, pattern: str, k: int) -> Set[int]:
+        n, m = len(self._text), len(pattern)
+        candidates: Set[int] = set()
+        for block_offset, block in split_into_blocks(pattern, k + 1):
+            try:
+                hits = self._fm.locate(block)
+            except AlphabetError:
+                # The block contains a character the text never uses, so
+                # it cannot occur exactly — the pigeonhole vote from this
+                # block is legitimately empty.
+                continue
+            for hit in hits:
+                start = hit - block_offset
+                if 0 <= start <= n - m:
+                    candidates.add(start)
+        return candidates
+
+    def _verify(self, candidates: List[int], pattern: str, k: int) -> List[Occurrence]:
+        text = self._text
+        m = len(pattern)
+        out: List[Occurrence] = []
+        for start in candidates:
+            mismatches: List[int] = []
+            ok = True
+            for offset in range(m):
+                if text[start + offset] != pattern[offset]:
+                    mismatches.append(offset)
+                    if len(mismatches) > k:
+                        ok = False
+                        break
+            if ok:
+                out.append(Occurrence(start, tuple(mismatches)))
+        return out
+
+
+def bwt_seed_search(text: str, pattern: str, k: int) -> List[Occurrence]:
+    """One-shot wrapper over :class:`BwtSeedMatcher` (builds the index)."""
+    return BwtSeedMatcher(text).search(pattern, k)

@@ -1,0 +1,54 @@
+"""O(kn) on-line k-mismatch matching via kangaroo jumps.
+
+Representative of the O(kn + m log m) on-line family the paper compares
+against ([20] Landau–Vishkin, [9] Galil–Giancarlo): preprocess once so any
+text-suffix/pattern-suffix comparison jumps mismatch-to-mismatch in O(1),
+then spend O(k) per candidate position.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.types import Occurrence
+from ..errors import PatternError
+from ..mismatch.kangaroo import TextPatternOracle
+
+
+class LandauVishkinMatcher:
+    """Reusable matcher: preprocessing amortised over many ``k`` values.
+
+    >>> matcher = LandauVishkinMatcher("ccacacagaagcc", "aaaaacaaac")
+    >>> [o.start for o in matcher.search(4)]
+    [2]
+    """
+
+    def __init__(self, text: str, pattern: str):
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        self._text = text
+        self._pattern = pattern
+        self._oracle = TextPatternOracle(text, pattern) if len(pattern) <= len(text) else None
+
+    def search(self, k: int) -> List[Occurrence]:
+        """All k-mismatch occurrences, O(k) work per text position."""
+        if k < 0:
+            raise PatternError(f"k must be non-negative, got {k}")
+        if self._oracle is None:
+            return []
+        n, m = len(self._text), len(self._pattern)
+        out: List[Occurrence] = []
+        for start in range(n - m + 1):
+            mismatches: List[int] = []
+            for offset in self._oracle.iter_mismatch_offsets(start):
+                mismatches.append(offset)
+                if len(mismatches) > k:
+                    break
+            else:
+                out.append(Occurrence(start, tuple(mismatches)))
+        return out
+
+
+def landau_vishkin_search(text: str, pattern: str, k: int) -> List[Occurrence]:
+    """One-shot wrapper over :class:`LandauVishkinMatcher`."""
+    return LandauVishkinMatcher(text, pattern).search(k)

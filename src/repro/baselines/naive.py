@@ -1,0 +1,41 @@
+"""The naive O(mn) k-mismatch scan — ground truth for every other matcher."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.types import Occurrence
+from ..errors import PatternError
+from ..strings.hamming import mismatch_positions
+
+
+def naive_search(text: str, pattern: str, k: int) -> List[Occurrence]:
+    """Every window of ``text`` within Hamming distance ``k`` of ``pattern``.
+
+    Direct position-by-position comparison with early exit once a window
+    exceeds the budget.  O(mn) worst case, O(kn) expected on random text.
+
+    >>> [o.start for o in naive_search("ccacacagaagcc", "aaaaacaaac", 4)]
+    [2]
+    """
+    if not pattern:
+        raise PatternError("pattern must be non-empty")
+    if k < 0:
+        raise PatternError(f"k must be non-negative, got {k}")
+    n, m = len(text), len(pattern)
+    out: List[Occurrence] = []
+    for start in range(n - m + 1):
+        mismatches: List[int] = []
+        for offset in range(m):
+            if text[start + offset] != pattern[offset]:
+                mismatches.append(offset)
+                if len(mismatches) > k:
+                    break
+        else:
+            out.append(Occurrence(start, tuple(mismatches)))
+    return out
+
+
+def naive_count(text: str, pattern: str, k: int) -> int:
+    """Number of k-mismatch occurrences (convenience wrapper)."""
+    return len(naive_search(text, pattern, k))

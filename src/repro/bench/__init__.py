@@ -1,0 +1,25 @@
+"""Benchmark harness: workloads, method suite, and reporting.
+
+Every benchmark in ``benchmarks/`` is a thin driver over this package:
+:mod:`repro.bench.workloads` materialises the paper's experimental
+set-ups (genome + reads for a given scale), :mod:`repro.bench.suite` runs
+the four compared methods uniformly and collects timings plus search
+statistics, and :mod:`repro.bench.reporting` prints the rows the paper's
+tables/figures report.
+"""
+
+from .workloads import Workload, fig11_workload, catalog_workload, BENCH_SCALE
+from .suite import MethodResult, MethodSuite, PAPER_METHODS
+from .reporting import format_table, format_series
+
+__all__ = [
+    "Workload",
+    "fig11_workload",
+    "catalog_workload",
+    "BENCH_SCALE",
+    "MethodResult",
+    "MethodSuite",
+    "PAPER_METHODS",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,105 @@
+"""Dependency-free ASCII charts for the benchmark figures.
+
+The paper's Figs. 11–12 are line charts; these helpers render the same
+series as terminal plots so ``benchmarks/results/*.txt`` contains both
+the data table and a visual shape check, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: Glyph per series, recycled when there are more series than glyphs.
+_GLYPHS = "*o+x#@%&"
+
+
+def ascii_chart(
+    xs: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    y_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render one or more y-series over a shared x axis.
+
+    ``series`` maps names to numeric values (same length as ``xs``).
+    With ``log_y`` the vertical axis is logarithmic — the right choice
+    for timings spanning orders of magnitude, as in the paper's figures.
+
+    >>> "2.00" in ascii_chart([1, 2], {"A": [1.0, 2.0]}, height=3, width=12)
+    True
+    """
+    import math
+
+    names = list(series)
+    if not names or not xs:
+        raise ValueError("need at least one series and one x value")
+    for name in names:
+        if len(series[name]) != len(xs):
+            raise ValueError(f"series {name!r} length does not match x axis")
+
+    values = [v for name in names for v in series[name]]
+    lo, hi = min(values), max(values)
+    if log_y:
+        if lo <= 0:
+            raise ValueError("log_y requires positive values")
+        transform = math.log
+    else:
+        transform = float
+    t_lo, t_hi = transform(lo), transform(hi)
+    span = (t_hi - t_lo) or 1.0
+
+    def row_of(value: float) -> int:
+        frac = (transform(value) - t_lo) / span
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    def col_of(index: int) -> int:
+        if len(xs) == 1:
+            return 0
+        return round(index * (width - 1) / (len(xs) - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for s, name in enumerate(names):
+        glyph = _GLYPHS[s % len(_GLYPHS)]
+        points = series[name]
+        # Draw straight segments between consecutive points.
+        for i in range(len(xs) - 1):
+            c0, c1 = col_of(i), col_of(i + 1)
+            r0, r1 = row_of(points[i]), row_of(points[i + 1])
+            steps = max(c1 - c0, 1)
+            for step in range(steps + 1):
+                c = c0 + step
+                r = round(r0 + (r1 - r0) * step / steps)
+                grid[r][c] = glyph
+        if len(xs) == 1:
+            grid[row_of(points[0])][0] = glyph
+
+    def fmt(value: float) -> str:
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.2g}"
+
+    lines: List[str] = []
+    for r in range(height - 1, -1, -1):
+        if r == height - 1:
+            label = fmt(hi)
+        elif r == 0:
+            label = fmt(lo)
+        else:
+            label = ""
+        lines.append(f"{label:>8} |" + "".join(grid[r]))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_axis = " " * 10 + str(xs[0])
+    tail = str(xs[-1])
+    pad = max(1, width - len(str(xs[0])) - len(tail))
+    lines.append(x_axis + " " * pad + tail)
+    legend = "   ".join(
+        f"{_GLYPHS[s % len(_GLYPHS)]} {name}" for s, name in enumerate(names)
+    )
+    lines.append(" " * 10 + legend)
+    if y_label:
+        lines.insert(0, f"{y_label}{' (log scale)' if log_y else ''}")
+    return "\n".join(lines)

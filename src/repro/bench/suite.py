@@ -1,0 +1,131 @@
+"""Uniform runner for the four compared methods (paper Sec. V).
+
+The paper times, per configuration, the *average matching time* of:
+
+* **A( )** — Algorithm A (this paper),
+* **BWT** — the BWT-based S-tree method of [34] (φ heuristic on),
+* **Amir's** — break/marking/verification,
+* **Cole's** — suffix-tree brute force.
+
+:class:`MethodSuite` amortises per-target preprocessing the way the paper
+does — index/suffix-tree construction time is excluded ("the time for
+constructing BWT(s̄) is not included as it is completely independent of
+r") — and reports per-read averages plus the search statistics of the
+index-based methods.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..baselines.amir import AmirMatcher
+from ..baselines.cole import ColeMatcher
+from ..baselines.landau_vishkin import LandauVishkinMatcher
+from ..core.algorithm_a import AlgorithmASearcher
+from ..core.matcher import KMismatchIndex
+from ..core.stree import STreeSearcher
+from ..core.types import SearchStats
+
+#: The four methods of the paper's evaluation, in its naming.
+PAPER_METHODS = ("A()", "BWT", "Amir's", "Cole's")
+
+
+@dataclass
+class MethodResult:
+    """Aggregate outcome of running one method over a read batch."""
+
+    method: str
+    total_seconds: float
+    n_reads: int
+    n_occurrences: int
+    stats: Optional[SearchStats] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def avg_seconds(self) -> float:
+        """Average matching time per read — the paper's reported metric."""
+        return self.total_seconds / self.n_reads if self.n_reads else 0.0
+
+
+class MethodSuite:
+    """Run any of the compared methods over one target string.
+
+    Construction builds the shared per-target structures (the BWT index
+    and, lazily, the suffix tree); :meth:`run` then times one method over
+    a read batch at a given ``k``.
+
+    Parameters
+    ----------
+    text:
+        The target (genome) string.
+    methods:
+        Which methods :meth:`run_all` exercises, in order.
+    """
+
+    def __init__(self, text: str, methods: Sequence[str] = PAPER_METHODS):
+        self._text = text
+        self._methods = tuple(methods)
+        self._index = KMismatchIndex(text)
+        self._cole: Optional[ColeMatcher] = None
+
+    @property
+    def index(self) -> KMismatchIndex:
+        """The shared BWT index."""
+        return self._index
+
+    def _cole_matcher(self) -> ColeMatcher:
+        if self._cole is None:
+            self._cole = ColeMatcher(self._text)
+        return self._cole
+
+    # -- single-method timing --------------------------------------------------
+
+    def run(self, method: str, reads: Sequence[str], k: int) -> MethodResult:
+        """Time ``method`` over ``reads`` at mismatch bound ``k``."""
+        runner = self._runner_for(method, k)
+        last_stats: Optional[SearchStats] = None
+        n_occurrences = 0
+        start = time.perf_counter()
+        for read in reads:
+            occurrences, stats = runner(read)
+            n_occurrences += len(occurrences)
+            if stats is not None:
+                last_stats = stats if last_stats is None else last_stats.merge(stats)
+        elapsed = time.perf_counter() - start
+        return MethodResult(
+            method=method,
+            total_seconds=elapsed,
+            n_reads=len(reads),
+            n_occurrences=n_occurrences,
+            stats=last_stats,
+        )
+
+    def run_all(self, reads: Sequence[str], k: int) -> List[MethodResult]:
+        """Time every configured method; results in configuration order."""
+        return [self.run(method, reads, k) for method in self._methods]
+
+    # -- method registry ----------------------------------------------------------
+
+    def _runner_for(self, method: str, k: int) -> Callable:
+        fm = self._index.fm_index
+        text = self._text
+        if method in ("A()", "algorithm_a"):
+            return lambda read: AlgorithmASearcher(fm).search(read, k)
+        if method in ("A()-nophi", "algorithm_a_nophi"):
+            return lambda read: AlgorithmASearcher(fm, use_phi=False).search(read, k)
+        if method in ("A()-noreuse", "algorithm_a_noreuse"):
+            return lambda read: AlgorithmASearcher(fm, enable_reuse=False).search(read, k)
+        if method in ("BWT", "stree"):
+            return lambda read: STreeSearcher(fm, use_phi=True).search(read, k)
+        if method in ("BWT-nophi", "stree_nophi"):
+            return lambda read: STreeSearcher(fm, use_phi=False).search(read, k)
+        if method in ("Amir's", "amir"):
+            return lambda read: (AmirMatcher(text, read).search(k), None)
+        if method in ("Cole's", "cole"):
+            matcher = self._cole_matcher()
+            return lambda read: (matcher.search(read, k), None)
+        if method in ("LV", "landau_vishkin"):
+            return lambda read: (LandauVishkinMatcher(text, read).search(k), None)
+        raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,25 @@
+"""BWT-array index substrate (paper Sec. III).
+
+* :mod:`repro.bwt.transform` — the Burrows–Wheeler transform itself,
+  constructed through the suffix array per paper eq. (3), and its inverse.
+* :mod:`repro.bwt.rankall` — the paper's "rankall" occurrence structure
+  (Fig. 2): per-character cumulative counts, checkpoint-sampled to trade
+  space for scan length.
+* :mod:`repro.bwt.fmindex` — the FM-index: first-column intervals ``F_x``
+  (the ``<x, [α, β]>`` pairs of Sec. III-A), backward search, and locate
+  via a sampled suffix array.
+"""
+
+from .transform import bwt_from_suffix_array, bwt_transform, inverse_bwt
+from .rankall import RankAll
+from .fmindex import FMIndex, Range, EMPTY_RANGE
+
+__all__ = [
+    "bwt_transform",
+    "bwt_from_suffix_array",
+    "inverse_bwt",
+    "RankAll",
+    "FMIndex",
+    "Range",
+    "EMPTY_RANGE",
+]

@@ -1,0 +1,321 @@
+"""FM-index: backward search over a BWT array (paper Sec. III-A).
+
+The index is the paper's pair machinery made concrete:
+
+* the first column ``F`` is kept as per-character intervals ``F_x``
+  (``<x, [α, β]>`` pairs) via the cumulative ``C`` array;
+* ``search(z, L_{<x,[α,β]>})`` — find the first/last rank of ``z`` inside
+  the ``L`` range of a pair — is :meth:`FMIndex.extend`, answered with two
+  rankall probes;
+* occurrence positions come from a sampled suffix array plus LF-mapping
+  walks (``locate``).
+
+Ranges are half-open ``[lo, hi)`` row intervals of the conceptual
+Burrows–Wheeler matrix; this maps to the paper's rank pairs ``[α, β]`` as
+``lo = start(F_x) + α - 1``, ``hi = start(F_x) + β``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..alphabet import SENTINEL, Alphabet, infer_alphabet
+from ..errors import IndexCorruptionError, PatternError, SerializationError
+from .. import suffix
+from .rankall import DEFAULT_SAMPLE_RATE, RankAll
+from .transform import bwt_from_suffix_array
+
+
+class Range(NamedTuple):
+    """A half-open row interval ``[lo, hi)`` of the BW matrix."""
+
+    lo: int
+    hi: int
+
+    def __len__(self) -> int:
+        return max(0, self.hi - self.lo)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the interval contains no rows."""
+        return self.hi <= self.lo
+
+
+#: The canonical empty range.
+EMPTY_RANGE = Range(0, 0)
+
+#: Default distance between sampled suffix-array entries.
+DEFAULT_SA_SAMPLE = 8
+
+
+class FMIndex:
+    """A searchable BWT array over ``text + '$'``.
+
+    Parameters
+    ----------
+    text:
+        The target string ``s`` (no sentinel; it is appended internally).
+    alphabet:
+        Defaults to the smallest alphabet covering ``text``.
+    occ_sample_rate:
+        Checkpoint spacing of the rankall structure (paper Fig. 2 uses 4).
+    sa_sample_rate:
+        Every text position divisible by this is kept in the sampled
+        suffix array; ``locate`` walks LF until it hits one.
+    rank_backend:
+        ``"rankall"`` (the paper's Fig. 2 structure, default) or
+        ``"wavelet"`` (a wavelet tree — n·log σ bits, O(log σ) probes;
+        see :mod:`repro.bwt.wavelet`).
+
+    >>> fm = FMIndex("acagaca")
+    >>> fm.count("aca")
+    2
+    >>> sorted(fm.locate("aca"))
+    [0, 4]
+    """
+
+    def __init__(
+        self,
+        text: str,
+        alphabet: Optional[Alphabet] = None,
+        occ_sample_rate: int = DEFAULT_SAMPLE_RATE,
+        sa_sample_rate: int = DEFAULT_SA_SAMPLE,
+        rank_backend: str = "rankall",
+    ):
+        if alphabet is None:
+            alphabet = infer_alphabet(text) if text else Alphabet("a")
+        alphabet.validate(text)
+        if sa_sample_rate < 1:
+            raise IndexCorruptionError("sa_sample_rate must be >= 1")
+        self._alphabet = alphabet
+        self._text_len = len(text)
+        self._sa_sample_rate = sa_sample_rate
+
+        sa = suffix.suffix_array(text, alphabet)
+        bwt = bwt_from_suffix_array(text, sa)
+        self._init_from_bwt(bwt, occ_sample_rate, rank_backend)
+        self._sampled_sa: Dict[int, int] = {
+            row: pos for row, pos in enumerate(sa) if pos % sa_sample_rate == 0
+        }
+
+    def _init_from_bwt(self, bwt: str, occ_sample_rate: int, rank_backend: str = "rankall") -> None:
+        self._bwt = bwt
+        self._rank_backend = rank_backend
+        if rank_backend == "rankall":
+            self._rank = RankAll(bwt, self._alphabet, occ_sample_rate)
+        elif rank_backend == "wavelet":
+            from .wavelet import WaveletRank
+
+            self._rank = WaveletRank(bwt, self._alphabet)
+        else:
+            raise IndexCorruptionError(f"unknown rank backend {rank_backend!r}")
+        # C[code] = number of BWT characters with a smaller code = first row
+        # of that character's F interval (the paper's F_x start).
+        counts = [self._rank.total(code) for code in range(self._alphabet.size)]
+        c_array = [0] * (self._alphabet.size + 1)
+        for code in range(self._alphabet.size):
+            c_array[code + 1] = c_array[code] + counts[code]
+        self._c_array = c_array
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The index's alphabet."""
+        return self._alphabet
+
+    @property
+    def text_length(self) -> int:
+        """Length of the indexed text, sentinel excluded."""
+        return self._text_len
+
+    @property
+    def n_rows(self) -> int:
+        """Number of BW-matrix rows (``text_length + 1``)."""
+        return self._text_len + 1
+
+    @property
+    def bwt(self) -> str:
+        """The BWT string ``L`` (sentinel included)."""
+        return self._bwt
+
+    @property
+    def sa_sample_rate(self) -> int:
+        """Sampling distance of the stored suffix-array entries."""
+        return self._sa_sample_rate
+
+    def f_interval(self, code: int) -> Range:
+        """The F-column interval of character ``code`` (paper's ``F_x``)."""
+        return Range(self._c_array[code], self._c_array[code + 1])
+
+    def full_range(self) -> Range:
+        """The range covering every row (the paper's virtual root pair)."""
+        return Range(0, self.n_rows)
+
+    def nbytes(self) -> int:
+        """Index payload in bytes, using the paper's C-style accounting.
+
+        Rankall structure (2-bit BWT + 32-bit checkpoints) plus the
+        sampled suffix array stored as 32-bit positions with a one-bit
+        sampled-row marker per row.
+        """
+        sampled_sa_bytes = len(self._sampled_sa) * 4 + (self.n_rows + 7) // 8
+        return self._rank.nbytes() + sampled_sa_bytes
+
+    # -- core search primitives ------------------------------------------------
+
+    def extend(self, rng: Range, code: int) -> Range:
+        """One backward-search step: the paper's ``search(z, L_range)``.
+
+        Returns the row range of suffixes obtained by prepending the
+        character ``code`` to the suffixes in ``rng``; empty when the
+        character does not occur in ``L[rng.lo : rng.hi]``.
+        """
+        if rng.is_empty:
+            return EMPTY_RANGE
+        base = self._c_array[code]
+        lo = base + self._rank.occ(code, rng.lo)
+        hi = base + self._rank.occ(code, rng.hi)
+        return Range(lo, hi) if lo < hi else EMPTY_RANGE
+
+    def extend_char(self, rng: Range, ch: str) -> Range:
+        """Character-typed convenience wrapper over :meth:`extend`."""
+        return self.extend(rng, self._alphabet.code(ch))
+
+    def branch_codes(self, rng: Range) -> List[int]:
+        """Non-sentinel codes occurring in ``L[rng.lo : rng.hi]``.
+
+        These are the S-tree children of a node with range ``rng``.
+        """
+        if rng.is_empty:
+            return []
+        return [c for c in self._rank.present_codes(rng.lo, rng.hi) if c != 0]
+
+    def children(self, rng: Range) -> List[Tuple[int, Range]]:
+        """All one-character extensions of ``rng`` in a single pass.
+
+        Returns ``(code, sub_range)`` for every non-sentinel character that
+        occurs in ``L[rng.lo : rng.hi]`` — the S-tree children of a node
+        (paper Sec. IV-A) — using exactly two rankall probes per alphabet
+        character.
+        """
+        if rng.is_empty:
+            return []
+        row_lo = self._rank.counts_at(rng.lo)
+        row_hi = self._rank.counts_at(rng.hi)
+        c_array = self._c_array
+        out: List[Tuple[int, Range]] = []
+        for code in range(1, self._alphabet.size):
+            a = row_lo[code]
+            b = row_hi[code]
+            if b > a:
+                base = c_array[code]
+                out.append((code, Range(base + a, base + b)))
+        return out
+
+    def backward_search(self, query: str) -> Range:
+        """Row range of suffixes prefixed by ``query`` (empty when absent)."""
+        rng = self.full_range()
+        for ch in reversed(query):
+            rng = self.extend_char(rng, ch)
+            if rng.is_empty:
+                return EMPTY_RANGE
+        return rng
+
+    # -- counting and locating ---------------------------------------------------
+
+    def count(self, query: str) -> int:
+        """Number of occurrences of ``query`` in the text."""
+        if query == "":
+            return self.n_rows
+        return len(self.backward_search(query))
+
+    def contains(self, query: str) -> bool:
+        """True when ``query`` occurs in the text."""
+        return query == "" or not self.backward_search(query).is_empty
+
+    def lf_step(self, row: int) -> int:
+        """The LF mapping: row of the rotation one position to the left."""
+        code = self._rank.char_code_at(row)
+        return self._c_array[code] + self._rank.occ(code, row)
+
+    def suffix_position(self, row: int) -> int:
+        """Text position of the suffix at BW row ``row`` (``SA[row]``)."""
+        steps = 0
+        sampled = self._sampled_sa
+        while row not in sampled:
+            row = self.lf_step(row)
+            steps += 1
+            if steps > self.n_rows:
+                raise IndexCorruptionError("LF walk failed to reach a sampled row")
+        return sampled[row] + steps
+
+    def locate_range(self, rng: Range) -> List[int]:
+        """Text positions (suffix starts) for every row in ``rng``."""
+        return [self.suffix_position(row) for row in range(rng.lo, rng.hi)]
+
+    def locate(self, query: str) -> List[int]:
+        """All 0-based occurrence start positions of ``query``."""
+        if query == "":
+            raise PatternError("cannot locate the empty pattern")
+        return self.locate_range(self.backward_search(query))
+
+    # -- serialization --------------------------------------------------------------
+
+    _MAGIC = "repro-fmindex"
+    _VERSION = 1
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-compatible dictionary."""
+        return {
+            "magic": self._MAGIC,
+            "version": self._VERSION,
+            "alphabet": "".join(self._alphabet.symbols),
+            "bwt": self._bwt,
+            "occ_sample_rate": self._rank.sample_rate or DEFAULT_SAMPLE_RATE,
+            "sa_sample_rate": self._sa_sample_rate,
+            "rank_backend": self._rank_backend,
+            "sampled_sa": sorted(self._sampled_sa.items()),
+        }
+
+    def dumps(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FMIndex":
+        """Rebuild an index from :meth:`to_dict` output."""
+        if payload.get("magic") != cls._MAGIC:
+            raise SerializationError("not a serialized FMIndex")
+        if payload.get("version") != cls._VERSION:
+            raise SerializationError(f"unsupported FMIndex version {payload.get('version')}")
+        instance = cls.__new__(cls)
+        instance._alphabet = Alphabet(payload["alphabet"])
+        bwt = payload["bwt"]
+        if bwt.count(SENTINEL) != 1:
+            raise SerializationError("corrupt BWT payload")
+        instance._text_len = len(bwt) - 1
+        instance._sa_sample_rate = int(payload["sa_sample_rate"])
+        instance._init_from_bwt(
+            bwt,
+            int(payload["occ_sample_rate"]),
+            payload.get("rank_backend", "rankall"),
+        )
+        instance._sampled_sa = {int(row): int(pos) for row, pos in payload["sampled_sa"]}
+        return instance
+
+    @classmethod
+    def loads(cls, data: str) -> "FMIndex":
+        """Rebuild an index from :meth:`dumps` output."""
+        try:
+            payload = json.loads(data)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"invalid index payload: {exc}") from None
+        return cls.from_dict(payload)
+
+    def reconstruct_text(self) -> str:
+        """Invert the BWT back into the indexed text (validation helper)."""
+        from .transform import inverse_bwt
+
+        return inverse_bwt(self._bwt)

@@ -1,0 +1,87 @@
+"""The Burrows–Wheeler transform.
+
+The paper constructs ``BWT(s)`` as the last column ``L`` of the sorted
+rotation matrix (Fig. 1) and, in practice, derives it from the suffix array
+``H`` via eq. (3)::
+
+    L[i] = '$'         if H[i] = 0
+    L[i] = s[H[i] - 1]  otherwise
+
+Both the forward transform (through SA-IS) and the inverse (through the
+rank-correspondence / LF property, paper eq. (1)) are provided; the inverse
+is used only for validation, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence
+
+from ..alphabet import SENTINEL, Alphabet
+from ..errors import IndexCorruptionError
+from .. import suffix
+
+
+def bwt_from_suffix_array(text: str, sa: Sequence[int]) -> str:
+    """BWT of ``text + '$'`` given the suffix array of ``text + '$'``.
+
+    Implements paper eq. (3).
+
+    >>> bwt_from_suffix_array("acagaca", suffix.suffix_array("acagaca"))
+    'acg$caaa'
+    """
+    n = len(text)
+    if len(sa) != n + 1:
+        raise IndexCorruptionError("suffix array length must be len(text) + 1")
+    out = []
+    for h in sa:
+        out.append(SENTINEL if h == 0 else text[h - 1])
+    return "".join(out)
+
+
+def bwt_transform(text: str, alphabet: Optional[Alphabet] = None) -> str:
+    """BWT of ``text + '$'`` (sentinel included in the output).
+
+    >>> bwt_transform("acagaca")
+    'acg$caaa'
+    """
+    return bwt_from_suffix_array(text, suffix.suffix_array(text, alphabet))
+
+
+def inverse_bwt(bwt: str) -> str:
+    """Recover the original text (without sentinel) from its BWT.
+
+    Uses the rank correspondence between the first and last columns (paper
+    eq. (1)): the i-th occurrence of character ``x`` in ``L`` is the same
+    text position as the i-th occurrence of ``x`` in ``F``.
+
+    >>> inverse_bwt("acg$caaa")
+    'acagaca'
+    """
+    n = len(bwt)
+    if bwt.count(SENTINEL) != 1:
+        raise IndexCorruptionError("BWT must contain exactly one sentinel")
+    # F-column start offset of each character.
+    counts = Counter(bwt)
+    starts = {}
+    total = 0
+    for ch in sorted(counts):
+        starts[ch] = total
+        total += counts[ch]
+    # LF mapping: row i in L maps to row starts[L[i]] + rank(L[i], i) in F.
+    seen: Counter = Counter()
+    lf: List[int] = [0] * n
+    for i, ch in enumerate(bwt):
+        lf[i] = starts[ch] + seen[ch]
+        seen[ch] += 1
+    # Walk backwards from the sentinel row, emitting characters.
+    out = []
+    row = bwt.index(SENTINEL)
+    for _ in range(n - 1):
+        row = lf[row]
+        out.append(bwt[row])
+    out.reverse()
+    # The walk emits text[0], text[1], ... in order after the reverse... —
+    # verify by construction: row of '$' in F is 0; the character L[0]
+    # precedes '$' in the text, i.e. is the last text character.
+    return "".join(out)

@@ -1,0 +1,225 @@
+"""Command-line interface: ``repro-cli``.
+
+Subcommands
+-----------
+``index``     Build a BWT index for a FASTA/plain-text target and save it.
+``search``    Query a target (or saved index) for a pattern with k mismatches.
+``simulate``  Generate a synthetic genome and/or simulated reads.
+``compare``   Run the paper's four methods over a read batch and print a table.
+
+The CLI works on plain one-sequence-per-file text or minimal FASTA (the
+first record's sequence, headers stripped).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .bench.reporting import format_seconds, format_table
+from .bench.suite import MethodSuite, PAPER_METHODS
+from .core.matcher import METHODS, KMismatchIndex
+from .simulate.genome import GenomeConfig, generate_genome
+from .simulate.reads import ReadConfig, simulate_reads
+
+
+def read_sequence(path: Path) -> str:
+    """Load a sequence from plain text or minimal FASTA (first record)."""
+    lines = path.read_text().splitlines()
+    sequence_parts: List[str] = []
+    in_first_record = False
+    saw_header = any(line.startswith(">") for line in lines[:1])
+    for line in lines:
+        if line.startswith(">"):
+            if in_first_record:
+                break
+            in_first_record = True
+            continue
+        if not saw_header or in_first_record:
+            sequence_parts.append(line.strip())
+    return "".join(sequence_parts).lower()
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    text = read_sequence(Path(args.target))
+    start = time.perf_counter()
+    index = KMismatchIndex(
+        text, occ_sample_rate=args.occ_sample, sa_sample_rate=args.sa_sample
+    )
+    elapsed = time.perf_counter() - start
+    Path(args.output).write_text(index.dumps())
+    print(f"indexed {len(text)} bp in {format_seconds(elapsed)} -> {args.output} "
+          f"({index.nbytes()} payload bytes)")
+    return 0
+
+
+def _load_index(args: argparse.Namespace) -> KMismatchIndex:
+    if getattr(args, "index", False):
+        return KMismatchIndex.loads(Path(args.target).read_text())
+    return KMismatchIndex(read_sequence(Path(args.target)))
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    index = _load_index(args)
+    pattern = args.pattern.lower()
+    start = time.perf_counter()
+    if args.edit:
+        for occ in index.search_edit(pattern, args.k):
+            print(f"{occ.start}\t{occ.length}\t{occ.distance}")
+        count = "edit-distance windows"
+    else:
+        if args.wildcard:
+            occurrences = index.search_wildcard(pattern, args.k, wildcard=args.wildcard)
+        else:
+            occurrences = index.search(pattern, args.k, method=args.method)
+        for occ in occurrences:
+            mm = ",".join(str(p) for p in occ.mismatches) or "-"
+            print(f"{occ.start}\t{occ.n_mismatches}\t{mm}")
+        count = f"{len(occurrences)} occurrence(s)"
+    elapsed = time.perf_counter() - start
+    print(f"# {count} in {format_seconds(elapsed)}", file=sys.stderr)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    genome = generate_genome(
+        GenomeConfig(
+            length=args.length,
+            gc_content=args.gc,
+            repeat_fraction=args.repeats,
+            seed=args.seed,
+        )
+    )
+    Path(args.output).write_text(f">synthetic seed={args.seed}\n{genome}\n")
+    print(f"wrote {len(genome)} bp genome -> {args.output}")
+    if args.reads > 0:
+        reads = simulate_reads(
+            genome, ReadConfig(n_reads=args.reads, length=args.read_length, seed=args.seed + 1)
+        )
+        reads_path = Path(args.output).with_suffix(".reads.txt")
+        with reads_path.open("w") as handle:
+            for i, read in enumerate(reads):
+                strand = "-" if read.reverse_strand else "+"
+                handle.write(f"@read{i} pos={read.position} strand={strand} "
+                             f"muts={read.n_mutations}\n{read.sequence}\n")
+        print(f"wrote {len(reads)} reads -> {reads_path}")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from .io import parse_fastq, write_sam
+
+    text = read_sequence(Path(args.target))
+    index = KMismatchIndex(text)
+    reads_text = Path(args.reads).read_text()
+    if reads_text.lstrip().startswith("@") and "\n+" in reads_text:
+        records = [(r.name, r.sequence) for r in parse_fastq(reads_text)]
+    else:
+        records = [
+            (f"read{i}", line.strip().lower())
+            for i, line in enumerate(reads_text.splitlines())
+            if line.strip() and not line.startswith(("#", ">"))
+        ]
+    reference = args.reference_name
+
+    def alignments():
+        for name, sequence in records:
+            yield name, sequence, reference, index.map_read(sequence, args.k)
+
+    out = sys.stdout if args.output == "-" else Path(args.output).open("w")
+    try:
+        written = write_sam(out, [(reference, len(text))], alignments())
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print(f"# wrote {written} alignment line(s) for {len(records)} read(s)",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    text = read_sequence(Path(args.target))
+    reads = [
+        line.strip().lower()
+        for line in Path(args.reads).read_text().splitlines()
+        if line.strip() and not line.startswith(("@", ">", "#"))
+    ]
+    if args.limit > 0:
+        reads = reads[: args.limit]
+    suite = MethodSuite(text, methods=args.methods)
+    rows = []
+    for result in suite.run_all(reads, args.k):
+        rows.append([result.method, format_seconds(result.avg_seconds), result.n_occurrences])
+    print(format_table(["method", "avg time/read", "occurrences"], rows,
+                       title=f"k={args.k}, {len(reads)} reads, target {len(text)} bp"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="BWT arrays and mismatching trees: k-mismatch string matching",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_index = sub.add_parser("index", help="build and save a BWT index")
+    p_index.add_argument("target", help="FASTA or plain-text target file")
+    p_index.add_argument("-o", "--output", default="target.fmidx", help="output index path")
+    p_index.add_argument("--occ-sample", type=int, default=4, help="rankall checkpoint spacing")
+    p_index.add_argument("--sa-sample", type=int, default=8, help="suffix-array sampling distance")
+    p_index.set_defaults(func=_cmd_index)
+
+    p_search = sub.add_parser("search", help="k-mismatch search in a target")
+    p_search.add_argument("target", help="FASTA/plain-text target, or a saved "
+                          "index file when --index is set")
+    p_search.add_argument("pattern", help="pattern string")
+    p_search.add_argument("-k", type=int, default=0, help="mismatch / error bound")
+    p_search.add_argument("--method", choices=METHODS, default="algorithm_a")
+    p_search.add_argument("--index", action="store_true",
+                          help="treat TARGET as a saved index (from `repro-cli index`)")
+    p_search.add_argument("--edit", action="store_true",
+                          help="k errors (Levenshtein) instead of k mismatches")
+    p_search.add_argument("--wildcard", default="",
+                          help="treat this pattern character as a don't-care")
+    p_search.set_defaults(func=_cmd_search)
+
+    p_sim = sub.add_parser("simulate", help="generate a synthetic genome and reads")
+    p_sim.add_argument("-o", "--output", default="genome.fa")
+    p_sim.add_argument("--length", type=int, default=100_000)
+    p_sim.add_argument("--gc", type=float, default=0.41)
+    p_sim.add_argument("--repeats", type=float, default=0.30)
+    p_sim.add_argument("--reads", type=int, default=0, help="also simulate this many reads")
+    p_sim.add_argument("--read-length", type=int, default=100)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_map = sub.add_parser("map", help="map reads to a target, SAM-like output")
+    p_map.add_argument("target", help="FASTA or plain-text target file")
+    p_map.add_argument("reads", help="FASTQ file or one read per line")
+    p_map.add_argument("-k", type=int, default=4, help="mismatch bound")
+    p_map.add_argument("-o", "--output", default="-", help="output path ('-' = stdout)")
+    p_map.add_argument("--reference-name", default="target", help="@SQ record name")
+    p_map.set_defaults(func=_cmd_map)
+
+    p_cmp = sub.add_parser("compare", help="run the paper's methods over a read batch")
+    p_cmp.add_argument("target")
+    p_cmp.add_argument("reads", help="file with one read per line (or simulate output)")
+    p_cmp.add_argument("-k", type=int, default=3)
+    p_cmp.add_argument("--methods", nargs="+", default=list(PAPER_METHODS))
+    p_cmp.add_argument("--limit", type=int, default=0, help="use only the first N reads")
+    p_cmp.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""The paper's contribution: k-mismatch search over a BWT array.
+
+* :mod:`repro.core.types` — occurrence records and search statistics
+  shared by every matcher.
+* :mod:`repro.core.stree` — the S-tree search of [34]: brute-force
+  BWT-range branching with the φ(i) cut-off heuristic (paper Sec. IV-A).
+* :mod:`repro.core.mtree` — the mismatching-tree structure (paper
+  Sec. IV-D): matching runs collapsed to ``<-, 0>`` nodes, mismatches as
+  ``<char, position>`` nodes.
+* :mod:`repro.core.algorithm_a` — Algorithm A: the S-tree search with the
+  pair hash table and mismatch-information derivation, achieving
+  O(k·n' + n + m log m).
+* :mod:`repro.core.matcher` — :class:`KMismatchIndex`, the public facade.
+"""
+
+from .types import Occurrence, SearchStats
+from .stree import STreeSearcher, compute_phi
+from .mtree import MTree, MTreeNode
+from .algorithm_a import AlgorithmASearcher
+from .kerrors import EditOccurrence, KErrorsSearcher, best_per_start, edit_distance
+from .wildcard import WildcardSearcher
+from .matcher import KMismatchIndex, ReadHit
+
+__all__ = [
+    "Occurrence",
+    "SearchStats",
+    "STreeSearcher",
+    "compute_phi",
+    "MTree",
+    "MTreeNode",
+    "AlgorithmASearcher",
+    "KErrorsSearcher",
+    "EditOccurrence",
+    "best_per_start",
+    "edit_distance",
+    "WildcardSearcher",
+    "KMismatchIndex",
+    "ReadHit",
+]

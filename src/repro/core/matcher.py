@@ -1,0 +1,288 @@
+"""Public facade: :class:`KMismatchIndex`.
+
+Builds the BWT array over the *reversed* target once (the paper's
+``L = BWT(s̄)``, Sec. IV) and serves any number of k-mismatch queries
+through either Algorithm A (default) or the S-tree baseline of [34].
+Exact search (k = 0) and plain substring queries are served by the same
+index.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..alphabet import DNA, Alphabet, infer_alphabet
+from ..bwt.fmindex import DEFAULT_SA_SAMPLE, FMIndex
+from ..bwt.rankall import DEFAULT_SAMPLE_RATE
+from ..dna import reverse_complement
+from ..errors import PatternError, SerializationError
+from .algorithm_a import AlgorithmASearcher
+from .kerrors import EditOccurrence, KErrorsSearcher
+from .stree import STreeSearcher
+from .types import Occurrence, SearchStats
+from .wildcard import DEFAULT_WILDCARD, WildcardSearcher
+
+
+@dataclass(frozen=True, order=True)
+class ReadHit:
+    """One strand-aware mapping of a read (see :meth:`KMismatchIndex.map_read`).
+
+    ``strand`` is ``'+'`` when the read matched the target as given and
+    ``'-'`` when its reverse complement matched; ``occurrence`` is always
+    in forward-target coordinates.
+    """
+
+    occurrence: Occurrence
+    strand: str
+
+#: Method names accepted by :meth:`KMismatchIndex.search`.
+METHODS = (
+    "algorithm_a",
+    "algorithm_a_nophi",
+    "algorithm_a_noreuse",
+    "stree",
+    "stree_nophi",
+)
+
+
+class KMismatchIndex:
+    """An index over a target string answering k-mismatch queries.
+
+    Parameters
+    ----------
+    text:
+        The target string ``s`` (e.g. a genome).
+    alphabet:
+        Defaults to DNA when the text fits it, else the inferred minimal
+        alphabet.
+    occ_sample_rate / sa_sample_rate:
+        Space/time knobs forwarded to the FM-index (paper Fig. 2 stores a
+        rankall checkpoint every 4 BWT elements).
+
+    >>> index = KMismatchIndex("acagaca")
+    >>> [(o.start, o.mismatches) for o in index.search("tcaca", k=2)]
+    [(0, (0, 3)), (2, (0, 1))]
+    >>> index.count("aca", k=0)
+    2
+    """
+
+    def __init__(
+        self,
+        text: str,
+        alphabet: Optional[Alphabet] = None,
+        occ_sample_rate: int = DEFAULT_SAMPLE_RATE,
+        sa_sample_rate: int = DEFAULT_SA_SAMPLE,
+    ):
+        if not text:
+            raise PatternError("target text must be non-empty")
+        if alphabet is None:
+            alphabet = DNA if DNA.contains(text) else infer_alphabet(text)
+        self._text = text
+        self._alphabet = alphabet
+        self._fm = FMIndex(
+            text[::-1],
+            alphabet,
+            occ_sample_rate=occ_sample_rate,
+            sa_sample_rate=sa_sample_rate,
+        )
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        """The indexed target string."""
+        return self._text
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The index's alphabet."""
+        return self._alphabet
+
+    @property
+    def fm_index(self) -> FMIndex:
+        """The underlying FM-index (over the reversed target)."""
+        return self._fm
+
+    def nbytes(self) -> int:
+        """Approximate index payload in bytes."""
+        return self._fm.nbytes()
+
+    # -- queries -------------------------------------------------------------------
+
+    def search(
+        self,
+        pattern: str,
+        k: int,
+        method: str = "algorithm_a",
+    ) -> List[Occurrence]:
+        """All occurrences of ``pattern`` within Hamming distance ``k``.
+
+        ``method`` selects the engine: ``"algorithm_a"`` (the paper's
+        contribution), ``"stree"`` (the baseline of [34] with the φ
+        heuristic) or ``"stree_nophi"`` (same, heuristic off).
+        """
+        occurrences, _ = self.search_with_stats(pattern, k, method)
+        return occurrences
+
+    def search_with_stats(
+        self,
+        pattern: str,
+        k: int,
+        method: str = "algorithm_a",
+        record_mtree: bool = False,
+    ) -> Tuple[List[Occurrence], SearchStats]:
+        """Like :meth:`search`, also returning the search statistics."""
+        self._alphabet.validate(pattern)
+        if method.startswith("algorithm_a"):
+            if method == "algorithm_a":
+                searcher = AlgorithmASearcher(self._fm, record_mtree=record_mtree)
+            elif method == "algorithm_a_nophi":
+                searcher = AlgorithmASearcher(self._fm, record_mtree=record_mtree, use_phi=False)
+            elif method == "algorithm_a_noreuse":
+                searcher = AlgorithmASearcher(self._fm, record_mtree=record_mtree, enable_reuse=False)
+            else:
+                raise PatternError(f"unknown method {method!r}; expected one of {METHODS}")
+            result = searcher.search(pattern, k)
+            self.last_mtree = searcher.last_mtree
+            return result
+        if method == "stree":
+            return STreeSearcher(self._fm, use_phi=True).search(pattern, k)
+        if method == "stree_nophi":
+            return STreeSearcher(self._fm, use_phi=False).search(pattern, k)
+        raise PatternError(f"unknown method {method!r}; expected one of {METHODS}")
+
+    def count(self, pattern: str, k: int = 0, method: str = "algorithm_a") -> int:
+        """Number of occurrences of ``pattern`` within distance ``k``."""
+        if k == 0:
+            # Exact counting never needs the tree search: one backward pass.
+            return self._fm.count(pattern[::-1])
+        return len(self.search(pattern, k, method))
+
+    def contains(self, pattern: str, k: int = 0) -> bool:
+        """True when the pattern occurs within distance ``k``."""
+        if k == 0:
+            return self._fm.contains(pattern[::-1])
+        return bool(self.search(pattern, k))
+
+    def locate_exact(self, pattern: str) -> List[int]:
+        """Exact occurrence starts (k = 0 fast path)."""
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        n, m = len(self._text), len(pattern)
+        return sorted(n - p - m for p in self._fm.locate(pattern[::-1]))
+
+    def best_match(self, pattern: str, k_max: int, method: str = "algorithm_a") -> List[Occurrence]:
+        """Occurrences at the *smallest* k ≤ ``k_max`` with any hit.
+
+        The aligner-style query: try k = 0, 1, ... until something
+        matches; return that k's full occurrence set (empty when nothing
+        matches within ``k_max``).  Every returned occurrence has the
+        same, minimal mismatch count.
+        """
+        if k_max < 0:
+            raise PatternError(f"k_max must be non-negative, got {k_max}")
+        for k in range(k_max + 1):
+            occurrences = self.search(pattern, k, method=method)
+            if occurrences:
+                best = min(o.n_mismatches for o in occurrences)
+                return [o for o in occurrences if o.n_mismatches == best]
+        return []
+
+    # -- problem variants (paper Sec. II taxonomy) -----------------------------------
+
+    def search_edit(self, pattern: str, k: int) -> List[EditOccurrence]:
+        """String matching with k *errors* (Levenshtein) over the same index.
+
+        Returns every target window within edit distance ``k`` of the
+        pattern; see :mod:`repro.core.kerrors` for semantics and
+        :func:`repro.core.kerrors.best_per_start` to reduce per start.
+        """
+        self._alphabet.validate(pattern)
+        return KErrorsSearcher(self._fm).search(pattern, k)
+
+    def search_wildcard(
+        self, pattern: str, k: int = 0, wildcard: str = DEFAULT_WILDCARD
+    ) -> List[Occurrence]:
+        """k-mismatch search where ``wildcard`` pattern positions match anything."""
+        return WildcardSearcher(self._fm, wildcard=wildcard).search(pattern, k)
+
+    # -- read mapping -------------------------------------------------------------------
+
+    def map_read(self, read: str, k: int) -> List[ReadHit]:
+        """Map a read against both strands of the target.
+
+        Searches the read as given (``'+'`` hits) and its reverse
+        complement (``'-'`` hits), the way the paper's evaluation handles
+        wgsim's strand-flipped reads.  DNA targets only.
+        """
+        if self._alphabet != DNA:
+            raise PatternError("map_read requires a DNA target")
+        hits = [ReadHit(occ, "+") for occ in self.search(read, k)]
+        hits += [ReadHit(occ, "-") for occ in self.search(reverse_complement(read), k)]
+        return sorted(hits)
+
+    def search_batch(
+        self, patterns: Sequence[str], k: int, method: str = "algorithm_a"
+    ) -> Dict[str, List[Occurrence]]:
+        """Search many patterns over the one index; results keyed by pattern."""
+        return {pattern: self.search(pattern, k, method=method) for pattern in patterns}
+
+    # -- self-checks ------------------------------------------------------------------------
+
+    def verify(self) -> None:
+        """Run the index's internal consistency checks.
+
+        Verifies every rank checkpoint, inverts the BWT back to the
+        target, and recomputes the suffix array to audit every sampled
+        entry.  Raises :class:`~repro.errors.IndexCorruptionError` on any
+        drift; intended for use after loading a persisted index from
+        untrusted storage.  Cost: O(n) for the checks plus one suffix
+        array construction.
+        """
+        from ..errors import IndexCorruptionError
+        from ..suffix import suffix_array
+
+        self._fm._rank.verify()
+        reversed_text = self._text[::-1]
+        if self._fm.reconstruct_text() != reversed_text:
+            raise IndexCorruptionError("BWT does not invert to the indexed text")
+        sa = suffix_array(reversed_text, self._alphabet)
+        for row, pos in self._fm._sampled_sa.items():
+            if not 0 <= row < len(sa) or sa[row] != pos:
+                raise IndexCorruptionError(f"sampled suffix-array entry drifted at row {row}")
+
+    # -- persistence ----------------------------------------------------------------------
+
+    _MAGIC = "repro-kmismatch-index"
+    _VERSION = 1
+
+    def dumps(self) -> str:
+        """Serialize the index (JSON).  The target text is *not* stored —
+        it is recovered from the BWT on load."""
+        return json.dumps(
+            {"magic": self._MAGIC, "version": self._VERSION, "fm": self._fm.to_dict()}
+        )
+
+    @classmethod
+    def loads(cls, data: str) -> "KMismatchIndex":
+        """Rebuild an index from :meth:`dumps` output."""
+        try:
+            payload = json.loads(data)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"invalid index payload: {exc}") from None
+        if payload.get("magic") != cls._MAGIC:
+            raise SerializationError("not a serialized KMismatchIndex")
+        if payload.get("version") != cls._VERSION:
+            raise SerializationError(f"unsupported version {payload.get('version')}")
+        fm = FMIndex.from_dict(payload["fm"])
+        instance = cls.__new__(cls)
+        instance._fm = fm
+        instance._alphabet = fm.alphabet
+        instance._text = fm.reconstruct_text()[::-1]
+        try:
+            instance._alphabet.validate(instance._text)
+        except Exception:
+            raise SerializationError("payload BWT does not invert to a valid text") from None
+        return instance

@@ -1,0 +1,164 @@
+"""The S-tree search: the BWT-based baseline of [34] (paper Sec. IV-A).
+
+A *search tree* (S-tree) node is a pair ``<x, [α, β]>`` — a character and
+a BWT row range.  The root is the whole BWT; a node's children are every
+character with a non-empty sub-range.  Branches accumulating more than
+``k`` mismatches against the pattern are cut; paths surviving to depth
+``m`` are occurrences.
+
+The baseline's only refinement is the φ(i) heuristic: ``φ(i)`` is the
+number of consecutive, disjoint substrings of ``r[i..m-1]`` that do not
+occur in the target at all; each such substring forces at least one
+mismatch, so a subtree whose remaining budget is below φ can be cut
+immediately.  The paper argues this heuristic is weak (it reasons about
+the whole target, not the branch being explored) — the ablation benchmark
+quantifies that claim.
+
+The searcher operates over an FM-index of the *reversed* target so the
+pattern is consumed left-to-right (paper Sec. IV: ``L = BWT(s̄)``).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from ..bwt.fmindex import FMIndex, Range
+from ..errors import PatternError
+from .types import Occurrence, SearchStats
+
+
+def compute_phi(fm_reverse: FMIndex, pattern_codes: Sequence[int]) -> List[int]:
+    """The paper's φ table for one pattern.
+
+    ``phi[i]`` = number of consecutive disjoint substrings of
+    ``pattern[i:]`` that do not occur in the target.  Computed greedily:
+    from position ``i`` extend until the current substring vanishes from
+    the index, count one, restart after it.  Since the extension test is
+    the same "consume a character forward" primitive as the search itself,
+    the reversed-text index answers it directly.
+
+    The returned list has length ``m + 1`` with ``phi[m] = 0``.
+    """
+    m = len(pattern_codes)
+    # first_vanish[i] = smallest e such that pattern[i..e] does not occur,
+    # or m when pattern[i:] occurs entirely.
+    first_vanish = [m] * (m + 1)
+    for i in range(m):
+        rng = fm_reverse.full_range()
+        for e in range(i, m):
+            rng = fm_reverse.extend(rng, pattern_codes[e])
+            if rng.is_empty:
+                first_vanish[i] = e
+                break
+    phi = [0] * (m + 1)
+    for i in range(m - 1, -1, -1):
+        e = first_vanish[i]
+        phi[i] = 0 if e >= m else 1 + phi[e + 1]
+    return phi
+
+
+def _ensure_recursion_headroom(depth: int) -> None:
+    """Raise the interpreter recursion limit for a DFS of ``depth`` levels."""
+    needed = depth * 4 + 2000
+    if sys.getrecursionlimit() < needed:
+        sys.setrecursionlimit(needed)
+
+
+class STreeSearcher:
+    """Brute-force k-mismatch search over a BWT array (method of [34]).
+
+    Parameters
+    ----------
+    fm_reverse:
+        FM-index built over the *reversed* target.
+    use_phi:
+        Apply the φ(i) cut-off heuristic (the distinguishing feature of
+        [34]; disable for the ablation).
+
+    >>> from repro.alphabet import DNA
+    >>> fm = FMIndex("acagaca"[::-1], DNA)
+    >>> occs, stats = STreeSearcher(fm).search("tcaca", k=2)
+    >>> [(o.start, o.mismatches) for o in occs]
+    [(0, (0, 3)), (2, (0, 1))]
+    """
+
+    def __init__(self, fm_reverse: FMIndex, use_phi: bool = True):
+        self._fm = fm_reverse
+        self._use_phi = use_phi
+
+    @property
+    def use_phi(self) -> bool:
+        """Whether the φ(i) cut-off heuristic is active."""
+        return self._use_phi
+
+    def search(self, pattern: str, k: int) -> Tuple[List[Occurrence], SearchStats]:
+        """All occurrences of ``pattern`` with at most ``k`` mismatches.
+
+        Returns the occurrences sorted by start position, plus the search
+        statistics (node/leaf counts feeding the paper's Table 2 axis).
+        """
+        fm = self._fm
+        m = len(pattern)
+        if m == 0:
+            raise PatternError("pattern must be non-empty")
+        if k < 0:
+            raise PatternError(f"k must be non-negative, got {k}")
+        stats = SearchStats()
+        if m > fm.text_length:
+            return [], stats
+        _ensure_recursion_headroom(m)
+
+        self._n = fm.text_length
+        self._m = m
+        self._k = k
+        self._pcodes = fm.alphabet.encode(pattern)
+        self._phi = compute_phi(fm, self._pcodes) if self._use_phi else None
+        self._stats = stats
+        self._occurrences: List[Occurrence] = []
+        self._path_mm: List[int] = []
+
+        self._expand(fm.full_range(), 0, 0)
+        return sorted(self._occurrences), stats
+
+    # -- internals -----------------------------------------------------------
+
+    def _emit(self, rng: Range) -> None:
+        fm = self._fm
+        mm = tuple(self._path_mm)
+        for row in range(rng.lo, rng.hi):
+            start = self._n - fm.suffix_position(row) - self._m
+            self._stats.rows_located += 1
+            self._occurrences.append(Occurrence(start, mm))
+
+    def _expand(self, rng: Range, i: int, used: int) -> None:
+        """Explore all continuations of ``rng`` at pattern offset ``i``."""
+        stats = self._stats
+        if i == self._m:
+            stats.leaves += 1
+            stats.completed_paths += 1
+            self._emit(rng)
+            return
+        if self._phi is not None and self._k - used < self._phi[i]:
+            stats.leaves += 1
+            stats.phi_pruned += 1
+            return
+        stats.rank_queries += 1
+        children = self._fm.children(rng)
+        if not children:
+            stats.leaves += 1
+            stats.dead_ends += 1
+            return
+        pcode = self._pcodes[i]
+        for code, child_rng in children:
+            if code == pcode:
+                stats.nodes_expanded += 1
+                self._expand(child_rng, i + 1, used)
+            elif used < self._k:
+                stats.nodes_expanded += 1
+                self._path_mm.append(i)
+                self._expand(child_rng, i + 1, used + 1)
+                self._path_mm.pop()
+            else:
+                stats.leaves += 1
+                stats.budget_pruned += 1

@@ -1,0 +1,88 @@
+"""Shared result types for every k-mismatch matcher in the package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Occurrence:
+    """One approximate occurrence of the pattern in the target.
+
+    Attributes
+    ----------
+    start:
+        0-based start position of the occurrence window in the target.
+    mismatches:
+        Sorted 0-based *pattern offsets* where the window disagrees with
+        the pattern (the paper's mismatch array ``B_l`` of a path, minus
+        the ``∞`` padding).
+    """
+
+    start: int
+    mismatches: Tuple[int, ...] = ()
+
+    @property
+    def n_mismatches(self) -> int:
+        """Hamming distance between the pattern and the matched window."""
+        return len(self.mismatches)
+
+    def end(self, pattern_length: int) -> int:
+        """Exclusive end position of the window in the target."""
+        return self.start + pattern_length
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation counters shared by the tree searches.
+
+    The M-tree leaf count ``n'`` (paper Table 2) and the S-tree node
+    totals come from here; benchmarks report them alongside wall time.
+    """
+
+    #: Characters consumed by live index search (S-tree nodes created).
+    nodes_expanded: int = 0
+    #: ``children()`` calls — each costs O(|Σ|) rankall probes.
+    rank_queries: int = 0
+    #: Path terminations of any kind — the paper's n' (leaves of D).
+    leaves: int = 0
+    #: Paths that reached the full pattern length (reported occurrences).
+    completed_paths: int = 0
+    #: Paths cut because the mismatch budget was exhausted.
+    budget_pruned: int = 0
+    #: Paths cut because the index had no continuation.
+    dead_ends: int = 0
+    #: Paths cut by the φ(i) heuristic (S-tree baseline only).
+    phi_pruned: int = 0
+    #: Hash-table hits: subtrees derived instead of re-searched (Alg. A).
+    reuse_hits: int = 0
+    #: Stored characters replayed through derivation (Alg. A).
+    chars_replayed: int = 0
+    #: Kangaroo-jump probes used during derivation (Alg. A).
+    derivation_jumps: int = 0
+    #: Occurrence rows located (suffix-array walks).
+    rows_located: int = 0
+    #: Entries in the pair hash table at the end of the search (Alg. A).
+    memo_size: int = 0
+
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Aggregate counters from another search (for batch runs)."""
+        for name in (
+            "nodes_expanded",
+            "rank_queries",
+            "leaves",
+            "completed_paths",
+            "budget_pruned",
+            "dead_ends",
+            "phi_pruned",
+            "reuse_hits",
+            "chars_replayed",
+            "derivation_jumps",
+            "rows_located",
+            "memo_size",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self

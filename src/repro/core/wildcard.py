@@ -1,0 +1,110 @@
+"""String matching with don't-care symbols over the BWT array.
+
+The third inexact-matching variant of paper Sec. II: the pattern may
+contain wild cards that match any target character.  The paper notes the
+match relation stops being transitive under wild cards, which breaks
+KMP/Boyer–Moore shifting — but the BWT tree search absorbs them
+naturally: a wild-card position simply branches to *every* child without
+spending mismatch budget.  Combined with the mismatch budget ``k`` this
+gives "k mismatches + don't-cares" in one walk.
+
+In DNA practice the wild card is the IUPAC ``n`` base (unknown
+nucleotide), the default here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..bwt.fmindex import FMIndex, Range
+from ..errors import PatternError
+from .stree import _ensure_recursion_headroom
+from .types import Occurrence
+
+#: Default wild-card character (IUPAC "any nucleotide").
+DEFAULT_WILDCARD = "n"
+
+
+class WildcardSearcher:
+    """k-mismatch search with don't-care pattern positions.
+
+    >>> from repro.alphabet import DNA
+    >>> fm = FMIndex("acagaca"[::-1], DNA)
+    >>> [o.start for o in WildcardSearcher(fm).search("ana", 0)]
+    [0, 2, 4]
+    """
+
+    def __init__(self, fm_reverse: FMIndex, wildcard: str = DEFAULT_WILDCARD):
+        if len(wildcard) != 1:
+            raise PatternError("wildcard must be a single character")
+        self._fm = fm_reverse
+        self._wildcard = wildcard
+
+    def search(self, pattern: str, k: int = 0) -> List[Occurrence]:
+        """Occurrences of ``pattern`` with ≤ ``k`` mismatches at non-wild
+        positions; wild-card positions match anything for free.
+
+        The reported mismatch offsets never include wild-card positions.
+        """
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        if k < 0:
+            raise PatternError(f"k must be non-negative, got {k}")
+        fm = self._fm
+        m = len(pattern)
+        if m > fm.text_length:
+            return []
+        _ensure_recursion_headroom(m)
+
+        self._m = m
+        self._k = k
+        self._n = fm.text_length
+        # None marks a wild-card slot.
+        self._pcodes: List[Optional[int]] = [
+            None if ch == self._wildcard else fm.alphabet.code(ch) for ch in pattern
+        ]
+        self._out: List[Occurrence] = []
+        self._path_mm: List[int] = []
+        self._expand(fm.full_range(), 0, 0)
+        return sorted(self._out)
+
+    # -- internals -----------------------------------------------------------
+
+    def _expand(self, rng: Range, offset: int, used: int) -> None:
+        if offset == self._m:
+            fm = self._fm
+            mm = tuple(self._path_mm)
+            for row in range(rng.lo, rng.hi):
+                start = self._n - fm.suffix_position(row) - self._m
+                self._out.append(Occurrence(start, mm))
+            return
+        wanted = self._pcodes[offset]
+        for code, child_rng in self._fm.children(rng):
+            if wanted is None or code == wanted:
+                self._expand(child_rng, offset + 1, used)
+            elif used < self._k:
+                self._path_mm.append(offset)
+                self._expand(child_rng, offset + 1, used + 1)
+                self._path_mm.pop()
+
+
+def naive_wildcard_search(
+    text: str, pattern: str, k: int, wildcard: str = DEFAULT_WILDCARD
+) -> List[Occurrence]:
+    """Direct wild-card-aware scan (testing oracle)."""
+    if not pattern:
+        raise PatternError("pattern must be non-empty")
+    m = len(pattern)
+    out: List[Occurrence] = []
+    for start in range(len(text) - m + 1):
+        mismatches: List[int] = []
+        for offset in range(m):
+            if pattern[offset] == wildcard:
+                continue
+            if text[start + offset] != pattern[offset]:
+                mismatches.append(offset)
+                if len(mismatches) > k:
+                    break
+        else:
+            out.append(Occurrence(start, tuple(mismatches)))
+    return out

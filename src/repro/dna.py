@@ -1,0 +1,23 @@
+"""Small DNA-specific utilities shared across the package."""
+
+from __future__ import annotations
+
+_COMPLEMENT = {"a": "t", "c": "g", "g": "c", "t": "a", "n": "n"}
+
+
+def complement(base: str) -> str:
+    """Complement of one (lower-case) base; ``n`` maps to ``n``.
+
+    >>> complement("a")
+    't'
+    """
+    return _COMPLEMENT[base]
+
+
+def reverse_complement(seq: str) -> str:
+    """Reverse complement of a DNA string (lower-case acgt[n]).
+
+    >>> reverse_complement("acag")
+    'ctgt'
+    """
+    return "".join(_COMPLEMENT[ch] for ch in reversed(seq))

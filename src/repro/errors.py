@@ -1,0 +1,30 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish bad user input (:class:`AlphabetError`,
+:class:`PatternError`) from internal invariant violations
+(:class:`IndexCorruptionError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class AlphabetError(ReproError, ValueError):
+    """A sequence contains characters outside the configured alphabet."""
+
+
+class PatternError(ReproError, ValueError):
+    """A pattern is unusable: empty, longer than the target, or invalid."""
+
+
+class IndexCorruptionError(ReproError, RuntimeError):
+    """An index structure failed an internal consistency check."""
+
+
+class SerializationError(ReproError, ValueError):
+    """A persisted index could not be loaded (bad magic, version, checksum)."""

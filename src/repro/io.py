@@ -1,0 +1,161 @@
+"""Sequence I/O: FASTA/FASTQ parsing and SAM-like mapping output.
+
+Minimal, dependency-free readers for the two formats the paper's
+evaluation data comes in (genomes as FASTA, wgsim reads as FASTQ), plus a
+writer for mapping results in a SAM-flavoured tab-separated layout so the
+CLI's output can be inspected with standard tooling.
+
+Only the fields this library produces are emitted; this is not a
+full SAM implementation (no CIGAR beyond ``<m>M``, no quality recalc).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
+
+from .core.matcher import ReadHit
+from .errors import PatternError
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ record (name, sequence, quality string)."""
+
+    name: str
+    sequence: str
+    quality: str
+
+
+def parse_fasta(text: str) -> Dict[str, str]:
+    """Parse FASTA content into an ordered name → sequence mapping.
+
+    >>> parse_fasta(">a desc\\nACGT\\nacg\\n>b\\ntt\\n")
+    {'a': 'acgtacg', 'b': 'tt'}
+    """
+    records: Dict[str, str] = {}
+    name: Optional[str] = None
+    parts: List[str] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                records[name] = "".join(parts)
+            name = line[1:].split()[0] if len(line) > 1 else f"record{len(records)}"
+            parts = []
+        elif name is not None:
+            parts.append(line.lower())
+        else:
+            raise PatternError("FASTA content must start with a '>' header")
+    if name is not None:
+        records[name] = "".join(parts)
+    if not records:
+        raise PatternError("no FASTA records found")
+    return records
+
+
+def parse_fastq(text: str) -> List[FastqRecord]:
+    """Parse FASTQ content (strict 4-line records).
+
+    >>> parse_fastq("@r1\\nACGT\\n+\\nIIII\\n")[0].sequence
+    'acgt'
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) % 4 != 0:
+        raise PatternError("FASTQ content must be 4 lines per record")
+    out: List[FastqRecord] = []
+    for i in range(0, len(lines), 4):
+        header, sequence, plus, quality = lines[i:i + 4]
+        if not header.startswith("@"):
+            raise PatternError(f"bad FASTQ header at line {i + 1}: {header!r}")
+        if not plus.startswith("+"):
+            raise PatternError(f"bad FASTQ separator at line {i + 3}")
+        if len(quality) != len(sequence):
+            raise PatternError(f"quality/sequence length mismatch for {header!r}")
+        out.append(FastqRecord(header[1:].split()[0], sequence.lower(), quality))
+    return out
+
+
+# -- SAM-like output ----------------------------------------------------------------
+
+#: SAM flags used by the writer.
+FLAG_UNMAPPED = 4
+FLAG_REVERSE = 16
+FLAG_SECONDARY = 256
+
+
+def sam_header(references: Iterable[Tuple[str, int]]) -> str:
+    """``@HD``/``@SQ`` header lines for the given (name, length) pairs."""
+    lines = ["@HD\tVN:1.6\tSO:unsorted"]
+    for name, length in references:
+        lines.append(f"@SQ\tSN:{name}\tLN:{length}")
+    lines.append("@PG\tID:repro\tPN:repro-cli")
+    return "\n".join(lines)
+
+
+def sam_line(
+    read_name: str,
+    sequence: str,
+    reference: str,
+    hit: Optional[ReadHit],
+    secondary: bool = False,
+) -> str:
+    """One SAM alignment line for ``hit`` (or an unmapped record)."""
+    if hit is None:
+        return "\t".join(
+            [read_name, str(FLAG_UNMAPPED), "*", "0", "0", "*", "*", "0", "0",
+             sequence, "*"]
+        )
+    flag = 0
+    if hit.strand == "-":
+        flag |= FLAG_REVERSE
+    if secondary:
+        flag |= FLAG_SECONDARY
+    occ = hit.occurrence
+    cigar = f"{len(sequence)}M"
+    mapq = max(0, 60 - 10 * occ.n_mismatches)
+    tags = f"NM:i:{occ.n_mismatches}"
+    return "\t".join(
+        [
+            read_name,
+            str(flag),
+            reference,
+            str(occ.start + 1),  # SAM is 1-based
+            str(mapq),
+            cigar,
+            "*",
+            "0",
+            "0",
+            sequence,
+            "*",
+            tags,
+        ]
+    )
+
+
+def write_sam(
+    handle: TextIO,
+    references: Iterable[Tuple[str, int]],
+    alignments: Iterable[Tuple[str, str, str, List[ReadHit]]],
+) -> int:
+    """Write a full SAM document.
+
+    ``alignments`` yields ``(read_name, sequence, reference, hits)``; the
+    first hit is primary, the rest secondary, an empty list is an
+    unmapped record.  Returns the number of alignment lines written.
+    """
+    handle.write(sam_header(references) + "\n")
+    written = 0
+    for read_name, sequence, reference, hits in alignments:
+        if not hits:
+            handle.write(sam_line(read_name, sequence, reference, None) + "\n")
+            written += 1
+            continue
+        for i, hit in enumerate(hits):
+            handle.write(
+                sam_line(read_name, sequence, reference, hit, secondary=i > 0) + "\n"
+            )
+            written += 1
+    return written

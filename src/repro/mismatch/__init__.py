@@ -1,0 +1,30 @@
+"""Pattern mismatch-information machinery (paper Sec. IV-B/C).
+
+The speed of Algorithm A comes from never re-deriving how the pattern
+disagrees with itself:
+
+* :mod:`repro.mismatch.kangaroo` — O(1) longest-common-extension jumps
+  over the pattern (and over text+pattern for verification), the
+  Landau–Vishkin/Galil–Giancarlo primitive the paper's ``R`` tables are
+  built from;
+* :mod:`repro.mismatch.tables` — the tables ``R_1 .. R_{m-1}``: for each
+  relative shift ``i``, the positions of the first ``k + 2`` mismatches
+  between the overlapping copies of the pattern;
+* :mod:`repro.mismatch.merge` — the paper's ``merge(A_1, A_2, β, γ)``
+  sort-merge-join over two mismatch arrays, used to derive ``R_ij`` (the
+  mismatches between two arbitrary pattern suffixes) and the mismatch
+  arrays of derived S-tree paths.
+"""
+
+from .kangaroo import PatternSelfMismatchOracle, TextPatternOracle
+from .tables import MismatchTables, NO_MISMATCH
+from .merge import merge_mismatch_arrays, derive_r_ij
+
+__all__ = [
+    "PatternSelfMismatchOracle",
+    "TextPatternOracle",
+    "MismatchTables",
+    "NO_MISMATCH",
+    "merge_mismatch_arrays",
+    "derive_r_ij",
+]

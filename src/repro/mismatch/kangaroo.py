@@ -1,0 +1,150 @@
+"""Kangaroo-jump mismatch oracles.
+
+A *kangaroo jump* finds the next mismatch between two aligned strings in
+O(1): jump the length of the longest common extension, land on a mismatch.
+Two oracles are provided:
+
+* :class:`PatternSelfMismatchOracle` — both strings are suffixes of the
+  pattern.  This powers the ``R`` tables of paper Sec. IV-B and the O(k)
+  derivation jumps inside Algorithm A's subtree replay.
+* :class:`TextPatternOracle` — one string is a window of the target, the
+  other the pattern.  This powers O(k)-per-candidate verification in the
+  Amir and Landau–Vishkin baselines.
+
+Both are built on :class:`repro.suffix.LCEOracle` (suffix array + LCP +
+RMQ), so each jump is a constant-time range-minimum probe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import PatternError
+from ..suffix.lce import LCEOracle
+
+#: Separator for the text#pattern concatenation trick; never matches DNA.
+_SEPARATOR = "\x01"
+
+
+class PatternSelfMismatchOracle:
+    """Enumerate mismatches between any two suffixes of one pattern.
+
+    >>> oracle = PatternSelfMismatchOracle("tcacg")
+    >>> list(oracle.iter_mismatch_offsets(0, 1))   # r[0:] vs r[1:], overlap 4
+    [0, 1, 2, 3]
+    >>> oracle.mismatch_offsets(0, 1, limit=2)
+    [0, 1]
+    """
+
+    __slots__ = ("_pattern", "_lce")
+
+    def __init__(self, pattern: str):
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        self._pattern = pattern
+        self._lce = LCEOracle(pattern)
+
+    @property
+    def pattern(self) -> str:
+        """The pattern the oracle was built over."""
+        return self._pattern
+
+    def iter_mismatch_offsets(self, i: int, j: int, window: int = -1) -> Iterator[int]:
+        """Yield offsets ``d`` with ``pattern[i+d] != pattern[j+d]`` in order.
+
+        The comparison covers the overlap of the two suffixes, i.e.
+        ``d < m - max(i, j)``, further capped by ``window`` when given.
+        ``i == j`` yields nothing.
+        """
+        m = len(self._pattern)
+        overlap = m - max(i, j)
+        if window >= 0:
+            overlap = min(overlap, window)
+        if i == j:
+            return
+        d = 0
+        lce = self._lce.lce
+        while d < overlap:
+            d += lce(i + d, j + d)
+            if d >= overlap:
+                return
+            yield d
+            d += 1
+
+    def mismatch_offsets(self, i: int, j: int, limit: int, window: int = -1) -> List[int]:
+        """First ``limit`` mismatch offsets between suffixes ``i`` and ``j``."""
+        out: List[int] = []
+        for d in self.iter_mismatch_offsets(i, j, window):
+            out.append(d)
+            if len(out) >= limit:
+                break
+        return out
+
+
+class TextPatternOracle:
+    """Enumerate mismatches between target windows and the pattern in O(k).
+
+    Builds one LCE oracle over ``text + SEP + pattern`` so that comparisons
+    between ``text[p:]`` and ``pattern[q:]`` are constant-time.
+
+    >>> oracle = TextPatternOracle("acagaca", "tcaca")
+    >>> oracle.count_mismatches(2, cap=4)   # window s[2:7] vs pattern
+    2
+    >>> oracle.mismatch_positions(2, limit=8)   # s[2:7]='agaca' vs 'tcaca'
+    [0, 1]
+    """
+
+    __slots__ = ("_text", "_pattern", "_lce", "_pattern_base")
+
+    def __init__(self, text: str, pattern: str):
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        if _SEPARATOR in text or _SEPARATOR in pattern:
+            raise PatternError("inputs may not contain the reserved separator byte")
+        self._text = text
+        self._pattern = pattern
+        self._pattern_base = len(text) + 1
+        self._lce = LCEOracle(text + _SEPARATOR + pattern)
+
+    def iter_mismatch_offsets(self, start: int) -> Iterator[int]:
+        """Yield offsets ``d`` with ``text[start+d] != pattern[d]``.
+
+        ``start`` is a candidate occurrence start; the window is clipped to
+        the text, and offsets beyond the text's end are *not* reported
+        (callers reject windows that overrun the text first).
+        """
+        m = len(self._pattern)
+        window = min(m, len(self._text) - start)
+        d = 0
+        lce = self._lce.lce
+        base = self._pattern_base
+        while d < window:
+            d += lce(start + d, base + d)
+            if d >= window:
+                return
+            yield d
+            d += 1
+
+    def count_mismatches(self, start: int, cap: int) -> int:
+        """Mismatches of window ``text[start:start+m]`` vs the pattern.
+
+        Stops counting at ``cap + 1``.  Windows overrunning the text count
+        as ``cap + 1`` (they can never be occurrences).
+        """
+        if start < 0 or start + len(self._pattern) > len(self._text):
+            return cap + 1
+        count = 0
+        for _ in self.iter_mismatch_offsets(start):
+            count += 1
+            if count > cap:
+                break
+        return count
+
+    def mismatch_positions(self, start: int, limit: int) -> List[int]:
+        """First ``limit`` mismatch offsets of the window at ``start``."""
+        out: List[int] = []
+        for d in self.iter_mismatch_offsets(start):
+            out.append(d)
+            if len(out) >= limit:
+                break
+        return out

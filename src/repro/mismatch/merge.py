@@ -1,0 +1,118 @@
+"""The paper's ``merge`` operator (Sec. IV-B) and ``R_ij`` derivation.
+
+Let ``α``, ``β``, ``γ`` be strings, ``A_1`` the sorted mismatch positions
+between ``α`` and ``β``, and ``A_2`` those between ``α`` and ``γ``.
+``merge(A_1, A_2, β, γ)`` produces the mismatch positions between ``β`` and
+``γ`` without touching ``α``:
+
+* a position in exactly one input array is a guaranteed ``β``/``γ``
+  mismatch (one of them equals ``α`` there, the other does not);
+* a position in both arrays is ambiguous and resolved by comparing
+  ``β``/``γ`` directly (paper step 4);
+* a position in neither is a guaranteed match.
+
+This is how Algorithm A turns the precomputed root tables ``R_i``/``R_j``
+into ``R_ij`` — the mismatches between two arbitrary pattern suffixes —
+in O(k) (paper Proposition 1).
+
+Coordinate convention: positions are 0-based offsets; entries use
+:data:`~repro.mismatch.tables.NO_MISMATCH` (``None``) as the paper's ``∞``
+padding.  Output positions are clipped to ``min(len(β), len(γ))``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .tables import NO_MISMATCH, MismatchTables
+
+_INF = float("inf")
+
+
+def _entries(array: Sequence[Optional[int]], window: int) -> List[int]:
+    """Strip padding and clip to the comparison window."""
+    out = []
+    for value in array:
+        if value is NO_MISMATCH:
+            break
+        if value < window:
+            out.append(value)
+    return out
+
+
+def merge_mismatch_arrays(
+    a1: Sequence[Optional[int]],
+    a2: Sequence[Optional[int]],
+    beta: str,
+    gamma: str,
+    limit: Optional[int] = None,
+) -> List[int]:
+    """Mismatch positions between ``beta`` and ``gamma`` via the paper's merge.
+
+    ``a1``/``a2`` are the mismatch arrays of ``beta``/``gamma`` against a
+    common (unseen) string ``α``, padded with ``None``.  The result is
+    exact wherever both inputs are exhaustive; with ``limit`` set, at most
+    ``limit`` positions are produced (the paper emits ``k + 1``).
+
+    >>> merge_mismatch_arrays([0, 1, 2, 3, None], [0, 2, None, None, None],
+    ...                       "cacg", "acg")
+    [0, 1, 2, 3]
+
+    (The example is the paper's Fig. 5: ``α = r = tcacg``, ``β = r[1:]``,
+    ``γ = r[2:]``; position 3 survives because only β extends that far —
+    comparing against a missing character counts as a mismatch, matching
+    the paper's "or one of them does not exist".)
+    """
+    window = max(len(beta), len(gamma))
+    short = min(len(beta), len(gamma))
+    e1 = _entries(a1, window)
+    e2 = _entries(a2, window)
+    out: List[int] = []
+    p = q = 0
+    while p < len(e1) or q < len(e2):
+        v1 = e1[p] if p < len(e1) else _INF
+        v2 = e2[q] if q < len(e2) else _INF
+        if v1 < v2:
+            # β disagrees with α here, γ agrees ⇒ β ≠ γ (paper step 3).
+            out.append(e1[p])
+            p += 1
+        elif v2 < v1:
+            # Symmetric (paper step 2).
+            out.append(e2[q])
+            q += 1
+        else:
+            # Both disagree with α: compare β and γ directly (paper step 4).
+            pos = e1[p]
+            beta_ch = beta[pos] if pos < len(beta) else None
+            gamma_ch = gamma[pos] if pos < len(gamma) else None
+            if beta_ch != gamma_ch:
+                out.append(pos)
+            p += 1
+            q += 1
+    # Positions past the shorter string are mismatches "because one of them
+    # does not exist" (paper Sec. IV-B) — but only those not already found.
+    found = set(out)
+    out.extend(pos for pos in range(short, window) if pos not in found)
+    out.sort()
+    return out if limit is None else out[:limit]
+
+
+def derive_r_ij(tables: MismatchTables, i: int, j: int, limit: Optional[int] = None) -> List[int]:
+    """The paper's ``R_ij``: mismatch offsets between suffixes ``i`` and ``j``.
+
+    Executes ``merge(R_i, R_j, r[i .. m-q+i-1], r[j .. m-q+j-1])`` with
+    ``q = max(i, j)`` (paper Sec. IV-C, step "create R_ij").  Offsets are
+    relative to the suffix starts; the comparison window is the overlap
+    ``m - q``.
+
+    Exactness caveat (inherited from the paper's fixed-size tables): the
+    result is guaranteed only while both ``R_i`` and ``R_j`` are
+    un-truncated within the window; Algorithm A backs this with the
+    unbounded kangaroo oracle.
+    """
+    m = len(tables.pattern)
+    q = max(i, j)
+    window = m - q
+    beta = tables.pattern[i:i + window]
+    gamma = tables.pattern[j:j + window]
+    return merge_mismatch_arrays(tables.table(i), tables.table(j), beta, gamma, limit=limit)

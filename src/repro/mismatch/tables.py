@@ -1,0 +1,113 @@
+"""The pattern self-mismatch tables ``R_1 .. R_{m-1}`` (paper Sec. IV-B).
+
+``R_i`` records the positions of the first ``k + 2`` mismatches between
+``r[0 .. m-i-1]`` and ``r[i .. m-1]`` — the overlapping portions of two
+copies of the pattern at relative shift ``i``.  The paper stores ``k + 2``
+(not ``k + 1``) entries because deriving an ``R_j`` from an ``R_i`` can
+consume one extra entry; we follow that convention.
+
+Positions here are **0-based offsets into the overlap** (the paper uses
+1-based positions; tests pin the correspondence).  Exhausted entries hold
+:data:`NO_MISMATCH`, the analogue of the paper's ``∞`` default.
+
+Construction uses kangaroo jumps, O(k) per shift and O(km) total, which
+meets the paper's O(m log m) preprocessing budget for the k ranges used in
+its experiments; a direct-scan reference implementation is kept for tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import PatternError
+from ..strings.zfunc import prefix_mismatch_positions
+from .kangaroo import PatternSelfMismatchOracle
+
+#: Sentinel for "no further mismatch" — the paper's ``∞`` table default.
+NO_MISMATCH: Optional[int] = None
+
+
+class MismatchTables:
+    """Precomputed ``R_i`` tables for one pattern and mismatch bound ``k``.
+
+    Parameters
+    ----------
+    pattern:
+        The pattern string ``r``.
+    k:
+        The mismatch bound; each table keeps ``k + 2`` entries.
+
+    >>> tables = MismatchTables("tcacg", k=3)
+    >>> tables.table(1)       # r[0:4]='tcac' vs r[1:5]='cacg'
+    (0, 1, 2, 3, None)
+    >>> tables.entry_count(1)
+    4
+    """
+
+    def __init__(self, pattern: str, k: int):
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        if k < 0:
+            raise PatternError(f"k must be non-negative, got {k}")
+        self._pattern = pattern
+        self._k = k
+        self._capacity = k + 2
+        self._oracle = PatternSelfMismatchOracle(pattern)
+        self._tables: List[Tuple[Optional[int], ...]] = [()] * len(pattern)
+        self._tables[0] = (NO_MISMATCH,) * self._capacity  # R_0 is trivially empty
+        for shift in range(1, len(pattern)):
+            found = self._oracle.mismatch_offsets(0, shift, limit=self._capacity)
+            padded = tuple(found) + (NO_MISMATCH,) * (self._capacity - len(found))
+            self._tables[shift] = padded
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def pattern(self) -> str:
+        """The pattern the tables describe."""
+        return self._pattern
+
+    @property
+    def k(self) -> int:
+        """The mismatch bound used to size the tables."""
+        return self._k
+
+    @property
+    def capacity(self) -> int:
+        """Entries per table (``k + 2``)."""
+        return self._capacity
+
+    @property
+    def oracle(self) -> PatternSelfMismatchOracle:
+        """The kangaroo oracle the tables were built from.
+
+        Algorithm A shares it for the unbounded derivation jumps that back
+        up the (truncated) tables.
+        """
+        return self._oracle
+
+    def table(self, shift: int) -> Tuple[Optional[int], ...]:
+        """``R_shift``: padded tuple of the first ``k+2`` mismatch offsets.
+
+        ``shift`` must satisfy ``0 <= shift < m``; ``R_0`` is all
+        :data:`NO_MISMATCH` (a string never mismatches itself).
+        """
+        if not 0 <= shift < len(self._pattern):
+            raise PatternError(f"shift {shift} out of range 0..{len(self._pattern) - 1}")
+        return self._tables[shift]
+
+    def entry_count(self, shift: int) -> int:
+        """The paper's ``γ(R_i)``: number of non-default entries in ``R_shift``."""
+        return sum(1 for x in self._tables[shift] if x is not NO_MISMATCH)
+
+    def is_truncated(self, shift: int) -> bool:
+        """True when ``R_shift`` filled all ``k+2`` slots (more may exist)."""
+        return self._tables[shift][-1] is not NO_MISMATCH
+
+    # -- validation -------------------------------------------------------------
+
+    @staticmethod
+    def reference_table(pattern: str, shift: int, capacity: int) -> Tuple[Optional[int], ...]:
+        """Direct-scan construction of one table (testing oracle)."""
+        found = prefix_mismatch_positions(pattern, shift, capacity)
+        return tuple(found) + (NO_MISMATCH,) * (capacity - len(found))

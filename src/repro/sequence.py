@@ -1,0 +1,146 @@
+"""Packed integer sequences.
+
+The paper stores the BWT of a genome with 2 bits per character (Sec. V:
+"we use 2 bits to represent a character in {a, c, g, t}").  This module
+provides :class:`PackedSequence`, a bit-packed, random-access sequence of
+small integer codes, used by the BWT layer to keep the index compact, plus
+helpers to encode/decode texts against an :class:`~repro.alphabet.Alphabet`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, List
+
+from .alphabet import Alphabet
+from .errors import ReproError
+
+_WORD_BITS = 64
+
+
+def bits_needed(n_codes: int) -> int:
+    """Smallest number of bits able to hold codes ``0 .. n_codes-1``.
+
+    >>> bits_needed(5)   # DNA with sentinel: $ a c g t
+    3
+    >>> bits_needed(4)
+    2
+    """
+    if n_codes <= 1:
+        return 1
+    return (n_codes - 1).bit_length()
+
+
+class PackedSequence:
+    """A fixed-width bit-packed sequence of unsigned integers.
+
+    Stores values in 64-bit words, ``width`` bits each, with values allowed
+    to straddle word boundaries.  Supports O(1) random access, iteration,
+    slicing to a plain list, and equality.
+
+    Parameters
+    ----------
+    width:
+        Bits per element; each stored value must fit in ``width`` bits.
+    values:
+        Optional initial contents.
+    """
+
+    __slots__ = ("_width", "_length", "_words", "_mask")
+
+    def __init__(self, width: int, values: Iterable[int] = ()):
+        if not 1 <= width <= _WORD_BITS:
+            raise ReproError(f"element width must be in 1..{_WORD_BITS}, got {width}")
+        self._width = width
+        self._mask = (1 << width) - 1
+        self._length = 0
+        self._words = array("Q")
+        self.extend(values)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str, alphabet: Alphabet) -> "PackedSequence":
+        """Pack ``text`` using ``alphabet`` codes."""
+        return cls(bits_needed(alphabet.size), alphabet.encode(text))
+
+    def append(self, value: int) -> None:
+        """Append one value."""
+        if value < 0 or value > self._mask:
+            raise ReproError(f"value {value} does not fit in {self._width} bits")
+        bit = self._length * self._width
+        word, offset = divmod(bit, _WORD_BITS)
+        while word >= len(self._words):
+            self._words.append(0)
+        self._words[word] |= (value << offset) & ((1 << _WORD_BITS) - 1)
+        spill = offset + self._width - _WORD_BITS
+        if spill > 0:
+            if word + 1 >= len(self._words):
+                self._words.append(0)
+            self._words[word + 1] |= value >> (self._width - spill)
+        self._length += 1
+
+    def extend(self, values: Iterable[int]) -> None:
+        """Append every value in ``values``."""
+        for v in values:
+            self.append(v)
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Bits per element."""
+        return self._width
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int) -> int:
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("PackedSequence index out of range")
+        bit = index * self._width
+        word, offset = divmod(bit, _WORD_BITS)
+        value = self._words[word] >> offset
+        spill = offset + self._width - _WORD_BITS
+        if spill > 0:
+            value |= self._words[word + 1] << (self._width - spill)
+        return value & self._mask
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield self[i]
+
+    def tolist(self) -> List[int]:
+        """Unpack into a plain Python list."""
+        return list(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedSequence):
+            return NotImplemented
+        return (
+            self._width == other._width
+            and self._length == other._length
+            and self.tolist() == other.tolist()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._width, tuple(self)))
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the payload in bytes."""
+        return len(self._words) * 8
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PackedSequence(width={self._width}, len={self._length})"
+
+
+def pack_text(text: str, alphabet: Alphabet) -> PackedSequence:
+    """Convenience wrapper for :meth:`PackedSequence.from_text`."""
+    return PackedSequence.from_text(text, alphabet)
+
+
+def unpack_text(packed: PackedSequence, alphabet: Alphabet) -> str:
+    """Inverse of :func:`pack_text`."""
+    return alphabet.decode(packed)

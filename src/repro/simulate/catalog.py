@@ -1,0 +1,80 @@
+"""The Table 1 genome roster, scaled.
+
+Paper Table 1 lists five reference genomes:
+
+======================  ===============
+Genome                  Size (bp)
+======================  ===============
+Rat (Rnor_6.0)          2,909,701,677
+Zebrafish (GRCz10)      1,464,443,456
+Rat chr1 (Rnor_6.0)       290,094,217
+C. elegans (WBcel235)     103,022,290
+C. merolae (ASM9v1)        16,728,967
+======================  ===============
+
+Pure-Python index construction over gigabases is not feasible in a
+benchmark loop (repro band note: "too slow for full-genome benchmarks"),
+so the catalog reproduces the roster at **1/1000 scale**, preserving the
+relative sizes — the quantity that drives the paper's cross-genome
+comparisons — and assigning each genome a distinct repeat/GC profile in
+line with its biology (mammalian genomes are repeat-rich; C. merolae is
+compact and repeat-poor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .genome import GenomeConfig, generate_genome
+
+#: Scale factor applied to the paper's genome sizes.
+SCALE = 1_000
+
+
+@dataclass(frozen=True)
+class GenomeSpec:
+    """One catalog entry: paper-reported size plus synthesis profile."""
+
+    name: str
+    paper_size_bp: int
+    gc_content: float
+    repeat_fraction: float
+    seed: int
+
+    @property
+    def scaled_size(self) -> int:
+        """Synthetic genome length: paper size divided by :data:`SCALE`."""
+        return max(1_000, self.paper_size_bp // SCALE)
+
+
+#: Table 1 genomes in paper order.
+GENOME_CATALOG: Tuple[GenomeSpec, ...] = (
+    GenomeSpec("Rat (Rnor_6.0)", 2_909_701_677, gc_content=0.42, repeat_fraction=0.40, seed=101),
+    GenomeSpec("Zebra fish (GRCz10)", 1_464_443_456, gc_content=0.37, repeat_fraction=0.50, seed=102),
+    GenomeSpec("Rat chr1 (Rnor_6.0)", 290_094_217, gc_content=0.42, repeat_fraction=0.40, seed=103),
+    GenomeSpec("C. elegans (WBcel235)", 103_022_290, gc_content=0.35, repeat_fraction=0.15, seed=104),
+    GenomeSpec("C. merolae (ASM9v1)", 16_728_967, gc_content=0.55, repeat_fraction=0.05, seed=105),
+)
+
+_cache: Dict[str, str] = {}
+
+
+def build_catalog_genome(spec: GenomeSpec, max_length: int = 0) -> str:
+    """Materialise (and memoise) a catalog genome.
+
+    ``max_length`` further caps the length — benchmarks that only need a
+    prefix-scale workload use it to stay inside their time budget.
+    """
+    length = spec.scaled_size if max_length <= 0 else min(spec.scaled_size, max_length)
+    key = f"{spec.name}:{length}"
+    if key not in _cache:
+        _cache[key] = generate_genome(
+            GenomeConfig(
+                length=length,
+                gc_content=spec.gc_content,
+                repeat_fraction=spec.repeat_fraction,
+                seed=spec.seed,
+            )
+        )
+    return _cache[key]

@@ -1,0 +1,154 @@
+"""Synthetic genome generation.
+
+Random uniform DNA is a poor stand-in for a genome: real genomes carry
+repeat families (SINEs/LINEs), tandem duplications and GC skew, and it is
+precisely this repeat structure that makes k-mismatch search trees (and
+the paper's pair hash table) behave the way they do.  The generator here
+layers those features on a base Markov-ish background:
+
+1. a background sequence drawn with a configurable GC fraction;
+2. a small library of repeat elements, each pasted many times with a
+   per-copy divergence (point mutations) — this is what creates the
+   recurring BWT ranges Algorithm A exploits;
+3. tandem duplications of random local windows.
+
+Everything is driven by a seeded :class:`random.Random` so every genome
+is reproducible from its config.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from ..dna import reverse_complement
+
+_BASES = "acgt"
+
+__all__ = ["GenomeConfig", "generate_genome", "reverse_complement", "summarize_genome"]
+
+
+@dataclass
+class GenomeConfig:
+    """Parameters of a synthetic genome.
+
+    Attributes
+    ----------
+    length:
+        Target genome length in bases.
+    gc_content:
+        Fraction of g/c bases in the background (human ≈ 0.41).
+    repeat_fraction:
+        Fraction of the genome covered by repeat-family copies.
+    repeat_unit_length:
+        Length of each repeat family's consensus element.
+    n_repeat_families:
+        Number of distinct repeat consensus sequences.
+    repeat_divergence:
+        Per-base mutation probability applied to each pasted repeat copy
+        (models SINE/LINE divergence; also guarantees approximate — not
+        exact — recurrences, the regime the paper targets).
+    tandem_fraction:
+        Fraction of the genome covered by local tandem duplications.
+    seed:
+        RNG seed; two configs with equal fields produce equal genomes.
+    """
+
+    length: int
+    gc_content: float = 0.41
+    repeat_fraction: float = 0.30
+    repeat_unit_length: int = 180
+    n_repeat_families: int = 6
+    repeat_divergence: float = 0.03
+    tandem_fraction: float = 0.05
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range fields."""
+        if self.length <= 0:
+            raise ValueError("length must be positive")
+        for name in ("gc_content", "repeat_fraction", "repeat_divergence", "tandem_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.repeat_unit_length <= 0 or self.n_repeat_families < 0:
+            raise ValueError("repeat parameters must be positive")
+
+
+def _random_base(rng: random.Random, gc: float) -> str:
+    if rng.random() < gc:
+        return rng.choice("gc")
+    return rng.choice("at")
+
+
+def _mutate(seq: str, rate: float, rng: random.Random) -> str:
+    if rate <= 0:
+        return seq
+    out = list(seq)
+    for i, ch in enumerate(out):
+        if rng.random() < rate:
+            out[i] = rng.choice([b for b in _BASES if b != ch])
+    return "".join(out)
+
+
+def generate_genome(config: GenomeConfig) -> str:
+    """Generate one synthetic genome according to ``config``.
+
+    >>> g = generate_genome(GenomeConfig(length=500, seed=7))
+    >>> len(g), set(g) <= set("acgt")
+    (500, True)
+    >>> g == generate_genome(GenomeConfig(length=500, seed=7))   # reproducible
+    True
+    """
+    config.validate()
+    rng = random.Random(config.seed)
+    n = config.length
+
+    # 1. background
+    genome: List[str] = [_random_base(rng, config.gc_content) for _ in range(n)]
+
+    # 2. repeat families
+    if config.n_repeat_families and config.repeat_fraction > 0:
+        unit_len = min(config.repeat_unit_length, max(1, n // 4))
+        families = [
+            "".join(_random_base(rng, config.gc_content) for _ in range(unit_len))
+            for _ in range(config.n_repeat_families)
+        ]
+        budget = int(n * config.repeat_fraction)
+        while budget > 0 and unit_len <= n:
+            family = rng.choice(families)
+            copy = _mutate(family, config.repeat_divergence, rng)
+            # Occasionally insert the reverse-complement strand copy.
+            if rng.random() < 0.5:
+                copy = reverse_complement(copy)
+            pos = rng.randrange(0, n - unit_len + 1)
+            genome[pos:pos + unit_len] = copy
+            budget -= unit_len
+
+    # 3. tandem duplications
+    budget = int(n * config.tandem_fraction)
+    while budget > 0 and n >= 8:
+        span = rng.randint(4, max(4, min(64, n // 4)))
+        src = rng.randrange(0, n - 2 * span + 1) if n >= 2 * span else 0
+        window = genome[src:src + span]
+        genome[src + span:src + 2 * span] = window
+        budget -= span
+
+    return "".join(genome)
+
+
+@dataclass
+class GenomeSummary:
+    """Composition summary used by tests and the Table 1 bench."""
+
+    length: int
+    gc_content: float
+    base_counts: dict = field(default_factory=dict)
+
+
+def summarize_genome(genome: str) -> GenomeSummary:
+    """Length / GC / per-base composition of a genome string."""
+    counts = {b: genome.count(b) for b in _BASES}
+    gc = (counts["g"] + counts["c"]) / len(genome) if genome else 0.0
+    return GenomeSummary(length=len(genome), gc_content=gc, base_counts=counts)

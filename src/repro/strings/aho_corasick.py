@@ -1,0 +1,102 @@
+"""Aho–Corasick multi-pattern automaton.
+
+Paper Sec. II credits Aho & Corasick [2] with extending KMP's shift idea to
+sets of patterns in O(Σ|r_i| + n) time.  In this reproduction the automaton
+is the engine of the Amir baseline's *marking* stage: all 2k break
+substrings of the pattern are located in the target in a single pass.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+
+class AhoCorasick:
+    """A goto/fail/output automaton over an arbitrary character set.
+
+    Build once from a collection of patterns, then stream a text through
+    :meth:`iter_matches`.
+
+    >>> ac = AhoCorasick(["he", "she", "his", "hers"])
+    >>> sorted(ac.search("ushers"))
+    [(1, 'she'), (2, 'he'), (2, 'hers')]
+    """
+
+    def __init__(self, patterns: Iterable[Sequence] = ()):
+        self._goto: List[Dict[object, int]] = [{}]
+        self._fail: List[int] = [0]
+        self._output: List[List[int]] = [[]]
+        self._patterns: List[Sequence] = []
+        self._built = False
+        for p in patterns:
+            self.add(p)
+        self.build()
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, pattern: Sequence) -> int:
+        """Insert ``pattern``; returns its integer id.
+
+        Must be called before :meth:`build` (adding after a build resets
+        the failure links, which :meth:`build` recomputes).
+        """
+        if len(pattern) == 0:
+            raise ValueError("empty patterns are not allowed")
+        self._built = False
+        state = 0
+        for ch in pattern:
+            nxt = self._goto[state].get(ch)
+            if nxt is None:
+                nxt = len(self._goto)
+                self._goto.append({})
+                self._fail.append(0)
+                self._output.append([])
+                self._goto[state][ch] = nxt
+            state = nxt
+        pid = len(self._patterns)
+        self._patterns.append(pattern)
+        self._output[state].append(pid)
+        return pid
+
+    def build(self) -> None:
+        """Compute failure links and propagate outputs (BFS)."""
+        queue: deque = deque()
+        for child in self._goto[0].values():
+            self._fail[child] = 0
+            queue.append(child)
+        while queue:
+            state = queue.popleft()
+            for ch, child in self._goto[state].items():
+                queue.append(child)
+                f = self._fail[state]
+                while f and ch not in self._goto[f]:
+                    f = self._fail[f]
+                self._fail[child] = self._goto[f].get(ch, 0)
+                if self._fail[child] == child:
+                    self._fail[child] = 0
+                self._output[child] = self._output[child] + self._output[self._fail[child]]
+        self._built = True
+
+    # -- querying -------------------------------------------------------------
+
+    @property
+    def n_patterns(self) -> int:
+        """Number of patterns in the automaton."""
+        return len(self._patterns)
+
+    def iter_matches(self, text: Sequence) -> Iterator[Tuple[int, int]]:
+        """Yield ``(start, pattern_id)`` for every occurrence in ``text``."""
+        if not self._built:
+            self.build()
+        state = 0
+        for i, ch in enumerate(text):
+            while state and ch not in self._goto[state]:
+                state = self._fail[state]
+            state = self._goto[state].get(ch, 0)
+            for pid in self._output[state]:
+                yield i - len(self._patterns[pid]) + 1, pid
+
+    def search(self, text: Sequence) -> List[Tuple[int, Sequence]]:
+        """All ``(start, pattern)`` matches in ``text``."""
+        return [(pos, self._patterns[pid]) for pos, pid in self.iter_matches(text)]

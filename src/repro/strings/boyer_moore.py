@@ -1,0 +1,77 @@
+"""Boyer–Moore exact matching.
+
+Implements the full algorithm with both the bad-character and the strong
+good-suffix rules (paper Sec. II, [9]).  Sub-linear on average for large
+alphabets; included as a related-work baseline and exercised by the exact
+(k = 0) test axis shared with every k-mismatch matcher.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def _bad_character_table(pattern: Sequence) -> Dict[object, int]:
+    """Rightmost index of each character in the pattern."""
+    return {ch: i for i, ch in enumerate(pattern)}
+
+
+def _good_suffix_tables(pattern: Sequence) -> List[int]:
+    """Strong good-suffix shift table.
+
+    ``shift[i]`` is how far the pattern may slide when a mismatch occurs
+    with ``pattern[i:]`` already matched.  Classic two-phase construction
+    (Gusfield's formulation of the strong rule).
+    """
+    m = len(pattern)
+    shift = [0] * (m + 1)
+    border = [0] * (m + 1)
+
+    # Phase 1: borders of suffixes (case: matched suffix reoccurs preceded
+    # by a different character).
+    i, j = m, m + 1
+    border[i] = j
+    while i > 0:
+        while j <= m and pattern[i - 1] != pattern[j - 1]:
+            if shift[j] == 0:
+                shift[j] = j - i
+            j = border[j]
+        i -= 1
+        j -= 1
+        border[i] = j
+
+    # Phase 2: case where only a prefix of the pattern matches a suffix of
+    # the matched part.
+    j = border[0]
+    for i in range(m + 1):
+        if shift[i] == 0:
+            shift[i] = j
+        if i == j:
+            j = border[j]
+    return shift
+
+
+def boyer_moore_search(text: Sequence, pattern: Sequence) -> List[int]:
+    """All 0-based occurrence starts of ``pattern`` in ``text``.
+
+    >>> boyer_moore_search("acagaca", "aca")
+    [0, 4]
+    """
+    n, m = len(text), len(pattern)
+    if m == 0 or m > n:
+        return []
+    bad = _bad_character_table(pattern)
+    good = _good_suffix_tables(pattern)
+    out: List[int] = []
+    s = 0
+    while s <= n - m:
+        j = m - 1
+        while j >= 0 and pattern[j] == text[s + j]:
+            j -= 1
+        if j < 0:
+            out.append(s)
+            s += good[0]
+        else:
+            bc_shift = j - bad.get(text[s + j], -1)
+            s += max(good[j + 1], bc_shift, 1)
+    return out

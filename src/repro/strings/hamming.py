@@ -1,0 +1,67 @@
+"""Hamming-distance primitives.
+
+The k-mismatch problem is string matching under Hamming distance (paper
+Sec. II).  Every matcher in the package shares these small, well-tested
+primitives; the naive baseline and all verification stages are built on
+them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import PatternError
+
+
+def hamming_distance(a: Sequence, b: Sequence) -> int:
+    """Number of positions where equal-length ``a`` and ``b`` differ.
+
+    >>> hamming_distance("aaaaacaaac", "acacagaagc")
+    4
+    """
+    if len(a) != len(b):
+        raise PatternError(f"length mismatch: {len(a)} vs {len(b)}")
+    return sum(1 for x, y in zip(a, b) if x != y)
+
+
+def count_mismatches_capped(a: Sequence, b: Sequence, cap: int) -> int:
+    """Count mismatches between equal-length ``a``/``b``, stopping at ``cap+1``.
+
+    Returns ``cap + 1`` as soon as the count exceeds ``cap`` — the early
+    exit that makes naive k-mismatch scanning O(kn) in the common case.
+    """
+    if len(a) != len(b):
+        raise PatternError(f"length mismatch: {len(a)} vs {len(b)}")
+    count = 0
+    for x, y in zip(a, b):
+        if x != y:
+            count += 1
+            if count > cap:
+                return count
+    return count
+
+
+def hamming_within(a: Sequence, b: Sequence, k: int) -> bool:
+    """True when ``hamming_distance(a, b) <= k`` (with early exit)."""
+    return count_mismatches_capped(a, b, k) <= k
+
+
+def mismatch_positions(a: Sequence, b: Sequence, limit: int = -1) -> List[int]:
+    """0-based positions where ``a`` and ``b`` differ.
+
+    With ``limit >= 0``, at most ``limit`` positions are returned — the
+    shape of the paper's mismatch arrays ``B_l`` (Sec. IV-A), which hold the
+    first ``k + 1`` mismatches of a path.
+
+    >>> mismatch_positions("tcaca", "acaga")
+    [0, 3]
+    """
+    if len(a) != len(b):
+        raise PatternError(f"length mismatch: {len(a)} vs {len(b)}")
+    out: List[int] = []
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            out.append(i)
+            if limit >= 0 and len(out) >= limit:
+                break
+    return out

@@ -1,0 +1,59 @@
+"""Knuth–Morris–Pratt exact matching.
+
+The first O(m + n) exact matcher (paper Sec. II, [26]).  Included both as a
+related-work baseline and as the verification scanner inside the Amir
+baseline, where exact occurrences of each *break* substring must be found
+in the target.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+
+def kmp_failure(pattern: Sequence) -> List[int]:
+    """Failure function (border array) of ``pattern``.
+
+    ``fail[i]`` is the length of the longest proper border of
+    ``pattern[:i+1]`` — the "shift information" of the paper's related-work
+    discussion.
+
+    >>> kmp_failure("ababaa")
+    [0, 0, 1, 2, 3, 1]
+    """
+    m = len(pattern)
+    fail = [0] * m
+    k = 0
+    for i in range(1, m):
+        while k > 0 and pattern[k] != pattern[i]:
+            k = fail[k - 1]
+        if pattern[k] == pattern[i]:
+            k += 1
+        fail[i] = k
+    return fail
+
+
+def kmp_iter(text: Sequence, pattern: Sequence) -> Iterator[int]:
+    """Yield the 0-based start of every occurrence of ``pattern`` in ``text``."""
+    m = len(pattern)
+    if m == 0:
+        return
+    fail = kmp_failure(pattern)
+    k = 0
+    for i, ch in enumerate(text):
+        while k > 0 and pattern[k] != ch:
+            k = fail[k - 1]
+        if pattern[k] == ch:
+            k += 1
+        if k == m:
+            yield i - m + 1
+            k = fail[k - 1]
+
+
+def kmp_search(text: Sequence, pattern: Sequence) -> List[int]:
+    """All 0-based occurrence starts of ``pattern`` in ``text``.
+
+    >>> kmp_search("acagaca", "aca")
+    [0, 4]
+    """
+    return list(kmp_iter(text, pattern))

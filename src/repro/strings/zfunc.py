@@ -1,0 +1,71 @@
+"""Z-function and self-overlap analysis.
+
+The Z-array underpins two pieces of the reproduction:
+
+* the pattern self-mismatch tables ``R_1 .. R_{m-1}`` (paper Sec. IV-B) can
+  be enumerated with longest-common-prefix jumps, and the Z-array of the
+  pattern gives those LCPs between the pattern and each of its own suffixes
+  in O(m) total;
+* the Amir baseline's periodicity analysis (breaks vs. periodic stretches)
+  needs the pattern's self-overlap structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def z_array(text: Sequence) -> List[int]:
+    """Compute the Z-array of ``text``.
+
+    ``z[i]`` is the length of the longest common prefix of ``text`` and
+    ``text[i:]``; ``z[0]`` is defined as ``len(text)``.
+
+    Runs in O(n) using the classic two-pointer window.
+
+    >>> z_array("aabaab")
+    [6, 1, 0, 3, 1, 0]
+    """
+    n = len(text)
+    if n == 0:
+        return []
+    z = [0] * n
+    z[0] = n
+    left, right = 0, 0
+    for i in range(1, n):
+        if i < right:
+            z[i] = min(right - i, z[i - left])
+        while i + z[i] < n and text[z[i]] == text[i + z[i]]:
+            z[i] += 1
+        if i + z[i] > right:
+            left, right = i, i + z[i]
+    return z
+
+
+def prefix_mismatch_positions(pattern: Sequence, shift: int, limit: int) -> List[int]:
+    """First ``limit`` mismatch positions between ``pattern`` and its shift.
+
+    Compares ``pattern[0 .. m-shift-1]`` with ``pattern[shift .. m-1]``
+    (the overlapping portions of two copies of the pattern at relative
+    shift ``shift``, exactly the alignment behind the paper's ``R_i``
+    tables) and returns the 0-based offsets, within the overlap, of up to
+    ``limit`` mismatching positions.
+
+    This reference implementation is the direct O(overlap) scan; the
+    production path in :mod:`repro.mismatch.tables` uses LCP jumps and is
+    tested against this.
+
+    >>> prefix_mismatch_positions("tcacg", 1, 3)
+    [0, 1, 2]
+    """
+    m = len(pattern)
+    if not 0 < shift < m:
+        return []
+    out: List[int] = []
+    overlap = m - shift
+    for off in range(overlap):
+        if pattern[off] != pattern[shift + off]:
+            out.append(off)
+            if len(out) >= limit:
+                break
+    return out

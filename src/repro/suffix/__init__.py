@@ -1,0 +1,38 @@
+"""Suffix-structure substrate.
+
+The BWT array of the paper is constructed through its suffix-array
+relationship (paper Sec. III-B, eq. (3)): ``L[i] = $`` when ``H[i] = 0``,
+else ``L[i] = s[H[i] - 1]``.  This subpackage supplies:
+
+* three suffix-array constructions (naive sort, prefix doubling, and the
+  linear-time SA-IS used in production — the paper cites Hon et al.'s
+  space-economical construction, which SA-IS stands in for at our scale);
+* Kasai's LCP array and a sparse-table RMQ, which together give O(1)
+  longest-common-extension queries (the "kangaroo jumps" behind the
+  mismatch tables and the Landau–Vishkin baseline);
+* an Ukkonen suffix tree, the substrate of the Cole-style baseline [14].
+"""
+
+from .suffix_array import (
+    suffix_array_naive,
+    suffix_array_doubling,
+    suffix_array,
+    rank_array,
+)
+from .sais import sais
+from .lcp import lcp_array_kasai
+from .rmq import SparseTableRMQ
+from .lce import LCEOracle
+from .suffix_tree import SuffixTree
+
+__all__ = [
+    "suffix_array",
+    "suffix_array_naive",
+    "suffix_array_doubling",
+    "rank_array",
+    "sais",
+    "lcp_array_kasai",
+    "SparseTableRMQ",
+    "LCEOracle",
+    "SuffixTree",
+]

@@ -1,0 +1,59 @@
+"""Longest-common-extension oracle ("kangaroo jumps").
+
+``lce(i, j)`` = length of the longest common prefix of ``text[i:]`` and
+``text[j:]``, answered in O(1) after O(n log n) preprocessing
+(suffix array + Kasai LCP + sparse-table RMQ).
+
+This is the classical kangaroo-jump machinery of Landau–Vishkin / Galil–
+Giancarlo, which the paper's related work ([20], [9]) uses to achieve
+O(kn + m log m) on-line matching, and which this reproduction uses to
+
+* enumerate the pattern's self-mismatch tables ``R_i`` in O(k) per shift
+  (:mod:`repro.mismatch.tables`), and
+* verify candidate target positions in O(k) (:mod:`repro.baselines`).
+"""
+
+from __future__ import annotations
+
+from .lcp import lcp_array_kasai
+from .rmq import SparseTableRMQ
+from .suffix_array import rank_array, suffix_array
+
+
+class LCEOracle:
+    """O(1) longest-common-extension queries over a fixed text.
+
+    >>> oracle = LCEOracle("acagaca")
+    >>> oracle.lce(0, 4)   # 'acagaca' vs 'aca' share 'aca'
+    3
+    >>> oracle.lce(0, 0)
+    7
+    """
+
+    __slots__ = ("_text_len", "_rank", "_rmq")
+
+    def __init__(self, text: str):
+        self._text_len = len(text)
+        sa = suffix_array(text) if text else [0]
+        self._rank = rank_array(sa)
+        self._rmq = SparseTableRMQ(lcp_array_kasai(text, sa)) if text else None
+
+    def __len__(self) -> int:
+        return self._text_len
+
+    def lce(self, i: int, j: int) -> int:
+        """Length of the longest common prefix of ``text[i:]`` and ``text[j:]``.
+
+        Positions may equal ``len(text)`` (empty suffix ⇒ 0).
+        """
+        n = self._text_len
+        if not (0 <= i <= n and 0 <= j <= n):
+            raise IndexError(f"positions ({i}, {j}) out of range for text of length {n}")
+        if i == j:
+            return n - i
+        if i == n or j == n:
+            return 0
+        ri, rj = self._rank[i], self._rank[j]
+        if ri > rj:
+            ri, rj = rj, ri
+        return self._rmq.query(ri + 1, rj + 1)

@@ -1,0 +1,46 @@
+"""LCP array via Kasai's algorithm.
+
+``lcp[i]`` is the length of the longest common prefix of the suffixes
+ranked ``i-1`` and ``i`` in the suffix array (``lcp[0] = 0``).  Combined
+with a range-minimum structure this yields O(1) longest-common-extension
+queries between arbitrary suffixes — the machinery behind "kangaroo jumps"
+used by the mismatch tables (paper Sec. IV-B) and the Landau–Vishkin
+baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .suffix_array import rank_array
+
+
+def lcp_array_kasai(text: str, sa: Sequence[int]) -> List[int]:
+    """Kasai's O(n) LCP construction over ``text + '$'``.
+
+    ``sa`` must be the suffix array of ``text + '$'`` (length
+    ``len(text) + 1``).
+
+    >>> from repro.suffix import suffix_array
+    >>> lcp_array_kasai("acagaca", suffix_array("acagaca"))
+    [0, 0, 1, 3, 1, 0, 2, 0]
+    """
+    s = text + "\x00"
+    n = len(s)
+    if len(sa) != n:
+        raise ValueError("suffix array length must be len(text) + 1")
+    rank = rank_array(sa)
+    lcp = [0] * n
+    h = 0
+    for p in range(n):
+        r = rank[p]
+        if r == 0:
+            h = 0
+            continue
+        q = sa[r - 1]
+        while p + h < n and q + h < n and s[p + h] == s[q + h]:
+            h += 1
+        lcp[r] = h
+        if h > 0:
+            h -= 1
+    return lcp

@@ -1,0 +1,52 @@
+"""Sparse-table range-minimum queries.
+
+O(n log n) preprocessing, O(1) query.  Used to answer range minima over the
+LCP array, which turns suffix-array rank intervals into
+longest-common-extension answers (:class:`repro.suffix.lce.LCEOracle`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class SparseTableRMQ:
+    """Immutable range-minimum structure over a sequence of integers.
+
+    >>> rmq = SparseTableRMQ([3, 1, 4, 1, 5, 9, 2, 6])
+    >>> rmq.query(2, 6)   # min of values[2:6]
+    1
+    """
+
+    __slots__ = ("_table", "_logs", "_n")
+
+    def __init__(self, values: Sequence[int]):
+        n = len(values)
+        self._n = n
+        logs = [0] * (n + 1)
+        for i in range(2, n + 1):
+            logs[i] = logs[i // 2] + 1
+        self._logs = logs
+        table: List[List[int]] = [list(values)]
+        length = 1
+        while 2 * length <= n:
+            prev = table[-1]
+            cur = [0] * (n - 2 * length + 1)
+            for i in range(len(cur)):
+                a, b = prev[i], prev[i + length]
+                cur[i] = a if a <= b else b
+            table.append(cur)
+            length *= 2
+        self._table = table
+
+    def __len__(self) -> int:
+        return self._n
+
+    def query(self, lo: int, hi: int) -> int:
+        """Minimum of ``values[lo:hi]`` (half-open; requires ``lo < hi``)."""
+        if not 0 <= lo < hi <= self._n:
+            raise IndexError(f"bad RMQ range [{lo}, {hi}) for length {self._n}")
+        level = self._logs[hi - lo]
+        row = self._table[level]
+        a, b = row[lo], row[hi - (1 << level)]
+        return a if a <= b else b

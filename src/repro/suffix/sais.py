@@ -1,0 +1,167 @@
+"""SA-IS: linear-time suffix-array construction by induced sorting.
+
+The paper builds its BWT from a suffix array and cites Hon et al. [25] for
+a space-economical construction of the human-genome BWT.  At reproduction
+scale the relevant property is *linear time*; SA-IS (Nong, Zhang & Chan,
+2009) provides it with a compact, dependency-free implementation.
+
+The function operates on integer sequences.  Callers are expected to append
+a unique smallest sentinel (code 0) — :func:`repro.suffix.suffix_array`
+does this for text inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_L_TYPE = False
+_S_TYPE = True
+
+
+def _classify(text: Sequence[int]) -> List[bool]:
+    """Suffix type per position: S (True) or L (False).
+
+    ``suffix[i]`` is S-type iff ``text[i:] < text[i+1:]``; the final
+    sentinel is S by definition.
+    """
+    n = len(text)
+    types = [_S_TYPE] * n
+    for i in range(n - 2, -1, -1):
+        if text[i] > text[i + 1]:
+            types[i] = _L_TYPE
+        elif text[i] == text[i + 1]:
+            types[i] = types[i + 1]
+    return types
+
+
+def _is_lms(types: Sequence[bool], i: int) -> bool:
+    """True when position ``i`` is a left-most S-type position."""
+    return i > 0 and types[i] is _S_TYPE and types[i - 1] is _L_TYPE
+
+
+def _bucket_sizes(text: Sequence[int], n_codes: int) -> List[int]:
+    sizes = [0] * n_codes
+    for c in text:
+        sizes[c] += 1
+    return sizes
+
+
+def _bucket_heads(sizes: Sequence[int]) -> List[int]:
+    heads = [0] * len(sizes)
+    total = 0
+    for c, size in enumerate(sizes):
+        heads[c] = total
+        total += size
+    return heads
+
+
+def _bucket_tails(sizes: Sequence[int]) -> List[int]:
+    tails = [0] * len(sizes)
+    total = 0
+    for c, size in enumerate(sizes):
+        total += size
+        tails[c] = total - 1
+    return tails
+
+
+def _induce_l(sa: List[int], text: Sequence[int], types: Sequence[bool], sizes: Sequence[int]) -> None:
+    heads = _bucket_heads(sizes)
+    for i in range(len(sa)):
+        j = sa[i] - 1
+        if sa[i] > 0 and types[j] is _L_TYPE:
+            c = text[j]
+            sa[heads[c]] = j
+            heads[c] += 1
+
+
+def _induce_s(sa: List[int], text: Sequence[int], types: Sequence[bool], sizes: Sequence[int]) -> None:
+    tails = _bucket_tails(sizes)
+    for i in range(len(sa) - 1, -1, -1):
+        j = sa[i] - 1
+        if sa[i] > 0 and types[j] is _S_TYPE:
+            c = text[j]
+            sa[tails[c]] = j
+            tails[c] -= 1
+
+
+def _lms_substrings_equal(text: Sequence[int], types: Sequence[bool], a: int, b: int) -> bool:
+    """Compare the LMS substrings starting at ``a`` and ``b``."""
+    n = len(text)
+    if a == n - 1 or b == n - 1:
+        return a == b
+    i = 0
+    while True:
+        a_lms = i > 0 and _is_lms(types, a + i)
+        b_lms = i > 0 and _is_lms(types, b + i)
+        if a_lms and b_lms:
+            return True
+        if a_lms != b_lms:
+            return False
+        if text[a + i] != text[b + i]:
+            return False
+        i += 1
+
+
+def sais(text: Sequence[int], n_codes: int) -> List[int]:
+    """Suffix array of integer sequence ``text`` via induced sorting.
+
+    ``text`` must end with a unique smallest symbol (value 0 occurring
+    exactly once, at the end).  ``n_codes`` is the number of distinct codes
+    (max value + 1).  Runs in O(n) time.
+
+    >>> sais([1, 2, 1, 3, 1, 2, 1, 0], 4)   # 'acagaca$' with a=1,c=2,g=3
+    [7, 6, 4, 0, 2, 5, 1, 3]
+    """
+    n = len(text)
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+
+    types = _classify(text)
+    sizes = _bucket_sizes(text, n_codes)
+
+    # Step 1: place LMS suffixes at their bucket tails (approximate order),
+    # then induce L and S to sort all LMS *substrings*.
+    sa = [-1] * n
+    tails = _bucket_tails(sizes)
+    for i in range(n - 1, -1, -1):
+        if _is_lms(types, i):
+            c = text[i]
+            sa[tails[c]] = i
+            tails[c] -= 1
+    _induce_l(sa, text, types, sizes)
+    _induce_s(sa, text, types, sizes)
+
+    # Step 2: name LMS substrings in the order they appear in sa.
+    lms_order = [p for p in sa if _is_lms(types, p)]
+    names = [-1] * n
+    current = 0
+    prev = -1
+    for p in lms_order:
+        if prev >= 0 and not _lms_substrings_equal(text, types, prev, p):
+            current += 1
+        names[p] = current
+        prev = p
+    lms_positions = [i for i in range(n) if _is_lms(types, i)]
+    reduced = [names[i] for i in lms_positions]
+
+    # Step 3: order LMS suffixes — recurse if names collide.
+    if current + 1 == len(reduced):
+        order = [0] * len(reduced)
+        for idx, name in enumerate(reduced):
+            order[name] = idx
+    else:
+        order = sais(reduced, current + 1)
+
+    # Step 4: place LMS suffixes in their true order, induce again.
+    sa = [-1] * n
+    tails = _bucket_tails(sizes)
+    for idx in range(len(order) - 1, -1, -1):
+        p = lms_positions[order[idx]]
+        c = text[p]
+        sa[tails[c]] = p
+        tails[c] -= 1
+    _induce_l(sa, text, types, sizes)
+    _induce_s(sa, text, types, sizes)
+    return sa

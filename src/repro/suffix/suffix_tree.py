@@ -1,0 +1,195 @@
+"""Ukkonen suffix tree.
+
+The substrate of the Cole-style baseline (paper Sec. V tests "Cole's
+method", a brute-force k-mismatch search over a suffix tree of the target
+[14]).  Built on-line in O(n) for a constant-size alphabet.
+
+The tree is over ``text + '$'``.  Each node exposes its children keyed by
+first edge character; edges carry half-open ``(start, end)`` slices of the
+text.  Leaves know the suffix start position they represent, and internal
+nodes can enumerate the positions in their subtree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..alphabet import SENTINEL
+
+
+class _Node:
+    """A suffix-tree node; edges are labelled by (start, end) text slices."""
+
+    __slots__ = ("start", "end", "children", "suffix_link", "suffix_index")
+
+    def __init__(self, start: int, end: Optional[int]):
+        self.start = start
+        #: ``None`` marks a leaf whose end tracks the growing text ("open" edge).
+        self.end = end
+        self.children: Dict[str, "_Node"] = {}
+        self.suffix_link: Optional["_Node"] = None
+        self.suffix_index: int = -1
+
+    def edge_length(self, position: int) -> int:
+        end = self.end if self.end is not None else position + 1
+        return end - self.start
+
+
+class SuffixTree:
+    """Suffix tree of ``text + '$'`` built with Ukkonen's algorithm.
+
+    >>> st = SuffixTree("acagaca")
+    >>> st.contains("aga")
+    True
+    >>> sorted(st.occurrences("aca"))
+    [0, 4]
+    """
+
+    def __init__(self, text: str):
+        if SENTINEL in text:
+            raise ValueError("text may not contain the sentinel '$'")
+        self.text = text + SENTINEL
+        self._root = _Node(-1, -1)
+        self._build()
+        self._assign_suffix_indices()
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self) -> None:
+        text = self.text
+        root = self._root
+        active_node = root
+        active_edge = 0  # index into text of the active edge's first char
+        active_length = 0
+        remainder = 0
+
+        for position, ch in enumerate(text):
+            remainder += 1
+            last_internal: Optional[_Node] = None
+            while remainder > 0:
+                if active_length == 0:
+                    active_edge = position
+                edge_char = text[active_edge]
+                child = active_node.children.get(edge_char)
+                if child is None:
+                    # Rule 2: new leaf directly off the active node.
+                    active_node.children[edge_char] = _Node(position, None)
+                    if last_internal is not None:
+                        last_internal.suffix_link = active_node
+                        last_internal = None
+                else:
+                    edge_len = child.edge_length(position)
+                    if active_length >= edge_len:
+                        # Walk down (skip/count trick).
+                        active_edge += edge_len
+                        active_length -= edge_len
+                        active_node = child
+                        continue
+                    if text[child.start + active_length] == ch:
+                        # Rule 3: char already present; extend implicitly.
+                        active_length += 1
+                        if last_internal is not None:
+                            last_internal.suffix_link = active_node
+                            last_internal = None
+                        break
+                    # Rule 2 with split: divide the edge.
+                    split = _Node(child.start, child.start + active_length)
+                    active_node.children[edge_char] = split
+                    split.children[ch] = _Node(position, None)
+                    child.start += active_length
+                    split.children[text[child.start]] = child
+                    if last_internal is not None:
+                        last_internal.suffix_link = split
+                    last_internal = split
+                remainder -= 1
+                if active_node is root and active_length > 0:
+                    active_length -= 1
+                    active_edge = position - remainder + 1
+                elif active_node is not root:
+                    active_node = active_node.suffix_link or root
+        self._position = len(text) - 1
+
+    def _assign_suffix_indices(self) -> None:
+        """Label each leaf with the start position of its suffix (DFS)."""
+        n = len(self.text)
+        stack: List[tuple] = [(self._root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if not node.children:
+                node.suffix_index = n - depth
+                continue
+            for child in node.children.values():
+                stack.append((child, depth + child.edge_length(self._position)))
+
+    # -- queries -----------------------------------------------------------
+
+    def _edge_end(self, node: _Node) -> int:
+        return node.end if node.end is not None else len(self.text)
+
+    def _walk(self, pattern: str):
+        """Follow ``pattern`` from the root; return (node, chars_into_edge) or None."""
+        node = self._root
+        i = 0
+        while i < len(pattern):
+            child = node.children.get(pattern[i])
+            if child is None:
+                return None
+            end = self._edge_end(child)
+            j = child.start
+            while j < end and i < len(pattern):
+                if self.text[j] != pattern[i]:
+                    return None
+                i += 1
+                j += 1
+            if i == len(pattern):
+                return child, j - child.start
+            node = child
+        return node, 0
+
+    def contains(self, pattern: str) -> bool:
+        """True when ``pattern`` occurs in the text."""
+        return bool(pattern) and self._walk(pattern) is not None or pattern == ""
+
+    def occurrences(self, pattern: str) -> List[int]:
+        """All 0-based occurrence start positions of ``pattern``."""
+        if pattern == "":
+            return list(range(len(self.text)))
+        landed = self._walk(pattern)
+        if landed is None:
+            return []
+        node, _ = landed
+        return [p for p in self._iter_leaf_positions(node) if p + len(pattern) <= len(self.text) - 1]
+
+    def _iter_leaf_positions(self, node: _Node) -> Iterator[int]:
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if not cur.children:
+                yield cur.suffix_index
+            else:
+                stack.extend(cur.children.values())
+
+    # -- traversal hooks for the Cole baseline -------------------------------
+
+    @property
+    def root(self) -> _Node:
+        """Root node (for external traversals such as the Cole baseline)."""
+        return self._root
+
+    def edge_text(self, node: _Node) -> str:
+        """The edge label leading into ``node``."""
+        return self.text[node.start:self._edge_end(node)]
+
+    def leaf_positions(self, node: _Node) -> List[int]:
+        """Suffix start positions under ``node``."""
+        return list(self._iter_leaf_positions(node))
+
+    def node_count(self) -> int:
+        """Total number of nodes (root included)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count

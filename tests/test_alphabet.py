@@ -1,0 +1,87 @@
+"""Tests for repro.alphabet."""
+
+import pytest
+
+from repro.alphabet import DNA, PROTEIN, SENTINEL, Alphabet, infer_alphabet
+from repro.errors import AlphabetError
+
+
+class TestConstruction:
+    def test_dna_order(self):
+        assert DNA.symbols == ("a", "c", "g", "t")
+
+    def test_sentinel_is_code_zero(self):
+        assert DNA.code(SENTINEL) == 0
+        assert DNA.symbol(0) == SENTINEL
+
+    def test_size_includes_sentinel(self):
+        assert DNA.size == 5
+        assert PROTEIN.size == 21
+
+    def test_rejects_empty(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("aab")
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("ca")
+
+    def test_rejects_multichar_symbols(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["ab"])
+
+    def test_rejects_explicit_sentinel(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("$a")
+
+
+class TestCoding:
+    def test_codes_are_dense_and_sorted(self):
+        assert [DNA.code(c) for c in "acgt"] == [1, 2, 3, 4]
+
+    def test_roundtrip(self):
+        text = "acagaca"
+        assert DNA.decode(DNA.encode(text)) == text
+
+    def test_encode_rejects_foreign(self):
+        with pytest.raises(AlphabetError):
+            DNA.encode("acgn")
+
+    def test_symbol_out_of_range(self):
+        with pytest.raises(AlphabetError):
+            DNA.symbol(99)
+
+    def test_code_unknown_char(self):
+        with pytest.raises(AlphabetError):
+            DNA.code("x")
+
+    def test_validate_accepts_good(self):
+        DNA.validate("acgtacgt")  # no exception
+
+    def test_validate_rejects_sentinel(self):
+        with pytest.raises(AlphabetError):
+            DNA.validate("ac$a")
+
+    def test_contains(self):
+        assert DNA.contains("acgt")
+        assert not DNA.contains("acgn")
+        assert DNA.contains("")
+
+
+class TestInference:
+    def test_infer_minimal(self):
+        alpha = infer_alphabet("mississippi")
+        assert alpha.symbols == ("i", "m", "p", "s")
+
+    def test_infer_rejects_sentinel(self):
+        with pytest.raises(AlphabetError):
+            infer_alphabet("ab$")
+
+    def test_equality_and_hash(self):
+        assert infer_alphabet("acgt") == DNA
+        assert hash(infer_alphabet("acgt")) == hash(DNA)
+        assert infer_alphabet("ac") != DNA

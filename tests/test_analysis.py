@@ -1,0 +1,109 @@
+"""Tests for the analytical models (repro.analysis)."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    expected_occurrences,
+    expected_stree_nodes,
+    match_probability,
+    occurrence_profile,
+    recommended_k_for_error_rate,
+)
+from repro.baselines.naive import naive_count
+from repro.errors import PatternError
+
+
+class TestMatchProbability:
+    def test_k_equals_m(self):
+        assert match_probability(5, 5) == 1.0
+        assert match_probability(5, 9) == 1.0
+
+    def test_exact_match(self):
+        assert match_probability(3, 0, sigma=4) == pytest.approx(1 / 64)
+
+    def test_monotone_in_k(self):
+        probs = [match_probability(10, k) for k in range(11)]
+        assert probs == sorted(probs)
+        assert probs[-1] == 1.0
+
+    def test_binary_alphabet(self):
+        # m=1, k=0, sigma=2: fair coin.
+        assert match_probability(1, 0, sigma=2) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(PatternError):
+            match_probability(0, 1)
+        with pytest.raises(PatternError):
+            match_probability(3, -1)
+        with pytest.raises(PatternError):
+            match_probability(3, 1, sigma=1)
+
+
+class TestExpectedOccurrences:
+    def test_pattern_too_long(self):
+        assert expected_occurrences(5, 10, 2) == 0.0
+
+    def test_matches_simulation(self):
+        # Average naive counts over random instances vs the formula.
+        rng = random.Random(8)
+        n, m, k = 300, 6, 1
+        trials = 200
+        total = 0
+        for _ in range(trials):
+            text = "".join(rng.choice("acgt") for _ in range(n))
+            pattern = "".join(rng.choice("acgt") for _ in range(m))
+            total += naive_count(text, pattern, k)
+        simulated = total / trials
+        predicted = expected_occurrences(n, m, k)
+        assert simulated == pytest.approx(predicted, rel=0.25)
+
+    def test_profile_shape(self):
+        profile = occurrence_profile(1000, 8)
+        assert len(profile) == 9
+        assert profile == sorted(profile)
+        assert profile[-1] == pytest.approx(1000 - 8 + 1)
+
+
+class TestTreeModel:
+    def test_upper_bounds_measured_nodes(self):
+        from repro.bwt import FMIndex
+        from repro.core.stree import STreeSearcher
+
+        rng = random.Random(9)
+        text = "".join(rng.choice("acgt") for _ in range(2000))
+        fm = FMIndex(text[::-1])
+        for k in (0, 1, 2):
+            pattern = "".join(rng.choice("acgt") for _ in range(12))
+            _, stats = STreeSearcher(fm, use_phi=False).search(pattern, k)
+            assert stats.nodes_expanded <= expected_stree_nodes(len(text), 12, k)
+
+    def test_grows_with_k(self):
+        sizes = [expected_stree_nodes(10_000, 50, k) for k in (0, 2, 5, 10)]
+        assert sizes == sorted(sizes)
+
+    def test_validation(self):
+        with pytest.raises(PatternError):
+            expected_stree_nodes(0, 5, 1)
+
+
+class TestRecommendedK:
+    def test_wgsim_default_regime(self):
+        # 100 bp at 2% error: ~2 expected errors; the 99th percentile
+        # needs k around 5-7 — consistent with the paper's k range.
+        k = recommended_k_for_error_rate(100, 0.02)
+        assert 4 <= k <= 8
+
+    def test_zero_error_rate(self):
+        assert recommended_k_for_error_rate(100, 0.0) == 0
+
+    def test_monotone_in_rate(self):
+        ks = [recommended_k_for_error_rate(100, e) for e in (0.01, 0.05, 0.1)]
+        assert ks == sorted(ks)
+
+    def test_validation(self):
+        with pytest.raises(PatternError):
+            recommended_k_for_error_rate(10, 1.5)
+        with pytest.raises(PatternError):
+            recommended_k_for_error_rate(10, 0.1, quantile=2.0)

@@ -1,0 +1,149 @@
+"""Tests for the comparison methods (repro.baselines)."""
+
+import pytest
+
+from repro.baselines import (
+    AmirMatcher,
+    ColeMatcher,
+    LandauVishkinMatcher,
+    amir_search,
+    cole_search,
+    landau_vishkin_search,
+    naive_search,
+)
+from repro.baselines.amir import split_into_blocks
+from repro.baselines.naive import naive_count
+from repro.errors import PatternError
+
+from conftest import INTRO_PATTERN, INTRO_TARGET, random_dna, reference_occurrences
+
+ALL_SEARCHERS = [amir_search, cole_search, landau_vishkin_search]
+
+
+class TestNaive:
+    def test_intro_example(self):
+        occs = naive_search(INTRO_TARGET, INTRO_PATTERN, 4)
+        assert [(o.start, o.n_mismatches) for o in occs] == [(2, 4)]
+
+    def test_exact(self):
+        assert [o.start for o in naive_search("acagaca", "aca", 0)] == [0, 4]
+
+    def test_count(self):
+        assert naive_count("aaaa", "aa", 1) == 3
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(PatternError):
+            naive_search("abc", "", 0)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(PatternError):
+            naive_search("abc", "a", -1)
+
+    def test_pattern_longer_than_text(self):
+        assert naive_search("ab", "abc", 3) == []
+
+    def test_mismatch_positions_recorded(self):
+        occs = naive_search("acagaca", "tcaca", 2)
+        assert [(o.start, o.mismatches) for o in occs] == [(0, (0, 3)), (2, (0, 1))]
+
+
+class TestBlocks:
+    def test_even_split(self):
+        assert split_into_blocks("abcdef", 3) == [(0, "ab"), (2, "cd"), (4, "ef")]
+
+    def test_uneven_split(self):
+        assert split_into_blocks("abcdefg", 3) == [(0, "abc"), (3, "de"), (5, "fg")]
+
+    def test_blocks_cover_pattern(self):
+        blocks = split_into_blocks("acgtacgtt", 4)
+        assert "".join(b for _, b in blocks) == "acgtacgtt"
+        offset = 0
+        for off, block in blocks:
+            assert off == offset
+            offset += len(block)
+
+    def test_invalid_counts(self):
+        with pytest.raises(PatternError):
+            split_into_blocks("abc", 0)
+        with pytest.raises(PatternError):
+            split_into_blocks("abc", 4)
+
+
+class TestAmir:
+    def test_intro_example(self):
+        occs = amir_search(INTRO_TARGET, INTRO_PATTERN, 4)
+        assert [o.start for o in occs] == [2]
+
+    def test_exact_path(self):
+        assert [o.start for o in amir_search("acagaca", "aca", 0)] == [0, 4]
+
+    def test_degenerate_high_k(self):
+        # 2k > m: the pigeonhole filter is off; still exact.
+        got = amir_search("acgtacgt", "acg", 3)
+        assert [(o.start, o.mismatches) for o in got] == reference_occurrences(
+            "acgtacgt", "acg", 3
+        )
+
+    def test_filter_stats(self):
+        matcher = AmirMatcher("acgtacgtacgtacgaaaaaaa", "acgtacgt")
+        occs, stats = matcher.search_with_filter_stats(2)
+        assert stats["filtered"] is True
+        assert stats["candidates"] >= stats["matches"] == len(occs)
+
+    def test_filter_never_loses_occurrences(self, rng):
+        # The pigeonhole marking must be lossless (pure filtration).
+        for _ in range(30):
+            text = random_dna(rng, rng.randint(20, 150))
+            pattern = random_dna(rng, rng.randint(4, 16))
+            k = rng.randint(1, max(1, len(pattern) // 2))
+            got = sorted((o.start, o.mismatches) for o in amir_search(text, pattern, k))
+            assert got == reference_occurrences(text, pattern, k)
+
+
+class TestCole:
+    def test_intro_example(self):
+        occs = cole_search(INTRO_TARGET, INTRO_PATTERN, 4)
+        assert [o.start for o in occs] == [2]
+
+    def test_reusable_matcher(self):
+        matcher = ColeMatcher("acagaca")
+        assert [o.start for o in matcher.search("aca", 0)] == [0, 4]
+        assert [o.start for o in matcher.search("tcaca", 2)] == [0, 2]
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(PatternError):
+            ColeMatcher("acgt").search("", 1)
+
+    def test_pattern_longer_than_text(self):
+        assert ColeMatcher("ac").search("acgt", 2) == []
+
+
+class TestLandauVishkin:
+    def test_intro_example(self):
+        occs = landau_vishkin_search(INTRO_TARGET, INTRO_PATTERN, 4)
+        assert [o.start for o in occs] == [2]
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(PatternError):
+            LandauVishkinMatcher("acgt", "ac").search(-1)
+
+    def test_pattern_longer_than_text(self):
+        assert LandauVishkinMatcher("ac", "acgt").search(2) == []
+
+    def test_matcher_reusable_across_k(self):
+        matcher = LandauVishkinMatcher("acagaca", "tcaca")
+        assert [o.start for o in matcher.search(2)] == [0, 2]
+        assert matcher.search(0) == []
+
+
+class TestCrossAgreement:
+    @pytest.mark.parametrize("searcher", ALL_SEARCHERS)
+    def test_matches_naive(self, searcher, rng):
+        for _ in range(25):
+            text = random_dna(rng, rng.randint(5, 120))
+            pattern = random_dna(rng, rng.randint(1, 14))
+            k = rng.randint(0, 6)
+            got = sorted((o.start, o.mismatches) for o in searcher(text, pattern, k))
+            assert got == reference_occurrences(text, pattern, k), (
+                searcher.__name__, text, pattern, k,
+            )

@@ -1,0 +1,92 @@
+"""Tests for the benchmark harness (repro.bench)."""
+
+import pytest
+
+from repro.bench.reporting import format_seconds, format_series, format_table
+from repro.bench.suite import PAPER_METHODS, MethodSuite
+from repro.bench.workloads import catalog_workload, fig11_workload
+
+from conftest import reference_occurrences
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        out = format_table(["k", "time"], [[1, "2.0s"], [10, "3.5s"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) or "|" in line for line in lines)
+
+    def test_table_title(self):
+        out = format_table(["a"], [], title="T1")
+        assert out.startswith("T1\n==")
+
+    def test_series(self):
+        out = format_series("k", [1, 2], {"A": [10, 20], "B": [30, 40]})
+        assert "A" in out and "B" in out and "30" in out
+
+    def test_format_seconds(self):
+        assert format_seconds(0.0000005).endswith("us")
+        assert format_seconds(0.005).endswith("ms")
+        assert format_seconds(2.5) == "2.50s"
+
+
+class TestWorkloads:
+    def test_fig11_shape(self):
+        wl = fig11_workload(read_length=60, n_reads=3)
+        assert wl.read_length == 60
+        assert len(wl.reads) == 3
+        assert wl.genome_size > 0
+        assert set(wl.genome) <= set("acgt")
+
+    def test_catalog_lookup_by_substring(self):
+        wl = catalog_workload("merolae", read_length=40, n_reads=2, max_genome=4000)
+        assert "merolae" in wl.name.lower()
+        assert wl.genome_size == 4000
+
+    def test_unknown_genome(self):
+        with pytest.raises(KeyError):
+            catalog_workload("homo sapiens")
+
+
+class TestMethodSuite:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return catalog_workload("merolae", read_length=30, n_reads=3, max_genome=3000)
+
+    def test_run_all_methods_agree(self, workload):
+        suite = MethodSuite(workload.genome)
+        results = suite.run_all(workload.reads, k=2)
+        assert [r.method for r in results] == list(PAPER_METHODS)
+        occ_counts = {r.n_occurrences for r in results}
+        assert len(occ_counts) == 1  # all four methods found the same total
+
+    def test_occurrences_match_naive(self, workload):
+        suite = MethodSuite(workload.genome)
+        result = suite.run(PAPER_METHODS[0], workload.reads, k=2)
+        expected = sum(
+            len(reference_occurrences(workload.genome, read, 2)) for read in workload.reads
+        )
+        assert result.n_occurrences == expected
+
+    def test_avg_seconds(self, workload):
+        suite = MethodSuite(workload.genome)
+        result = suite.run("A()", workload.reads, k=1)
+        assert result.avg_seconds > 0
+        assert result.total_seconds == pytest.approx(result.avg_seconds * result.n_reads)
+
+    def test_stats_collected_for_index_methods(self, workload):
+        suite = MethodSuite(workload.genome)
+        result = suite.run("A()", workload.reads, k=1)
+        assert result.stats is not None
+        assert result.stats.leaves > 0
+
+    def test_ablation_methods_available(self, workload):
+        suite = MethodSuite(workload.genome)
+        for method in ("A()-nophi", "A()-noreuse", "BWT-nophi", "LV"):
+            result = suite.run(method, workload.reads[:1], k=1)
+            assert result.n_reads == 1
+
+    def test_unknown_method(self, workload):
+        suite = MethodSuite(workload.genome)
+        with pytest.raises(ValueError):
+            suite.run("nonesuch", workload.reads, k=1)

@@ -1,0 +1,121 @@
+"""Tests for the bit-parallel matchers (repro.baselines.bitparallel)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.bitparallel import (
+    MyersMatcher,
+    WuManberMatcher,
+    myers_match_ends,
+    shift_or_search,
+    wu_manber_search,
+)
+from repro.core.kerrors import naive_kerrors_search
+from repro.errors import PatternError
+from repro.strings.kmp import kmp_search
+
+from conftest import INTRO_PATTERN, INTRO_TARGET, reference_occurrences
+
+dna = st.text(alphabet="acgt", min_size=1, max_size=60)
+pat = st.text(alphabet="acgt", min_size=1, max_size=12)
+long_pat = st.text(alphabet="acgt", min_size=65, max_size=90)
+
+
+class TestShiftOr:
+    def test_simple(self):
+        assert shift_or_search("acagaca", "aca") == [0, 4]
+
+    def test_single_char(self):
+        assert shift_or_search("acagaca", "a") == [0, 2, 4, 6]
+
+    def test_empty_pattern(self):
+        assert shift_or_search("acgt", "") == []
+
+    def test_overlapping(self):
+        assert shift_or_search("aaaa", "aa") == [0, 1, 2]
+
+    @given(dna, pat)
+    def test_against_kmp(self, text, pattern):
+        assert shift_or_search(text, pattern) == kmp_search(text, pattern)
+
+    @given(st.text(alphabet="acgt", min_size=70, max_size=120), long_pat)
+    @settings(max_examples=20)
+    def test_patterns_beyond_word_size(self, text, pattern):
+        # Python ints extend Shift-Or past 64 bits transparently.
+        assert shift_or_search(text, pattern) == kmp_search(text, pattern)
+
+
+class TestWuManber:
+    def test_paper_fig3_example(self):
+        occs = wu_manber_search("acagaca", "tcaca", 2)
+        assert [(o.start, o.mismatches) for o in occs] == [(0, (0, 3)), (2, (0, 1))]
+
+    def test_intro_example(self):
+        occs = wu_manber_search(INTRO_TARGET, INTRO_PATTERN, 4)
+        assert [o.start for o in occs] == [2]
+
+    def test_k0_equals_shift_or(self):
+        text, pattern = "acagacagtt", "acag"
+        assert [o.start for o in wu_manber_search(text, pattern, 0)] == shift_or_search(
+            text, pattern
+        )
+
+    def test_k_clamped_to_m(self):
+        occs = wu_manber_search("acgt", "aa", 99)
+        assert [o.start for o in occs] == [0, 1, 2]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(PatternError):
+            WuManberMatcher("")
+        with pytest.raises(PatternError):
+            WuManberMatcher("a").search("acgt", -1)
+
+    def test_pattern_longer_than_text(self):
+        assert WuManberMatcher("acgta").search("ac", 2) == []
+
+    @given(dna, pat, st.integers(0, 6))
+    @settings(max_examples=120, deadline=None)
+    def test_against_naive(self, text, pattern, k):
+        got = [(o.start, o.mismatches) for o in wu_manber_search(text, pattern, k)]
+        assert got == reference_occurrences(text, pattern, k)
+
+
+class TestMyers:
+    def test_exact_end(self):
+        ends = myers_match_ends("aacgta", "acgt", 0)
+        assert ends == {4: 0}
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(PatternError):
+            MyersMatcher("")
+        with pytest.raises(PatternError):
+            MyersMatcher("a").match_ends("acgt", -1)
+
+    def test_distances_stream_shape(self):
+        stream = list(MyersMatcher("acg").iter_distances("acgacg"))
+        assert [i for i, _ in stream] == list(range(6))
+        assert stream[2][1] == 0  # acg ends at 2 exactly
+
+    @given(dna, st.text(alphabet="acgt", min_size=1, max_size=8), st.integers(0, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_ends_against_naive_kerrors(self, text, pattern, k):
+        expected = {}
+        for occ in naive_kerrors_search(text, pattern, k):
+            end = occ.start + occ.length - 1
+            expected[end] = min(expected.get(end, len(pattern) + 1), occ.distance)
+        assert myers_match_ends(text, pattern, k) == expected
+
+    def test_agrees_with_bwt_kerrors(self):
+        from repro.alphabet import DNA
+        from repro.bwt import FMIndex
+        from repro.core.kerrors import KErrorsSearcher
+
+        text = "acagacagttacgtaacg"
+        pattern = "gacagt"
+        k = 2
+        bwt_occs = KErrorsSearcher(FMIndex(text[::-1], DNA)).search(pattern, k)
+        bwt_ends = {}
+        for occ in bwt_occs:
+            end = occ.start + occ.length - 1
+            bwt_ends[end] = min(bwt_ends.get(end, 99), occ.distance)
+        assert bwt_ends == myers_match_ends(text, pattern, k)

@@ -1,0 +1,239 @@
+"""Tests for the BWT layer: transform, rankall, FM-index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alphabet import DNA, infer_alphabet
+from repro.bwt import EMPTY_RANGE, FMIndex, Range, RankAll, bwt_transform, inverse_bwt
+from repro.errors import IndexCorruptionError, PatternError, SerializationError
+
+dna = st.text(alphabet="acgt", min_size=0, max_size=80)
+dna1 = st.text(alphabet="acgt", min_size=1, max_size=80)
+
+
+class TestTransform:
+    def test_paper_example(self):
+        # Sec. III-A: s = acagaca$, BWT(s) = acg$caaa.
+        assert bwt_transform("acagaca") == "acg$caaa"
+
+    def test_inverse_paper_example(self):
+        assert inverse_bwt("acg$caaa") == "acagaca"
+
+    def test_empty(self):
+        assert bwt_transform("") == "$"
+        assert inverse_bwt("$") == ""
+
+    @given(dna)
+    def test_roundtrip(self, text):
+        assert inverse_bwt(bwt_transform(text)) == text
+
+    def test_inverse_rejects_no_sentinel(self):
+        with pytest.raises(IndexCorruptionError):
+            inverse_bwt("abc")
+
+    def test_inverse_rejects_two_sentinels(self):
+        with pytest.raises(IndexCorruptionError):
+            inverse_bwt("a$b$")
+
+    def test_permutation_property(self):
+        text = "acgtacgtaa"
+        assert sorted(bwt_transform(text)) == sorted(text + "$")
+
+
+class TestRankAll:
+    def test_paper_fig2_values(self):
+        # Fig. 2 shows rankalls over BWT(acagaca$) = acg$caaa.
+        ra = RankAll("acg$caaa", DNA, sample_rate=4)
+        a = DNA.code("a")
+        # Number of 'a' appearing before each L position (exclusive).
+        assert [ra.occ(a, i) for i in range(9)] == [0, 1, 1, 1, 1, 1, 2, 3, 4]
+
+    @pytest.mark.parametrize("sample_rate", [1, 2, 3, 4, 7, 64])
+    def test_occ_matches_direct_count(self, sample_rate):
+        rng = random.Random(17)
+        bwt = "".join(rng.choice("acgt") for _ in range(99)) + "$"
+        ra = RankAll(bwt, DNA, sample_rate=sample_rate)
+        for code in range(DNA.size):
+            ch = DNA.symbol(code)
+            for i in range(len(bwt) + 1):
+                assert ra.occ(code, i) == bwt[:i].count(ch)
+
+    def test_counts_at_matches_occ(self):
+        bwt = bwt_transform("acagacagtt")
+        ra = RankAll(bwt, DNA)
+        for i in range(len(bwt) + 1):
+            row = ra.counts_at(i)
+            for code in range(DNA.size):
+                assert row[code] == ra.occ(code, i)
+
+    def test_occ_range(self):
+        ra = RankAll("acg$caaa", DNA)
+        assert ra.occ_range(DNA.code("a"), 0, 8) == 4
+        assert ra.occ_range(DNA.code("c"), 1, 5) == 2  # L[1:5] = 'cg$c'
+
+    def test_present_codes(self):
+        ra = RankAll("acg$caaa", DNA)
+        assert ra.present_codes(0, 8) == [0, 1, 2, 3]
+        assert ra.present_codes(4, 5) == [DNA.code("c")]
+
+    def test_total(self):
+        ra = RankAll("acg$caaa", DNA)
+        assert ra.total(DNA.code("a")) == 4
+        assert ra.total(DNA.code("t")) == 0
+
+    def test_verify_clean(self):
+        RankAll(bwt_transform("acagaca"), DNA).verify()
+
+    def test_char_code_at(self):
+        ra = RankAll("acg$caaa", DNA)
+        assert DNA.symbol(ra.char_code_at(3)) == "$"
+
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(IndexCorruptionError):
+            RankAll("a$", DNA, sample_rate=0)
+
+    def test_out_of_range(self):
+        ra = RankAll("a$", DNA)
+        with pytest.raises(IndexError):
+            ra.occ(1, 3)
+
+    def test_nbytes_counts_packed_payload(self):
+        small = RankAll(bwt_transform("acgt"), DNA)
+        big = RankAll(bwt_transform("acgt" * 100), DNA)
+        assert big.nbytes() > small.nbytes()
+
+
+class TestRange:
+    def test_len_and_empty(self):
+        assert len(Range(2, 5)) == 3
+        assert Range(3, 3).is_empty
+        assert EMPTY_RANGE.is_empty
+        assert len(Range(5, 2)) == 0
+
+
+class TestFMIndex:
+    def test_count_paper_example(self):
+        # Sec. III-A walks r = aca against BWT(acagaca$): two occurrences.
+        fm = FMIndex("acagaca", DNA)
+        assert fm.count("aca"[::-1]) == 2  # backward search over reversed query
+
+    def test_count_forward_semantics(self):
+        # FMIndex searches its own text directly (no reversal here).
+        fm = FMIndex("acagaca", DNA)
+        assert fm.count("aca") == 2
+        assert fm.count("acag") == 1
+        assert fm.count("gg") == 0
+        assert fm.count("") == fm.n_rows
+
+    def test_locate(self):
+        fm = FMIndex("acagaca", DNA)
+        assert sorted(fm.locate("aca")) == [0, 4]
+        assert sorted(fm.locate("a")) == [0, 2, 4, 6]
+
+    def test_locate_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            FMIndex("acgt", DNA).locate("")
+
+    def test_contains(self):
+        fm = FMIndex("acagaca", DNA)
+        assert fm.contains("gac")
+        assert not fm.contains("gat")
+
+    @given(dna1, dna1)
+    @settings(max_examples=60)
+    def test_count_locate_match_brute_force(self, text, pattern):
+        fm = FMIndex(text, DNA)
+        expected = [
+            i for i in range(len(text) - len(pattern) + 1)
+            if text[i:i + len(pattern)] == pattern
+        ]
+        assert fm.count(pattern) == len(expected)
+        assert sorted(fm.locate(pattern)) == expected
+
+    @pytest.mark.parametrize("sa_sample", [1, 2, 8, 64])
+    def test_locate_any_sa_sampling(self, sa_sample):
+        text = "acgtacgtacgtagga"
+        fm = FMIndex(text, DNA, sa_sample_rate=sa_sample)
+        assert sorted(fm.locate("acgt")) == [0, 4, 8]
+
+    def test_children_full_range(self):
+        fm = FMIndex("acagaca", DNA)
+        kids = fm.children(fm.full_range())
+        codes = [code for code, _ in kids]
+        assert codes == [DNA.code("a"), DNA.code("c"), DNA.code("g")]
+        total = sum(len(rng) for _, rng in kids)
+        assert total == fm.n_rows - 1  # everything but the sentinel row
+
+    def test_children_of_empty(self):
+        fm = FMIndex("acgt", DNA)
+        assert fm.children(EMPTY_RANGE) == []
+
+    def test_children_consistent_with_extend(self):
+        fm = FMIndex("acagacagtt", DNA)
+        rng = fm.full_range()
+        for code, child in fm.children(rng):
+            assert fm.extend(rng, code) == child
+
+    def test_extend_char(self):
+        fm = FMIndex("acagaca", DNA)
+        rng = fm.extend_char(fm.full_range(), "a")
+        assert len(rng) == 4
+
+    def test_f_interval(self):
+        fm = FMIndex("acagaca", DNA)
+        assert fm.f_interval(DNA.code("a")) == Range(1, 5)
+        assert fm.f_interval(0) == Range(0, 1)  # sentinel row
+
+    def test_suffix_position_walks(self):
+        text = "acagaca"
+        fm = FMIndex(text, DNA, sa_sample_rate=4)
+        from repro.suffix import suffix_array
+
+        sa = suffix_array(text)
+        for row in range(fm.n_rows):
+            assert fm.suffix_position(row) == sa[row]
+
+    def test_reconstruct_text(self):
+        fm = FMIndex("acagaca", DNA)
+        assert fm.reconstruct_text() == "acagaca"
+
+    def test_infers_alphabet(self):
+        fm = FMIndex("mississippi")
+        assert fm.count("issi") == 2
+
+    def test_rejects_bad_sa_sample(self):
+        with pytest.raises(IndexCorruptionError):
+            FMIndex("acgt", DNA, sa_sample_rate=0)
+
+
+class TestFMIndexSerialization:
+    def test_roundtrip(self):
+        fm = FMIndex("acagacagtt", DNA)
+        clone = FMIndex.loads(fm.dumps())
+        assert clone.bwt == fm.bwt
+        assert clone.count("aca") == fm.count("aca")
+        assert sorted(clone.locate("aca")) == sorted(fm.locate("aca"))
+
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError):
+            FMIndex.from_dict({"magic": "nope"})
+
+    def test_bad_version(self):
+        fm = FMIndex("acgt", DNA)
+        payload = fm.to_dict()
+        payload["version"] = 99
+        with pytest.raises(SerializationError):
+            FMIndex.from_dict(payload)
+
+    def test_corrupt_bwt(self):
+        fm = FMIndex("acgt", DNA)
+        payload = fm.to_dict()
+        payload["bwt"] = "aaaa"
+        with pytest.raises(SerializationError):
+            FMIndex.from_dict(payload)
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            FMIndex.loads("{not json")

@@ -1,0 +1,50 @@
+"""Tests for the BWT-seeded pigeonhole matcher (repro.baselines.bwt_seed)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.bwt_seed import BwtSeedMatcher, bwt_seed_search
+from repro.errors import PatternError
+
+from conftest import INTRO_PATTERN, INTRO_TARGET, random_dna, reference_occurrences
+
+dna = st.text(alphabet="acgt", min_size=1, max_size=80)
+pat = st.text(alphabet="acgt", min_size=1, max_size=16)
+
+
+class TestBwtSeed:
+    def test_intro_example(self):
+        occs = bwt_seed_search(INTRO_TARGET, INTRO_PATTERN, 4)
+        assert [(o.start, o.n_mismatches) for o in occs] == [(2, 4)]
+
+    def test_exact(self):
+        assert [o.start for o in bwt_seed_search("acagaca", "aca", 0)] == [0, 4]
+
+    def test_degenerate_k_ge_m(self):
+        got = [(o.start, o.mismatches) for o in bwt_seed_search("acgtac", "gg", 2)]
+        assert got == reference_occurrences("acgtac", "gg", 2)
+
+    def test_index_reusable(self, rng):
+        text = random_dna(rng, 200)
+        matcher = BwtSeedMatcher(text)
+        for _ in range(10):
+            pattern = random_dna(rng, rng.randint(4, 20))
+            k = rng.randint(0, 4)
+            got = [(o.start, o.mismatches) for o in matcher.search(pattern, k)]
+            assert got == reference_occurrences(text, pattern, k)
+
+    def test_rejects_bad_args(self):
+        matcher = BwtSeedMatcher("acgt")
+        with pytest.raises(PatternError):
+            matcher.search("", 0)
+        with pytest.raises(PatternError):
+            matcher.search("a", -1)
+
+    def test_pattern_longer_than_text(self):
+        assert BwtSeedMatcher("ac").search("acgt", 1) == []
+
+    @given(dna, pat, st.integers(0, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_against_naive(self, text, pattern, k):
+        got = [(o.start, o.mismatches) for o in bwt_seed_search(text, pattern, k)]
+        assert got == reference_occurrences(text, pattern, k)

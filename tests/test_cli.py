@@ -1,0 +1,97 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main, read_sequence
+
+
+@pytest.fixture
+def genome_file(tmp_path):
+    path = tmp_path / "genome.fa"
+    path.write_text(">toy\nacagaca\n")
+    return path
+
+
+class TestReadSequence:
+    def test_fasta(self, tmp_path):
+        path = tmp_path / "x.fa"
+        path.write_text(">header line\nACGT\nacgt\n")
+        assert read_sequence(path) == "acgtacgt"
+
+    def test_plain_text(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("acgt\nacgt\n")
+        assert read_sequence(path) == "acgtacgt"
+
+    def test_first_record_only(self, tmp_path):
+        path = tmp_path / "x.fa"
+        path.write_text(">one\nacgt\n>two\ntttt\n")
+        assert read_sequence(path) == "acgt"
+
+
+class TestCommands:
+    def test_search(self, genome_file, capsys):
+        rc = main(["search", str(genome_file), "tcaca", "-k", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line and not line.startswith("#")]
+        assert lines[0].split("\t")[0] == "0"
+        assert lines[1].split("\t")[0] == "2"
+
+    def test_search_methods(self, genome_file, capsys):
+        for method in ("algorithm_a", "stree"):
+            rc = main(["search", str(genome_file), "aca", "-k", "0", "--method", method])
+            assert rc == 0
+            out = capsys.readouterr().out
+            starts = [line.split("\t")[0] for line in out.splitlines() if line]
+            assert starts == ["0", "4"]
+
+    def test_index_roundtrip(self, genome_file, tmp_path, capsys):
+        out_path = tmp_path / "idx.json"
+        rc = main(["index", str(genome_file), "-o", str(out_path)])
+        assert rc == 0
+        assert out_path.exists()
+        from repro import KMismatchIndex
+
+        index = KMismatchIndex.loads(out_path.read_text())
+        assert index.text == "acagaca"
+
+    def test_search_saved_index(self, genome_file, tmp_path, capsys):
+        out_path = tmp_path / "idx.json"
+        main(["index", str(genome_file), "-o", str(out_path)])
+        capsys.readouterr()
+        rc = main(["search", str(out_path), "aca", "--index"])
+        assert rc == 0
+        starts = [line.split("\t")[0] for line in capsys.readouterr().out.splitlines() if line]
+        assert starts == ["0", "4"]
+
+    def test_search_edit_mode(self, genome_file, capsys):
+        rc = main(["search", str(genome_file), "acgaca", "-k", "1", "--edit"])
+        assert rc == 0
+        rows = [line.split("\t") for line in capsys.readouterr().out.splitlines() if line]
+        # (start=0, length=7, distance=1) must be among the windows.
+        assert ["0", "7", "1"] in rows
+
+    def test_search_wildcard_mode(self, genome_file, capsys):
+        rc = main(["search", str(genome_file), "ana", "--wildcard", "n"])
+        assert rc == 0
+        starts = [line.split("\t")[0] for line in capsys.readouterr().out.splitlines() if line]
+        assert starts == ["0", "2", "4"]
+
+    def test_simulate_and_compare(self, tmp_path, capsys):
+        genome_path = tmp_path / "g.fa"
+        rc = main([
+            "simulate", "-o", str(genome_path),
+            "--length", "3000", "--reads", "3", "--read-length", "30", "--seed", "5",
+        ])
+        assert rc == 0
+        reads_path = genome_path.with_suffix(".reads.txt")
+        assert reads_path.exists()
+        capsys.readouterr()
+        rc = main([
+            "compare", str(genome_path), str(reads_path), "-k", "1",
+            "--methods", "A()", "BWT", "--limit", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "A()" in out and "BWT" in out

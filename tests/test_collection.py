@@ -1,0 +1,109 @@
+"""Tests for multi-sequence collections (repro.collection)."""
+
+import pytest
+
+from repro.collection import SequenceCollection
+from repro.errors import PatternError
+
+from conftest import random_dna, reference_occurrences
+
+
+class TestConstruction:
+    def test_basic(self):
+        coll = SequenceCollection({"chr1": "acagaca", "chr2": "ttacat"})
+        assert coll.names == ["chr1", "chr2"]
+        assert len(coll) == 2
+        assert "chr1" in coll and "chrX" not in coll
+        assert coll.total_length() == 13
+
+    def test_rejects_empty_collection(self):
+        with pytest.raises(PatternError):
+            SequenceCollection({})
+
+    def test_rejects_empty_record(self):
+        with pytest.raises(PatternError):
+            SequenceCollection({"chr1": ""})
+
+    def test_record_access(self):
+        coll = SequenceCollection({"chr1": "acagaca"})
+        assert coll.record("chr1").text == "acagaca"
+        with pytest.raises(KeyError):
+            coll.record("chr2")
+
+
+class TestSearch:
+    def test_hits_across_records(self):
+        coll = SequenceCollection({"chr1": "acagaca", "chr2": "ttacat"})
+        hits = coll.search("aca", 0)
+        assert [(name, occ.start) for name, occ in hits] == [
+            ("chr1", 0), ("chr1", 4), ("chr2", 2),
+        ]
+
+    def test_no_cross_boundary_matches(self):
+        # "ca|tt" would match across the records if they were concatenated.
+        coll = SequenceCollection({"a": "aaca", "b": "ttaa"})
+        assert coll.search("catt", 0) == []
+        assert coll.count("catt", k=1) == 0
+
+    def test_pattern_longer_than_some_records(self):
+        coll = SequenceCollection({"short": "ac", "long": "acagacag"})
+        hits = coll.search("acag", 0)
+        assert [(n, o.start) for n, o in hits] == [("long", 0), ("long", 4)]
+
+    def test_count(self):
+        coll = SequenceCollection({"chr1": "acagaca", "chr2": "acaaca"})
+        assert coll.count("aca") == 4
+
+    def test_matches_per_record_naive(self, rng):
+        records = {f"r{i}": random_dna(rng, rng.randint(20, 60)) for i in range(4)}
+        coll = SequenceCollection(records)
+        pattern = random_dna(rng, 6)
+        for k in (0, 1, 2):
+            got = [(name, occ.start, occ.mismatches) for name, occ in coll.search(pattern, k)]
+            expected = [
+                (name, start, mm)
+                for name, seq in records.items()
+                for start, mm in reference_occurrences(seq, pattern, k)
+            ]
+            assert got == expected
+
+    def test_map_read_reports_record(self):
+        coll = SequenceCollection({"chr1": "acagacag", "chr2": "ggggggg"})
+        hits = coll.map_read("acag", 0)
+        assert any(name == "chr1" and h.strand == "+" for name, h in hits)
+
+
+class TestFasta:
+    FASTA = """>chr1 some description
+ACAG
+aca
+>chr2
+ttacat
+"""
+
+    def test_parse(self):
+        coll = SequenceCollection.from_fasta_text(self.FASTA)
+        assert coll.names == ["chr1", "chr2"]
+        assert coll.record("chr1").text == "acagaca"
+        assert coll.record("chr2").text == "ttacat"
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(PatternError):
+            SequenceCollection.from_fasta_text("no records here\n")
+
+    def test_iter_records(self):
+        coll = SequenceCollection.from_fasta_text(self.FASTA)
+        assert dict(coll.iter_records()) == {"chr1": "acagaca", "chr2": "ttacat"}
+
+
+class TestVerify:
+    def test_clean_index_verifies(self):
+        from repro import KMismatchIndex
+
+        KMismatchIndex("acagacagttacgt").verify()
+
+    def test_verify_after_load(self):
+        from repro import KMismatchIndex
+
+        index = KMismatchIndex.loads(KMismatchIndex("acagacagtt").dumps())
+        index.verify()

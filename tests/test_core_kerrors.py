@@ -1,0 +1,107 @@
+"""Tests for k-errors (Levenshtein) matching (repro.core.kerrors)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alphabet import DNA
+from repro.bwt import FMIndex
+from repro.core.kerrors import (
+    EditOccurrence,
+    KErrorsSearcher,
+    best_per_start,
+    edit_distance,
+    naive_kerrors_search,
+)
+from repro.errors import PatternError
+
+from conftest import random_dna
+
+dna = st.text(alphabet="acgt", min_size=1, max_size=40)
+pat = st.text(alphabet="acgt", min_size=1, max_size=8)
+
+
+def make_searcher(text):
+    return KErrorsSearcher(FMIndex(text[::-1], DNA))
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "ab", 1),
+            ("kitten", "sitting", 3),
+            ("acagaca", "acgaca", 1),
+            ("", "abc", 3),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+    @given(pat, pat)
+    def test_symmetry_and_bounds(self, a, b):
+        d = edit_distance(a, b)
+        assert d == edit_distance(b, a)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+
+class TestKErrorsSearch:
+    def test_exact_reduces_to_k0(self):
+        occs = make_searcher("acagaca").search("aca", 0)
+        assert [(o.start, o.length, o.distance) for o in occs] == [
+            (0, 3, 0), (4, 3, 0),
+        ]
+
+    def test_single_deletion_in_target(self):
+        # Pattern acgt; target has acgt and act (g deleted).
+        occs = make_searcher("acgtxact".replace("x", "g")).search("acgt", 1)
+        starts = {(o.start, o.distance) for o in occs}
+        assert (0, 0) in starts
+
+    def test_insertion_and_substitution(self):
+        text = "aacgta"
+        searcher = make_searcher(text)
+        # "acta" is within edit distance 1 of "acgta" (delete g).
+        occs = searcher.search("acta", 1)
+        windows = {(o.start, o.length) for o in occs}
+        assert (1, 5) in windows  # acgta
+
+    def test_rejects_bad_args(self):
+        searcher = make_searcher("acgt")
+        with pytest.raises(PatternError):
+            searcher.search("", 1)
+        with pytest.raises(PatternError):
+            searcher.search("a", -1)
+
+    @given(dna, pat, st.integers(0, 2))
+    @settings(max_examples=80, deadline=None)
+    def test_against_naive(self, text, pattern, k):
+        got = make_searcher(text).search(pattern, k)
+        assert got == naive_kerrors_search(text, pattern, k)
+
+    def test_k0_agrees_with_hamming_search(self, rng):
+        for _ in range(10):
+            text = random_dna(rng, 60)
+            pattern = random_dna(rng, 6)
+            ed = make_searcher(text).search(pattern, 0)
+            direct = [
+                i for i in range(len(text) - 6 + 1) if text[i:i + 6] == pattern
+            ]
+            assert [o.start for o in ed] == direct
+            assert all(o.length == 6 and o.distance == 0 for o in ed)
+
+
+class TestBestPerStart:
+    def test_picks_lowest_distance(self):
+        occs = [EditOccurrence(3, 9, 1), EditOccurrence(3, 10, 0), EditOccurrence(5, 9, 1)]
+        best = best_per_start(occs)
+        assert best == [EditOccurrence(3, 10, 0), EditOccurrence(5, 9, 1)]
+
+    def test_tie_breaks_on_length(self):
+        occs = [EditOccurrence(0, 10, 1), EditOccurrence(0, 9, 1)]
+        assert best_per_start(occs) == [EditOccurrence(0, 9, 1)]
+
+    def test_empty(self):
+        assert best_per_start([]) == []

@@ -1,0 +1,89 @@
+"""Tests for the public facade (repro.core.matcher.KMismatchIndex)."""
+
+import pytest
+
+from repro.alphabet import DNA, infer_alphabet
+from repro.core.matcher import METHODS, KMismatchIndex
+from repro.errors import AlphabetError, PatternError
+
+from conftest import INTRO_PATTERN, INTRO_TARGET, random_dna, reference_occurrences
+
+
+class TestConstruction:
+    def test_rejects_empty_text(self):
+        with pytest.raises(PatternError):
+            KMismatchIndex("")
+
+    def test_defaults_to_dna(self):
+        assert KMismatchIndex("acgt").alphabet == DNA
+
+    def test_infers_non_dna(self):
+        index = KMismatchIndex("mississippi")
+        assert index.alphabet == infer_alphabet("mississippi")
+        assert [o.start for o in index.search("issi", 0)] == [1, 4]
+
+    def test_text_property(self):
+        assert KMismatchIndex("acgt").text == "acgt"
+
+    def test_nbytes_positive(self):
+        assert KMismatchIndex("acgt" * 50).nbytes() > 0
+
+
+class TestSearch:
+    def test_intro_example_all_methods(self):
+        index = KMismatchIndex(INTRO_TARGET)
+        expected = reference_occurrences(INTRO_TARGET, INTRO_PATTERN, 4)
+        for method in METHODS:
+            got = [(o.start, o.mismatches) for o in index.search(INTRO_PATTERN, 4, method=method)]
+            assert got == expected, method
+
+    def test_unknown_method(self):
+        with pytest.raises(PatternError):
+            KMismatchIndex("acgt").search("a", 0, method="quantum")
+
+    def test_pattern_validated_against_alphabet(self):
+        with pytest.raises(AlphabetError):
+            KMismatchIndex("acgt").search("axg", 1)
+
+    def test_count_k0_fast_path(self):
+        index = KMismatchIndex("acagaca")
+        assert index.count("aca") == 2
+        assert index.count("tt") == 0
+
+    def test_count_with_k(self):
+        index = KMismatchIndex("acagaca")
+        assert index.count("tcaca", k=2) == 2
+
+    def test_contains(self):
+        index = KMismatchIndex("acagaca")
+        assert index.contains("gac")
+        assert not index.contains("ttt")
+        assert index.contains("ttt", k=3)
+
+    def test_locate_exact(self):
+        index = KMismatchIndex("acagaca")
+        assert index.locate_exact("aca") == [0, 4]
+        with pytest.raises(PatternError):
+            index.locate_exact("")
+
+    def test_search_with_stats_returns_stats(self):
+        index = KMismatchIndex("acagaca")
+        occs, stats = index.search_with_stats("tcaca", 2)
+        assert len(occs) == 2
+        assert stats.completed_paths >= 1
+
+    def test_record_mtree_via_facade(self):
+        index = KMismatchIndex("acagaca")
+        index.search_with_stats("tcaca", 2, record_mtree=True)
+        assert index.last_mtree is not None
+
+    def test_methods_agree_randomly(self, rng):
+        for _ in range(15):
+            text = random_dna(rng, rng.randint(20, 100))
+            index = KMismatchIndex(text)
+            pattern = random_dna(rng, rng.randint(2, 12))
+            k = rng.randint(0, 4)
+            expected = reference_occurrences(text, pattern, k)
+            for method in METHODS:
+                got = [(o.start, o.mismatches) for o in index.search(pattern, k, method=method)]
+                assert got == expected, (method, text, pattern, k)

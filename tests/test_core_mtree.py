@@ -1,0 +1,106 @@
+"""Tests for the mismatching-tree structure (repro.core.mtree)."""
+
+import pytest
+
+from repro.alphabet import DNA
+from repro.bwt import FMIndex
+from repro.core.algorithm_a import AlgorithmASearcher
+from repro.core.mtree import MTree
+
+from conftest import PAPER_PATTERN, PAPER_TARGET
+
+
+class TestMTreeConstruction:
+    def test_paper_fig7_paths(self):
+        # The four mismatch arrays of Fig. 3 (1-based B_1=[1,4], B_2=[1,2],
+        # B_3=[1,2,3], B_4=[1,2,3]) in 0-based form, with their characters.
+        tree = MTree(pattern_length=5)
+        tree.add_path([(0, "a"), (3, "g")])            # B_1 (complete path)
+        tree.add_path([(0, "a"), (1, "g")])            # B_2 (complete path)
+        tree.add_path([(0, "c"), (1, "g"), (2, "g")], length=3)   # B_3 (cut)
+        tree.add_path([(0, "g"), (1, "a"), (2, "c")], length=3)   # B_4 (cut)
+        assert tree.n_paths == 4
+        assert tree.n_leaves == 4
+        # Root has three mismatch children: <a,0>, <c,0>, <g,0> (Fig. 7's
+        # u1, u2, u3).
+        assert len(tree.root.children) == 3
+
+    def test_b1_shape_matches_paper(self):
+        # B_1 = [1, 4] (1-based) renders as u0-u1-u4-u8-u12 in Fig. 7:
+        # root -> <a,0> -> <-,0> -> <g,3> -> <-,0>.
+        tree = MTree(pattern_length=5)
+        leaf = tree.add_path([(0, "a"), (3, "g")])
+        assert leaf.is_match  # trailing matched position 4
+        labels = []
+        node = tree.root
+        while True:
+            labels.append(node.label())
+            if not node.children:
+                break
+            node = next(iter(node.children.values()))
+        assert labels == ["<-, 0>", "<a, 0>", "<-, 0>", "<g, 3>", "<-, 0>"]
+
+    def test_adjacent_mismatches_no_match_node_between(self):
+        tree = MTree(pattern_length=4)
+        tree.add_path([(1, "a"), (2, "c")])
+        # Leading match merges into the root (itself <-,0>), the adjacent
+        # mismatches get no match node between them, and the trailing
+        # match adds one: root -> <a,1> -> <c,2> -> <-,0>.
+        assert tree.n_nodes == 4
+
+    def test_leading_matches_merge_into_root(self):
+        tree = MTree(pattern_length=4)
+        tree.add_path([(3, "g")])
+        # No separate match node before <g,3>: root is already <-,0>.
+        assert list(tree.root.children.keys()) == [("g", 3)]
+
+    def test_zero_mismatch_path(self):
+        tree = MTree(pattern_length=4)
+        leaf = tree.add_path([])
+        # An all-match path merges entirely into the root <-, 0> node.
+        assert leaf is tree.root
+        assert leaf.leaf_paths == 1
+        assert tree.n_leaves == 1
+
+    def test_shared_prefixes_merge(self):
+        tree = MTree(pattern_length=6)
+        tree.add_path([(0, "a"), (2, "c")])
+        tree.add_path([(0, "a"), (4, "g")])
+        # Both pass through <a,0>; the match run after it is shared.
+        assert len(tree.root.children) == 1
+
+    def test_rejects_bad_offsets(self):
+        tree = MTree(pattern_length=3)
+        with pytest.raises(ValueError):
+            tree.add_path([(2, "a"), (1, "c")])
+        with pytest.raises(ValueError):
+            tree.add_path([(5, "a")])
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            MTree(pattern_length=0)
+
+    def test_render_contains_labels(self):
+        tree = MTree(pattern_length=5)
+        tree.add_path([(0, "a"), (3, "g")])
+        text = tree.render()
+        assert "<a, 0>" in text and "<g, 3>" in text
+
+
+class TestMTreeFromSearch:
+    def test_algorithm_a_records_fig3_tree(self):
+        fm = FMIndex(PAPER_TARGET[::-1], DNA)
+        searcher = AlgorithmASearcher(fm, record_mtree=True, use_phi=False)
+        occs, stats = searcher.search(PAPER_PATTERN, 2)
+        tree = searcher.last_mtree
+        assert tree is not None
+        assert tree.n_paths == stats.leaves
+        # The two completed paths of Fig. 3 are present.
+        assert [(o.start, o.mismatches) for o in occs] == [(0, (0, 3)), (2, (0, 1))]
+
+    def test_leaf_count_matches_stats_on_repeats(self, repeat_text):
+        fm = FMIndex(repeat_text[::-1], DNA)
+        searcher = AlgorithmASearcher(fm, record_mtree=True)
+        pattern = repeat_text[37:37 + 30]
+        _, stats = searcher.search(pattern, 3)
+        assert searcher.last_mtree.n_paths == stats.leaves

@@ -1,0 +1,112 @@
+"""Tests for the S-tree baseline (repro.core.stree)."""
+
+import random
+
+import pytest
+
+from repro.alphabet import DNA
+from repro.bwt import FMIndex
+from repro.core.stree import STreeSearcher, compute_phi
+from repro.errors import PatternError
+
+from conftest import PAPER_PATTERN, PAPER_TARGET, random_dna, reference_occurrences
+
+
+def make_searcher(text, use_phi=True):
+    return STreeSearcher(FMIndex(text[::-1], DNA), use_phi=use_phi)
+
+
+class TestPhi:
+    def test_paper_example_values(self):
+        # Sec. IV-A: s = acagaca, r = tcaca.  φ(1) = 2 (1-based): both 't'
+        # and 'cac' are absent from s.  φ(3) = 0: every substring of
+        # r[3..5] = aca occurs.  (0-based: φ[0] = 2, φ[2] = 0.)
+        fm = FMIndex(PAPER_TARGET[::-1], DNA)
+        phi = compute_phi(fm, DNA.encode(PAPER_PATTERN))
+        assert phi[0] == 2
+        assert phi[2] == 0
+        assert phi[len(PAPER_PATTERN)] == 0
+
+    def test_all_substrings_present(self):
+        fm = FMIndex("acgt"[::-1], DNA)
+        phi = compute_phi(fm, DNA.encode("acgt"))
+        assert phi == [0, 0, 0, 0, 0]
+
+    def test_phi_is_a_sound_lower_bound(self):
+        # φ(i) never exceeds the true minimum number of mismatches that
+        # any window of the text must have against pattern[i:].
+        rng = random.Random(12)
+        text = random_dna(rng, 150)
+        fm = FMIndex(text[::-1], DNA)
+        pattern = random_dna(rng, 20)
+        phi = compute_phi(fm, DNA.encode(pattern))
+        assert all(0 <= v <= len(pattern) for v in phi)
+        for i in (0, 5, 10):
+            suffix = pattern[i:]
+            best = min(
+                sum(1 for a, b in zip(suffix, text[p:p + len(suffix)]) if a != b)
+                for p in range(len(text) - len(suffix) + 1)
+            )
+            assert phi[i] <= best
+
+
+class TestSTreeSearch:
+    def test_paper_fig3(self):
+        occs, _ = make_searcher(PAPER_TARGET).search(PAPER_PATTERN, 2)
+        assert [(o.start, o.mismatches) for o in occs] == [(0, (0, 3)), (2, (0, 1))]
+
+    def test_exact_match_k0(self):
+        occs, _ = make_searcher(PAPER_TARGET).search("aca", 0)
+        assert [o.start for o in occs] == [0, 4]
+        assert all(o.mismatches == () for o in occs)
+
+    def test_pattern_longer_than_text(self):
+        occs, stats = make_searcher("acg").search("acgtacgt", 2)
+        assert occs == []
+        assert stats.nodes_expanded == 0
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(PatternError):
+            make_searcher("acgt").search("", 1)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(PatternError):
+            make_searcher("acgt").search("a", -1)
+
+    def test_k_ge_m_matches_everywhere(self):
+        occs, _ = make_searcher("acgtacg").search("tt", 2)
+        assert [o.start for o in occs] == list(range(6))
+
+    def test_phi_and_nophi_agree(self, rng):
+        for _ in range(25):
+            text = random_dna(rng, rng.randint(10, 120))
+            pattern = random_dna(rng, rng.randint(2, 15))
+            k = rng.randint(0, 4)
+            with_phi, s1 = make_searcher(text, True).search(pattern, k)
+            without, s2 = make_searcher(text, False).search(pattern, k)
+            assert with_phi == without
+            assert s1.nodes_expanded <= s2.nodes_expanded
+
+    def test_matches_naive(self, rng):
+        for _ in range(40):
+            text = random_dna(rng, rng.randint(5, 100))
+            pattern = random_dna(rng, rng.randint(1, 12))
+            k = rng.randint(0, 6)
+            got, _ = make_searcher(text).search(pattern, k)
+            assert [(o.start, o.mismatches) for o in got] == reference_occurrences(
+                text, pattern, k
+            )
+
+    def test_stats_accounting(self):
+        occs, stats = make_searcher(PAPER_TARGET, use_phi=False).search(PAPER_PATTERN, 2)
+        assert stats.completed_paths == 2
+        assert stats.rows_located == 2
+        assert stats.leaves >= stats.completed_paths
+        assert stats.nodes_expanded > 0
+        assert stats.rank_queries > 0
+
+    def test_phi_prunes_counted(self):
+        # A pattern wholly absent from the text forces φ cuts at the root.
+        occs, stats = make_searcher("aaaaaaaaaa").search("gtgtgtgt", 1)
+        assert occs == []
+        assert stats.phi_pruned > 0

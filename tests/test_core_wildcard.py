@@ -1,0 +1,68 @@
+"""Tests for don't-care matching (repro.core.wildcard)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alphabet import DNA
+from repro.bwt import FMIndex
+from repro.core.wildcard import WildcardSearcher, naive_wildcard_search
+from repro.errors import PatternError
+
+dna = st.text(alphabet="acgt", min_size=1, max_size=50)
+pat = st.text(alphabet="acgtn", min_size=1, max_size=10)
+
+
+def make_searcher(text, **kwargs):
+    return WildcardSearcher(FMIndex(text[::-1], DNA), **kwargs)
+
+
+class TestWildcardSearch:
+    def test_pure_wildcards_match_everywhere(self):
+        occs = make_searcher("acagaca").search("nnn", 0)
+        assert [o.start for o in occs] == [0, 1, 2, 3, 4]
+        assert all(o.mismatches == () for o in occs)
+
+    def test_wildcard_in_middle(self):
+        occs = make_searcher("acagaca").search("ana", 0)
+        assert [o.start for o in occs] == [0, 2, 4]
+
+    def test_no_wildcards_reduces_to_exact(self):
+        occs = make_searcher("acagaca").search("aca", 0)
+        assert [o.start for o in occs] == [0, 4]
+
+    def test_wildcards_plus_mismatches(self):
+        # tcnca: wildcard at 2; with k=2 this behaves like tcaca of Fig. 3
+        # minus the position-2 comparison.
+        occs = make_searcher("acagaca").search("tcnca", 2)
+        starts = [o.start for o in occs]
+        assert 0 in starts and 2 in starts
+
+    def test_mismatch_offsets_exclude_wildcards(self):
+        occs = make_searcher("acagaca").search("ang", 1)
+        for occ in occs:
+            assert 1 not in occ.mismatches
+
+    def test_custom_wildcard_char(self):
+        # '?' is outside DNA, so it must be declared as the wildcard.
+        searcher = WildcardSearcher(FMIndex("acagaca"[::-1], DNA), wildcard="?")
+        assert [o.start for o in searcher.search("a?a", 0)] == [0, 2, 4]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(PatternError):
+            make_searcher("acgt", wildcard="ab")
+        with pytest.raises(PatternError):
+            make_searcher("acgt").search("", 0)
+        with pytest.raises(PatternError):
+            make_searcher("acgt").search("a", -1)
+
+    def test_pattern_longer_than_text(self):
+        assert make_searcher("ac").search("nnnn", 0) == []
+
+    @given(dna, pat, st.integers(0, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_against_naive(self, text, pattern, k):
+        got = make_searcher(text).search(pattern, k)
+        expected = naive_wildcard_search(text, pattern, k)
+        assert [(o.start, o.mismatches) for o in got] == [
+            (o.start, o.mismatches) for o in expected
+        ]

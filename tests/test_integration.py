@@ -1,0 +1,89 @@
+"""End-to-end integration tests: the read-mapping pipeline of Sec. V.
+
+Simulate a genome, sample mutated reads from both strands, index the
+genome once, and map every read back — the exact workflow the paper's
+evaluation runs (wgsim reads against an indexed genome).
+"""
+
+import pytest
+
+from repro.core.matcher import KMismatchIndex
+from repro.simulate import (
+    GenomeConfig,
+    ReadConfig,
+    generate_genome,
+    reverse_complement,
+    simulate_reads,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    genome = generate_genome(GenomeConfig(length=8_000, repeat_fraction=0.3, seed=42))
+    reads = simulate_reads(genome, ReadConfig(n_reads=30, length=60, seed=43))
+    index = KMismatchIndex(genome)
+    return genome, reads, index
+
+
+class TestReadMapping:
+    def test_every_read_maps_home(self, pipeline):
+        genome, reads, index = pipeline
+        for read in reads:
+            k = max(read.n_mutations, 1)
+            hits = index.search(read.forward_sequence(), k)
+            assert any(h.start == read.position for h in hits), read
+
+    def test_mapping_respects_budget(self, pipeline):
+        genome, reads, index = pipeline
+        for read in reads[:10]:
+            hits = index.search(read.forward_sequence(), 3)
+            for hit in hits:
+                window = genome[hit.start:hit.start + 60]
+                assert sum(1 for a, b in zip(window, read.forward_sequence()) if a != b) <= 3
+
+    def test_reverse_strand_reads_map_via_revcomp(self, pipeline):
+        genome, reads, index = pipeline
+        reverse_reads = [r for r in reads if r.reverse_strand]
+        assert reverse_reads, "expected some reverse-strand reads"
+        for read in reverse_reads[:5]:
+            # Mapping the raw sequence of a reverse read requires its
+            # reverse complement (as real aligners do).
+            k = max(read.n_mutations, 1)
+            hits = index.search(reverse_complement(read.sequence), k)
+            assert any(h.start == read.position for h in hits)
+
+    def test_methods_agree_on_pipeline_reads(self, pipeline):
+        genome, reads, index = pipeline
+        for read in reads[:6]:
+            seq = read.forward_sequence()
+            reference = index.search(seq, 2, method="stree_nophi")
+            for method in ("algorithm_a", "stree", "algorithm_a_noreuse"):
+                assert index.search(seq, 2, method=method) == reference
+
+    def test_exact_mapping_of_clean_reads(self):
+        genome = generate_genome(GenomeConfig(length=5_000, seed=77))
+        reads = simulate_reads(
+            genome,
+            ReadConfig(n_reads=10, length=50, error_rate=0.0, mutation_rate=0.0, seed=78),
+        )
+        index = KMismatchIndex(genome)
+        for read in reads:
+            hits = index.search(read.forward_sequence(), 0)
+            assert any(h.start == read.position for h in hits)
+
+
+class TestIndexReuseAcrossQueries:
+    def test_one_index_many_patterns(self, pipeline):
+        genome, reads, index = pipeline
+        totals = [
+            sum(len(index.search(r.forward_sequence(), k)) for r in reads[:8])
+            for k in (0, 1, 2)
+        ]
+        # Larger k can only find more occurrences.
+        assert totals == sorted(totals)
+
+    def test_monotone_in_k(self, pipeline):
+        genome, reads, index = pipeline
+        seq = reads[0].forward_sequence()
+        counts = [len(index.search(seq, k)) for k in range(4)]
+        assert counts == sorted(counts)

@@ -1,0 +1,127 @@
+"""Tests for sequence I/O and SAM output (repro.io)."""
+
+import io
+
+import pytest
+
+from repro.core.matcher import KMismatchIndex, ReadHit
+from repro.core.types import Occurrence
+from repro.errors import PatternError
+from repro.io import (
+    FLAG_REVERSE,
+    FLAG_SECONDARY,
+    FLAG_UNMAPPED,
+    parse_fasta,
+    parse_fastq,
+    sam_header,
+    sam_line,
+    write_sam,
+)
+
+
+class TestFasta:
+    def test_basic(self):
+        assert parse_fasta(">a desc\nACGT\nacg\n>b\ntt\n") == {"a": "acgtacg", "b": "tt"}
+
+    def test_rejects_headerless(self):
+        with pytest.raises(PatternError):
+            parse_fasta("acgt\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(PatternError):
+            parse_fasta("")
+
+    def test_blank_lines_skipped(self):
+        assert parse_fasta(">a\n\nac\n\ngt\n") == {"a": "acgt"}
+
+
+class TestFastq:
+    FASTQ = "@r1 extra\nACGT\n+\nIIII\n@r2\nTTAA\n+anything\nJJJJ\n"
+
+    def test_basic(self):
+        records = parse_fastq(self.FASTQ)
+        assert [(r.name, r.sequence) for r in records] == [("r1", "acgt"), ("r2", "ttaa")]
+        assert records[0].quality == "IIII"
+
+    def test_rejects_truncated(self):
+        with pytest.raises(PatternError):
+            parse_fastq("@r1\nACGT\n+\n")
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(PatternError):
+            parse_fastq("r1\nACGT\n+\nIIII\n")
+
+    def test_rejects_quality_mismatch(self):
+        with pytest.raises(PatternError):
+            parse_fastq("@r1\nACGT\n+\nII\n")
+
+
+class TestSam:
+    def test_header(self):
+        header = sam_header([("chr1", 100), ("chr2", 50)])
+        assert "@SQ\tSN:chr1\tLN:100" in header
+        assert "@SQ\tSN:chr2\tLN:50" in header
+        assert header.startswith("@HD")
+
+    def test_unmapped_line(self):
+        line = sam_line("r1", "acgt", "chr1", None)
+        fields = line.split("\t")
+        assert fields[0] == "r1"
+        assert int(fields[1]) == FLAG_UNMAPPED
+        assert fields[2] == "*"
+
+    def test_mapped_line_forward(self):
+        hit = ReadHit(Occurrence(9, (2,)), "+")
+        fields = sam_line("r1", "acgt", "chr1", hit).split("\t")
+        assert int(fields[1]) == 0
+        assert fields[3] == "10"  # 1-based
+        assert fields[5] == "4M"
+        assert "NM:i:1" in fields
+
+    def test_mapped_line_reverse_secondary(self):
+        hit = ReadHit(Occurrence(0, ()), "-")
+        fields = sam_line("r1", "acgt", "chr1", hit, secondary=True).split("\t")
+        assert int(fields[1]) == FLAG_REVERSE | FLAG_SECONDARY
+
+    def test_write_sam_full_document(self):
+        index = KMismatchIndex("acagacag")
+        hits = index.map_read("acag", 0)
+        buffer = io.StringIO()
+        written = write_sam(
+            buffer,
+            [("target", 8)],
+            [("r1", "acag", "target", hits), ("r2", "tttt", "target", [])],
+        )
+        body = [l for l in buffer.getvalue().splitlines() if not l.startswith("@")]
+        assert written == len(body)
+        assert any(f"\t{FLAG_UNMAPPED}\t" in line for line in body)  # r2 unmapped
+        primary = [l for l in body if l.startswith("r1")][0]
+        assert int(primary.split("\t")[1]) & FLAG_SECONDARY == 0
+
+
+class TestCliMap:
+    def test_map_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        genome = tmp_path / "g.fa"
+        genome.write_text(">g\nacagacagtt\n")
+        reads = tmp_path / "r.fq"
+        reads.write_text("@r1\nACAG\n+\nIIII\n")
+        out = tmp_path / "out.sam"
+        rc = main(["map", str(genome), str(reads), "-k", "1", "-o", str(out)])
+        assert rc == 0
+        content = out.read_text()
+        assert "@SQ\tSN:target\tLN:10" in content
+        assert "r1\t" in content
+
+    def test_map_plain_reads(self, tmp_path, capsys):
+        from repro.cli import main
+
+        genome = tmp_path / "g.fa"
+        genome.write_text(">g\nacagacagtt\n")
+        reads = tmp_path / "r.txt"
+        reads.write_text("acag\ngggg\n")
+        rc = main(["map", str(genome), str(reads), "-k", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "read0" in out and "read1" in out

@@ -1,0 +1,190 @@
+"""Tests for the mismatch-information machinery (repro.mismatch)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PatternError
+from repro.mismatch import (
+    NO_MISMATCH,
+    MismatchTables,
+    PatternSelfMismatchOracle,
+    TextPatternOracle,
+    derive_r_ij,
+    merge_mismatch_arrays,
+)
+from repro.strings.hamming import mismatch_positions
+
+dna1 = st.text(alphabet="acgt", min_size=1, max_size=40)
+
+
+class TestPatternSelfMismatchOracle:
+    def test_paper_fig4(self):
+        # r = tcacg.  R_1 compares tcac/cacg: every position differs.
+        oracle = PatternSelfMismatchOracle("tcacg")
+        assert oracle.mismatch_offsets(0, 1, limit=10) == [0, 1, 2, 3]
+        # R_3 compares tc/cg: both positions differ.
+        assert oracle.mismatch_offsets(0, 3, limit=10) == [0, 1]
+
+    def test_same_suffix_no_mismatches(self):
+        oracle = PatternSelfMismatchOracle("acgtacgt")
+        assert oracle.mismatch_offsets(2, 2, limit=5) == []
+
+    def test_window_cap(self):
+        oracle = PatternSelfMismatchOracle("tcacg")
+        assert oracle.mismatch_offsets(0, 1, limit=10, window=2) == [0, 1]
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(PatternError):
+            PatternSelfMismatchOracle("")
+
+    @given(dna1, st.data())
+    @settings(max_examples=60)
+    def test_against_direct_comparison(self, pattern, data):
+        i = data.draw(st.integers(0, len(pattern) - 1))
+        j = data.draw(st.integers(0, len(pattern) - 1))
+        oracle = PatternSelfMismatchOracle(pattern)
+        got = list(oracle.iter_mismatch_offsets(i, j))
+        overlap = len(pattern) - max(i, j)
+        expected = (
+            []
+            if i == j
+            else mismatch_positions(pattern[i:i + overlap], pattern[j:j + overlap])
+        )
+        assert got == expected
+
+
+class TestTextPatternOracle:
+    def test_paper_fig3_alignment(self):
+        oracle = TextPatternOracle("acagaca", "tcaca")
+        assert oracle.mismatch_positions(0, limit=10) == [0, 3]
+        assert oracle.mismatch_positions(2, limit=10) == [0, 1]
+
+    def test_count_capped(self):
+        oracle = TextPatternOracle("aaaa", "tttt")
+        assert oracle.count_mismatches(0, cap=2) == 3
+
+    def test_window_overrun_is_rejected(self):
+        oracle = TextPatternOracle("acagaca", "tcaca")
+        assert oracle.count_mismatches(5, cap=4) == 5  # window runs past the text
+
+    @given(dna1, dna1, st.data())
+    @settings(max_examples=60)
+    def test_against_direct(self, text, pattern, data):
+        if len(pattern) > len(text):
+            text, pattern = pattern, text
+        oracle = TextPatternOracle(text, pattern)
+        start = data.draw(st.integers(0, len(text) - len(pattern)))
+        window = text[start:start + len(pattern)]
+        assert list(oracle.iter_mismatch_offsets(start)) == mismatch_positions(window, pattern)
+
+
+class TestMismatchTables:
+    def test_paper_fig4_tables(self):
+        # r = tcacg, k = 3 -> capacity 5 entries per table.
+        tables = MismatchTables("tcacg", k=3)
+        assert tables.table(1) == (0, 1, 2, 3, NO_MISMATCH)
+        assert tables.table(3) == (0, 1, NO_MISMATCH, NO_MISMATCH, NO_MISMATCH)
+        assert tables.table(0) == (NO_MISMATCH,) * 5
+
+    def test_entry_count(self):
+        tables = MismatchTables("tcacg", k=3)
+        assert tables.entry_count(1) == 4
+        assert tables.entry_count(0) == 0
+
+    def test_is_truncated(self):
+        tables = MismatchTables("tcacgtacg", k=0)  # capacity 2
+        assert tables.capacity == 2
+        # shift 1 has far more than 2 mismatches.
+        assert tables.is_truncated(1)
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(PatternError):
+            MismatchTables("", 1)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(PatternError):
+            MismatchTables("ac", -1)
+
+    def test_shift_out_of_range(self):
+        tables = MismatchTables("acgt", 1)
+        with pytest.raises(PatternError):
+            tables.table(4)
+
+    @given(dna1, st.integers(0, 5))
+    @settings(max_examples=60)
+    def test_matches_reference(self, pattern, k):
+        tables = MismatchTables(pattern, k)
+        for shift in range(len(pattern)):
+            ref = MismatchTables.reference_table(pattern, shift, tables.capacity)
+            assert tables.table(shift) == ref
+
+
+class TestMerge:
+    def test_paper_fig5(self):
+        # α = tcacg, β = r[1:] overlap = cacg, γ = r[2:] overlap = acg.
+        # R_1 = [0,1,2,3], R_2 = [0,2] (0-based).  Result: [0,1,2,3].
+        got = merge_mismatch_arrays(
+            [0, 1, 2, 3, NO_MISMATCH], [0, 2, NO_MISMATCH, NO_MISMATCH, NO_MISMATCH],
+            "cacg", "acg",
+        )
+        assert got == [0, 1, 2, 3]
+
+    def test_disjoint_arrays(self):
+        # β differs from α at 0; γ differs at 2; β/γ differ at both.
+        assert merge_mismatch_arrays([0], [2], "xbc", "abz") == [0, 2]
+
+    def test_equal_position_resolved_by_comparison(self):
+        # Both differ from α at 0, but β[0] == γ[0]: no mismatch.
+        assert merge_mismatch_arrays([0], [0], "xbc", "xbc") == []
+
+    def test_limit(self):
+        got = merge_mismatch_arrays([0, 1, 2], [], "xyz", "abc", limit=2)
+        assert got == [0, 1]
+
+    def test_length_difference_tail(self):
+        # γ shorter: trailing β positions are mismatches by nonexistence.
+        assert merge_mismatch_arrays([], [], "aaaa", "aa") == [2, 3]
+
+    @given(dna1, dna1, dna1)
+    @settings(max_examples=80)
+    def test_against_direct_comparison(self, alpha, beta, gamma):
+        n = min(len(alpha), len(beta), len(gamma))
+        alpha, beta, gamma = alpha[:n], beta[:n], gamma[:n]
+        a1 = mismatch_positions(alpha, beta)
+        a2 = mismatch_positions(alpha, gamma)
+        got = merge_mismatch_arrays(a1, a2, beta, gamma)
+        assert got == mismatch_positions(beta, gamma)
+
+
+class TestDeriveRij:
+    def test_paper_sec4c_example(self):
+        # r = tcaca (Fig. 3 pattern), derive R_12 (0-based shifts 0 and 1
+        # of the paper's 1-based i=1, j=2): mismatches between r[0:] and
+        # r[1:] within their overlap... use the paper's R_{12} example:
+        # merge(R_1, R_2, r[1..5], r[2..4]) = [1,2,3,4] (1-based).
+        tables = MismatchTables("tcacg", k=3)
+        got = derive_r_ij(tables, 1, 2)
+        # overlap window = 5 - 2 = 3: compare r[1:4]='cac' vs r[2:5]='acg'.
+        assert got == mismatch_positions("cac", "acg")
+
+    @given(dna1, st.data())
+    @settings(max_examples=80)
+    def test_matches_direct_comparison(self, pattern, data):
+        i = data.draw(st.integers(0, len(pattern) - 1))
+        j = data.draw(st.integers(0, len(pattern) - 1))
+        k = data.draw(st.integers(0, 4))
+        tables = MismatchTables(pattern, k)
+        window = len(pattern) - max(i, j)
+        direct = mismatch_positions(pattern[i:i + window], pattern[j:j + window])
+        got = derive_r_ij(tables, i, j)
+        # Exact within the window both input tables fully cover; beyond a
+        # truncated table's last entry the paper's fixed-size arrays give
+        # no guarantee (Algorithm A backs them with the kangaroo oracle).
+        coverage = window
+        for shift in (i, j):
+            if tables.is_truncated(shift):
+                coverage = min(coverage, tables.table(shift)[-1])
+        expected = [p for p in direct if p < coverage]
+        assert [p for p in got if p < coverage] == expected

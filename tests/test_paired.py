@@ -1,0 +1,118 @@
+"""Tests for paired-end simulation and pair-aware mapping."""
+
+import pytest
+
+from repro import KMismatchIndex
+from repro.errors import PatternError
+from repro.mapping import best_pair, map_pair
+from repro.simulate import GenomeConfig, generate_genome
+from repro.simulate.pairs import PairedReadConfig, simulate_read_pairs
+from repro.strings.hamming import hamming_distance
+from repro.dna import reverse_complement
+
+
+@pytest.fixture(scope="module")
+def genome():
+    return generate_genome(GenomeConfig(length=6_000, repeat_fraction=0.2, seed=31))
+
+
+@pytest.fixture(scope="module")
+def pairs(genome):
+    return simulate_read_pairs(
+        genome,
+        PairedReadConfig(n_pairs=15, read_length=50, insert_size=300, insert_std=30, seed=32),
+    )
+
+
+class TestPairedSimulation:
+    def test_counts_and_lengths(self, pairs):
+        assert len(pairs) == 15
+        assert all(len(p.read1) == len(p.read2) == 50 for p in pairs)
+
+    def test_ground_truth_mate1(self, genome, pairs):
+        for pair in pairs:
+            window = genome[pair.position1:pair.position1 + 50]
+            assert hamming_distance(pair.read1, window) == pair.n_mutations1
+
+    def test_ground_truth_mate2_is_reverse_complement(self, genome, pairs):
+        for pair in pairs:
+            window = genome[pair.position2:pair.position2 + 50]
+            assert hamming_distance(reverse_complement(pair.read2), window) == pair.n_mutations2
+
+    def test_fragment_geometry(self, pairs):
+        for pair in pairs:
+            assert pair.position2 + 50 - pair.position1 == pair.fragment_length
+            assert pair.fragment_length >= 50
+
+    def test_insert_distribution_centred(self, genome):
+        config = PairedReadConfig(
+            n_pairs=200, read_length=30, insert_size=400, insert_std=20, seed=5,
+            error_rate=0.0, mutation_rate=0.0,
+        )
+        fragments = [p.fragment_length for p in simulate_read_pairs(genome, config)]
+        mean = sum(fragments) / len(fragments)
+        assert 380 <= mean <= 420
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PairedReadConfig(n_pairs=1, read_length=0).validate()
+        with pytest.raises(ValueError):
+            PairedReadConfig(n_pairs=1, read_length=100, insert_size=50).validate()
+        with pytest.raises(ValueError):
+            simulate_read_pairs("acgt", PairedReadConfig(n_pairs=1, read_length=2, insert_size=10))
+
+
+class TestPairMapping:
+    def test_every_pair_maps_concordantly(self, genome, pairs):
+        index = KMismatchIndex(genome)
+        for pair in pairs:
+            k = max(pair.n_mutations1, pair.n_mutations2, 1)
+            alignments = map_pair(index, pair.read1, pair.read2, k,
+                                  min_fragment=50, max_fragment=600)
+            assert alignments, pair
+            best = alignments[0]
+            assert best.start == pair.position1
+            assert best.fragment_length == pair.fragment_length
+
+    def test_fragment_window_filters(self, genome, pairs):
+        index = KMismatchIndex(genome)
+        pair = pairs[0]
+        k = max(pair.n_mutations1, pair.n_mutations2, 1)
+        # A window excluding the true fragment length yields nothing
+        # (unless a repeat offers an alternative — tolerate fewer hits).
+        narrow = map_pair(index, pair.read1, pair.read2, k,
+                          min_fragment=pair.fragment_length + 100,
+                          max_fragment=pair.fragment_length + 200)
+        wide = map_pair(index, pair.read1, pair.read2, k,
+                        min_fragment=50, max_fragment=600)
+        assert len(narrow) <= len(wide)
+        assert all(a.fragment_length > pair.fragment_length for a in narrow)
+
+    def test_best_pair(self, genome, pairs):
+        index = KMismatchIndex(genome)
+        pair = pairs[0]
+        best = best_pair(index, pair.read1, pair.read2, k_max=5,
+                         min_fragment=50, max_fragment=600)
+        assert best is not None
+        assert best.start == pair.position1
+
+    def test_best_pair_none_when_absent(self):
+        index = KMismatchIndex("a" * 300)
+        assert best_pair(index, "gggg", "cccc", k_max=0) is None
+
+    def test_rejects_unequal_mates(self):
+        index = KMismatchIndex("acgtacgt")
+        with pytest.raises(PatternError):
+            map_pair(index, "acg", "ac", 0)
+
+    def test_rejects_bad_window(self):
+        index = KMismatchIndex("acgtacgt")
+        with pytest.raises(PatternError):
+            map_pair(index, "ac", "gt", 0, min_fragment=10, max_fragment=5)
+
+    def test_orientation_required(self):
+        # Two forward-strand hits never form a pair.
+        index = KMismatchIndex("acgtaacgta")
+        alignments = map_pair(index, "acgta", "acgta", 0)
+        for a in alignments:
+            assert {a.hit1.strand, a.hit2.strand} == {"+", "-"}

@@ -1,0 +1,149 @@
+"""End-to-end fidelity tests against the paper's worked examples.
+
+Each test pins one artefact from the paper's running examples:
+Sec. I (intro example), Fig. 1 (rotation matrix / BWT), Sec. III-A
+(backward search of r = aca), Fig. 3 (S-tree for r = tcaca, k = 2),
+Fig. 4 (the R tables of r = tcacg), Fig. 5 (the merge trace), and
+Fig. 7 (the M-tree of the Fig. 3 search).
+"""
+
+from repro import DNA, FMIndex, KMismatchIndex, bwt_transform
+from repro.core.algorithm_a import AlgorithmASearcher
+from repro.core.stree import STreeSearcher, compute_phi
+from repro.mismatch import MismatchTables, NO_MISMATCH, merge_mismatch_arrays
+
+from conftest import INTRO_PATTERN, INTRO_TARGET, PAPER_PATTERN, PAPER_TARGET
+
+
+class TestSecI:
+    def test_intro_occurrence(self):
+        """r occurs at (1-based) position 3 of s with exactly 4 mismatches."""
+        index = KMismatchIndex(INTRO_TARGET)
+        occs = index.search(INTRO_PATTERN, k=4)
+        assert len(occs) == 1
+        assert occs[0].start == 2  # 0-based for the paper's position 3
+        assert occs[0].n_mismatches == 4
+
+    def test_no_occurrence_below_four(self):
+        index = KMismatchIndex(INTRO_TARGET)
+        assert index.search(INTRO_PATTERN, k=3) == []
+
+
+class TestFig1:
+    def test_bwt_of_acagaca(self):
+        """Fig. 1(c): BWT(acagaca$) = acg$caaa."""
+        assert bwt_transform(PAPER_TARGET) == "acg$caaa"
+
+    def test_f_column_intervals(self):
+        """Sec. III-A: F_$=F[0..0], F_a=F[1..4], F_c=F[5..6], F_g=F[7..7]."""
+        fm = FMIndex(PAPER_TARGET, DNA)
+        assert tuple(fm.f_interval(0)) == (0, 1)
+        assert tuple(fm.f_interval(DNA.code("a"))) == (1, 5)
+        assert tuple(fm.f_interval(DNA.code("c"))) == (5, 7)
+        assert tuple(fm.f_interval(DNA.code("g"))) == (7, 8)
+        assert tuple(fm.f_interval(DNA.code("t"))) == (8, 8)
+
+
+class TestSecIIIBackwardSearch:
+    def test_aca_step_sequence(self):
+        """The three-step search of r = aca: <a,[1,4]>, <c,[1,2]>, <a,[2,3]>.
+
+        The paper's rank pairs translate to row ranges:
+        F_a rows [1,5), then the c-rows [5,7), then a-rows [2,4).
+        """
+        fm = FMIndex(PAPER_TARGET, DNA)
+        rng = fm.full_range()
+        rng = fm.extend_char(rng, "a")
+        assert tuple(rng) == (1, 5)
+        rng = fm.extend_char(rng, "c")
+        assert tuple(rng) == (5, 7)
+        rng = fm.extend_char(rng, "a")
+        assert len(rng) == 2  # two occurrences of aca
+        # Their text positions are 0 and 4 (the paper's a2 and a3 1-based).
+        assert sorted(fm.locate_range(rng)) == [0, 4]
+
+    def test_count_matches_paper(self):
+        fm = FMIndex(PAPER_TARGET, DNA)
+        assert fm.count("aca") == 2
+
+
+class TestFig3:
+    def test_occurrences_and_mismatch_arrays(self):
+        """Fig. 3: P1 -> s[1..5] with B1=[1,4]; P2 -> s[3..7] with B2=[1,2]."""
+        index = KMismatchIndex(PAPER_TARGET)
+        occs = index.search(PAPER_PATTERN, k=2)
+        assert [(o.start, o.mismatches) for o in occs] == [
+            (0, (0, 3)),  # B1 = [1, 4] 1-based
+            (2, (0, 1)),  # B2 = [1, 2] 1-based
+        ]
+
+    def test_phi_values(self):
+        """Sec. IV-A: φ(1) = 2 ('t' and 'cac' absent), φ(3) = 0."""
+        fm = FMIndex(PAPER_TARGET[::-1], DNA)
+        phi = compute_phi(fm, DNA.encode(PAPER_PATTERN))
+        assert phi[0] == 2 and phi[2] == 0
+
+    def test_stree_and_algorithm_a_agree_with_paper(self):
+        fm = FMIndex(PAPER_TARGET[::-1], DNA)
+        for searcher in (
+            STreeSearcher(fm, use_phi=False),
+            AlgorithmASearcher(fm, use_phi=False, min_memo_width=1),
+        ):
+            occs, _ = searcher.search(PAPER_PATTERN, 2)
+            assert [(o.start, o.mismatches) for o in occs] == [(0, (0, 3)), (2, (0, 1))]
+
+
+class TestFig4:
+    def test_r_tables_of_tcacg(self):
+        """Fig. 4(c): R_1..R_4 for r = tcacg (1-based entries shown there).
+
+        1-based paper values: R_1 = [1,2,3,4], R_2 = [1,3], R_4 = [1];
+        R_3 compares 'tc' against 'cg' -> both positions mismatch.
+        """
+        tables = MismatchTables("tcacg", k=3)  # capacity 5
+        assert tables.table(1)[:4] == (0, 1, 2, 3)
+        assert tables.table(2)[:2] == (0, 2)
+        assert tables.table(3)[:2] == (0, 1)
+        assert tables.table(4)[:1] == (0,)
+        assert tables.table(0) == (NO_MISMATCH,) * 5
+
+
+class TestFig5:
+    def test_merge_trace(self):
+        """Fig. 5: merge(R_1, R_2, cacg, acg) = [1,2,3,4] (1-based)."""
+        tables = MismatchTables("tcacg", k=3)
+        got = merge_mismatch_arrays(
+            tables.table(1), tables.table(2), "cacg", "acg"
+        )
+        assert got == [0, 1, 2, 3]
+
+
+class TestFig7:
+    def test_mtree_structure(self):
+        """The M-tree of the Fig. 3 search: root has the three mismatch
+        children <a,1>, <c,1>, <g,1> (1-based; <x,0> here), and the B1
+        path runs root -> <a,0> -> <-,0> -> <g,3> -> <-,0>."""
+        fm = FMIndex(PAPER_TARGET[::-1], DNA)
+        searcher = AlgorithmASearcher(fm, record_mtree=True, use_phi=False, min_memo_width=1)
+        _, stats = searcher.search(PAPER_PATTERN, 2)
+        tree = searcher.last_mtree
+        assert tree is not None
+        root_keys = set(tree.root.children.keys())
+        assert root_keys == {("a", 0), ("c", 0), ("g", 0)}
+        # Walk the B1 path.
+        node = tree.root.children[("a", 0)]
+        assert node.label() == "<a, 0>"
+        match_node = node.children["match"]
+        assert ("g", 3) in match_node.children
+        tail = match_node.children[("g", 3)]
+        assert "match" in tail.children  # trailing matched position 4
+        # Path count equals recorded leaves.
+        assert tree.n_paths == stats.leaves
+
+    def test_render_shows_paper_labels(self):
+        fm = FMIndex(PAPER_TARGET[::-1], DNA)
+        searcher = AlgorithmASearcher(fm, record_mtree=True, use_phi=False)
+        searcher.search(PAPER_PATTERN, 2)
+        rendering = searcher.last_mtree.render()
+        for label in ("<a, 0>", "<g, 3>", "<-, 0>"):
+            assert label in rendering

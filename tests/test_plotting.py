@@ -1,0 +1,49 @@
+"""Tests for the ASCII chart renderer (repro.bench.plotting)."""
+
+import pytest
+
+from repro.bench.plotting import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_shape(self):
+        out = ascii_chart([1, 2, 3], {"A": [1.0, 2.0, 3.0]}, height=5, width=20)
+        lines = out.splitlines()
+        assert len(lines) == 5 + 3  # rows + axis + x labels + legend
+        assert "* A" in lines[-1] or "A" in lines[-1]
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = ascii_chart([1, 2], {"A": [1.0, 2.0], "B": [2.0, 1.0]}, height=4, width=10)
+        assert "*" in out and "o" in out
+
+    def test_log_scale(self):
+        out = ascii_chart(
+            [1, 2, 3], {"A": [0.001, 0.1, 10.0]}, height=6, width=20,
+            y_label="time", log_y=True,
+        )
+        assert "log scale" in out
+        # On a log axis the three points climb linearly: the middle point
+        # sits mid-chart, not at the bottom.
+        rows = [line for line in out.splitlines() if "|" in line]
+        middle = rows[len(rows) // 2]
+        assert "*" in middle
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"A": [0.0]}, log_y=True)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"A": [1.0]})
+
+    def test_empty_inputs(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {})
+
+    def test_single_point(self):
+        out = ascii_chart([5], {"A": [2.0]}, height=3, width=8)
+        assert "*" in out
+
+    def test_extremes_labelled(self):
+        out = ascii_chart([1, 2], {"A": [0.5, 120.0]}, height=4, width=10)
+        assert "120" in out and "0.5" in out

@@ -1,0 +1,70 @@
+"""Tests for the q-gram hash-index baseline (repro.baselines.qgram)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.qgram import QGramIndex, qgram_search
+from repro.errors import PatternError
+
+from conftest import INTRO_PATTERN, INTRO_TARGET, random_dna, reference_occurrences
+
+dna = st.text(alphabet="acgt", min_size=1, max_size=80)
+pat = st.text(alphabet="acgt", min_size=1, max_size=16)
+
+
+class TestQGramIndex:
+    def test_positions(self):
+        index = QGramIndex("acagaca", q=3)
+        assert sorted(index.positions("aca")) == [0, 4]
+        assert index.positions("ttt") == []
+
+    def test_positions_wrong_length(self):
+        with pytest.raises(PatternError):
+            QGramIndex("acgt", q=3).positions("ac")
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(PatternError):
+            QGramIndex("acgt", q=0)
+
+    def test_stats(self):
+        stats = QGramIndex("acagaca", q=3).stats()
+        assert stats["q"] == 3
+        assert stats["indexed_positions"] == 5
+        assert stats["distinct_grams"] <= 5
+
+    def test_intro_example(self):
+        index = QGramIndex(INTRO_TARGET, q=2)
+        occs = index.search(INTRO_PATTERN, 4)
+        assert [o.start for o in occs] == [2]
+
+    def test_exact(self):
+        assert [o.start for o in qgram_search("acagaca", "aca", 0, q=3)] == [0, 4]
+
+    def test_short_pattern_fallback(self):
+        # Blocks shorter than q: falls back to full verification, stays exact.
+        got = qgram_search("acgtacgt", "ac", 1, q=8)
+        assert [(o.start, o.mismatches) for o in got] == reference_occurrences(
+            "acgtacgt", "ac", 1
+        )
+
+    def test_rejects_bad_search_args(self):
+        index = QGramIndex("acgt", q=2)
+        with pytest.raises(PatternError):
+            index.search("", 0)
+        with pytest.raises(PatternError):
+            index.search("a", -1)
+
+    def test_index_reusable_across_patterns(self, rng):
+        text = random_dna(rng, 200)
+        index = QGramIndex(text, q=4)
+        for _ in range(10):
+            pattern = random_dna(rng, rng.randint(8, 20))
+            k = rng.randint(0, 3)
+            got = [(o.start, o.mismatches) for o in index.search(pattern, k)]
+            assert got == reference_occurrences(text, pattern, k)
+
+    @given(dna, pat, st.integers(0, 4), st.integers(1, 6))
+    @settings(max_examples=100, deadline=None)
+    def test_against_naive(self, text, pattern, k, q):
+        got = [(o.start, o.mismatches) for o in qgram_search(text, pattern, k, q=q)]
+        assert got == reference_occurrences(text, pattern, k)

@@ -1,0 +1,102 @@
+"""Tests for repro.sequence (bit-packed sequences)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.alphabet import DNA
+from repro.errors import ReproError
+from repro.sequence import PackedSequence, bits_needed, pack_text, unpack_text
+
+
+class TestBitsNeeded:
+    @pytest.mark.parametrize(
+        "n_codes,expected",
+        [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (256, 8)],
+    )
+    def test_values(self, n_codes, expected):
+        assert bits_needed(n_codes) == expected
+
+
+class TestPackedSequence:
+    def test_roundtrip_simple(self):
+        values = [0, 1, 2, 3, 4, 3, 2, 1, 0]
+        ps = PackedSequence(3, values)
+        assert ps.tolist() == values
+        assert len(ps) == len(values)
+
+    def test_word_straddling_width(self):
+        # width 5 does not divide 64; values straddle word boundaries.
+        values = [i % 32 for i in range(200)]
+        ps = PackedSequence(5, values)
+        assert ps.tolist() == values
+
+    def test_width_64(self):
+        values = [2**63, 1, 2**64 - 1]
+        ps = PackedSequence(64, values)
+        assert ps.tolist() == values
+
+    def test_negative_index(self):
+        ps = PackedSequence(2, [1, 2, 3])
+        assert ps[-1] == 3
+        assert ps[-3] == 1
+
+    def test_index_out_of_range(self):
+        ps = PackedSequence(2, [1])
+        with pytest.raises(IndexError):
+            ps[1]
+        with pytest.raises(IndexError):
+            ps[-2]
+
+    def test_value_too_wide(self):
+        ps = PackedSequence(2)
+        with pytest.raises(ReproError):
+            ps.append(4)
+
+    def test_negative_value(self):
+        with pytest.raises(ReproError):
+            PackedSequence(2, [-1])
+
+    def test_bad_width(self):
+        with pytest.raises(ReproError):
+            PackedSequence(0)
+        with pytest.raises(ReproError):
+            PackedSequence(65)
+
+    def test_equality(self):
+        assert PackedSequence(3, [1, 2]) == PackedSequence(3, [1, 2])
+        assert PackedSequence(3, [1, 2]) != PackedSequence(3, [2, 1])
+        assert PackedSequence(3, [1]) != PackedSequence(4, [1])
+
+    def test_iteration(self):
+        values = [3, 0, 1, 2]
+        assert list(PackedSequence(2, values)) == values
+
+    def test_nbytes_grows(self):
+        small = PackedSequence(2)
+        big = PackedSequence(2, [1] * 1000)
+        assert big.nbytes() > small.nbytes()
+
+    @given(st.lists(st.integers(min_value=0, max_value=31), max_size=300))
+    def test_roundtrip_property(self, values):
+        assert PackedSequence(5, values).tolist() == values
+
+    def test_random_widths(self):
+        rng = random.Random(7)
+        for width in (1, 2, 3, 7, 13, 31, 63):
+            values = [rng.randrange(1 << width) for _ in range(157)]
+            assert PackedSequence(width, values).tolist() == values
+
+
+class TestTextPacking:
+    def test_pack_unpack_dna(self):
+        text = "acgtacgt"
+        packed = pack_text(text, DNA)
+        assert unpack_text(packed, DNA) == text
+        assert packed.width == 3  # 5 codes incl. sentinel
+
+    def test_packed_is_compact(self):
+        packed = pack_text("a" * 1000, DNA)
+        # 3 bits/char -> well under 1 byte/char.
+        assert packed.nbytes() < 1000

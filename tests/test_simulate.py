@@ -1,0 +1,152 @@
+"""Tests for the simulation substrate (repro.simulate)."""
+
+import pytest
+
+from repro.simulate import (
+    GENOME_CATALOG,
+    GenomeConfig,
+    ReadConfig,
+    build_catalog_genome,
+    generate_genome,
+    reverse_complement,
+    simulate_reads,
+)
+from repro.simulate.genome import summarize_genome
+from repro.strings.hamming import hamming_distance
+
+
+class TestReverseComplement:
+    def test_simple(self):
+        assert reverse_complement("acag") == "ctgt"
+
+    def test_involution(self):
+        seq = "acgtacgtgg"
+        assert reverse_complement(reverse_complement(seq)) == seq
+
+    def test_empty(self):
+        assert reverse_complement("") == ""
+
+
+class TestGenomeGeneration:
+    def test_length(self):
+        assert len(generate_genome(GenomeConfig(length=1234, seed=1))) == 1234
+
+    def test_alphabet(self):
+        genome = generate_genome(GenomeConfig(length=500, seed=2))
+        assert set(genome) <= set("acgt")
+
+    def test_reproducible(self):
+        a = generate_genome(GenomeConfig(length=500, seed=3))
+        b = generate_genome(GenomeConfig(length=500, seed=3))
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = generate_genome(GenomeConfig(length=500, seed=3))
+        b = generate_genome(GenomeConfig(length=500, seed=4))
+        assert a != b
+
+    def test_gc_content_tracks_config(self):
+        low = generate_genome(GenomeConfig(length=20_000, gc_content=0.2, repeat_fraction=0, tandem_fraction=0, seed=5))
+        high = generate_genome(GenomeConfig(length=20_000, gc_content=0.8, repeat_fraction=0, tandem_fraction=0, seed=5))
+        assert summarize_genome(low).gc_content < 0.3
+        assert summarize_genome(high).gc_content > 0.7
+
+    def test_repeats_increase_duplication(self):
+        # With repeats, some 30-mers occur many times; without, rarely.
+        plain = generate_genome(GenomeConfig(length=30_000, repeat_fraction=0.0, tandem_fraction=0.0, seed=6))
+        repeaty = generate_genome(GenomeConfig(length=30_000, repeat_fraction=0.6, repeat_divergence=0.0, tandem_fraction=0.0, seed=6))
+
+        def max_30mer_count(genome):
+            counts = {}
+            for i in range(0, len(genome) - 30, 7):
+                w = genome[i:i + 30]
+                counts[w] = counts.get(w, 0) + 1
+            return max(counts.values())
+
+        assert max_30mer_count(repeaty) > max_30mer_count(plain)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GenomeConfig(length=0).validate()
+        with pytest.raises(ValueError):
+            GenomeConfig(length=10, gc_content=1.5).validate()
+        with pytest.raises(ValueError):
+            GenomeConfig(length=10, repeat_unit_length=0).validate()
+
+
+class TestReadSimulation:
+    def test_counts_and_lengths(self):
+        genome = generate_genome(GenomeConfig(length=2000, seed=7))
+        reads = simulate_reads(genome, ReadConfig(n_reads=25, length=50, seed=8))
+        assert len(reads) == 25
+        assert all(len(r.sequence) == 50 for r in reads)
+
+    def test_ground_truth_positions(self):
+        genome = generate_genome(GenomeConfig(length=2000, seed=7))
+        reads = simulate_reads(genome, ReadConfig(n_reads=25, length=50, seed=8))
+        for read in reads:
+            window = genome[read.position:read.position + 50]
+            assert hamming_distance(read.forward_sequence(), window) == read.n_mutations
+
+    def test_error_free_reads_are_exact_windows(self):
+        genome = generate_genome(GenomeConfig(length=2000, seed=9))
+        config = ReadConfig(n_reads=10, length=40, error_rate=0.0, mutation_rate=0.0, seed=1)
+        for read in simulate_reads(genome, config):
+            assert read.n_mutations == 0
+            assert read.forward_sequence() == genome[read.position:read.position + 40]
+
+    def test_both_strands_sampled(self):
+        genome = generate_genome(GenomeConfig(length=5000, seed=10))
+        reads = simulate_reads(genome, ReadConfig(n_reads=60, length=30, seed=2))
+        strands = {r.reverse_strand for r in reads}
+        assert strands == {True, False}
+
+    def test_forward_only(self):
+        genome = generate_genome(GenomeConfig(length=5000, seed=10))
+        reads = simulate_reads(genome, ReadConfig(n_reads=20, length=30, both_strands=False, seed=2))
+        assert all(not r.reverse_strand for r in reads)
+
+    def test_error_rate_produces_mutations(self):
+        genome = generate_genome(GenomeConfig(length=5000, seed=11))
+        reads = simulate_reads(genome, ReadConfig(n_reads=50, length=100, error_rate=0.1, seed=3))
+        assert sum(r.n_mutations for r in reads) > 0
+
+    def test_read_longer_than_genome_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_reads("acgt", ReadConfig(n_reads=1, length=10))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ReadConfig(n_reads=-1, length=5).validate()
+        with pytest.raises(ValueError):
+            ReadConfig(n_reads=1, length=5, error_rate=2.0).validate()
+
+
+class TestCatalog:
+    def test_roster_matches_table1(self):
+        names = [spec.name for spec in GENOME_CATALOG]
+        assert names == [
+            "Rat (Rnor_6.0)",
+            "Zebra fish (GRCz10)",
+            "Rat chr1 (Rnor_6.0)",
+            "C. elegans (WBcel235)",
+            "C. merolae (ASM9v1)",
+        ]
+
+    def test_paper_sizes(self):
+        sizes = [spec.paper_size_bp for spec in GENOME_CATALOG]
+        assert sizes == [2_909_701_677, 1_464_443_456, 290_094_217, 103_022_290, 16_728_967]
+
+    def test_relative_sizes_preserved(self):
+        specs = GENOME_CATALOG
+        for a, b in zip(specs, specs[1:]):
+            assert a.scaled_size > b.scaled_size
+
+    def test_build_respects_cap(self):
+        genome = build_catalog_genome(GENOME_CATALOG[0], max_length=5_000)
+        assert len(genome) == 5_000
+
+    def test_build_is_memoised(self):
+        a = build_catalog_genome(GENOME_CATALOG[-1], max_length=4_000)
+        b = build_catalog_genome(GENOME_CATALOG[-1], max_length=4_000)
+        assert a is b

@@ -1,0 +1,132 @@
+"""Tests for the wavelet-tree rank backend (repro.bwt.wavelet)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alphabet import DNA, PROTEIN
+from repro.bwt import FMIndex
+from repro.bwt.transform import bwt_transform
+from repro.bwt.wavelet import BitVector, WaveletRank, WaveletTree
+from repro.errors import IndexCorruptionError
+
+bits = st.lists(st.integers(0, 1), min_size=0, max_size=300)
+codes = st.lists(st.integers(0, 7), min_size=0, max_size=200)
+
+
+class TestBitVector:
+    def test_basic(self):
+        bv = BitVector([1, 0, 1, 1, 0])
+        assert len(bv) == 5
+        assert bv.n_set == 3
+        assert [bv[i] for i in range(5)] == [1, 0, 1, 1, 0]
+        assert bv.rank1(0) == 0
+        assert bv.rank1(5) == 3
+        assert bv.rank0(4) == 1
+
+    def test_word_boundaries(self):
+        values = [1 if i % 3 == 0 else 0 for i in range(200)]
+        bv = BitVector(values)
+        for i in range(0, 201, 7):
+            assert bv.rank1(i) == sum(values[:i])
+
+    def test_out_of_range(self):
+        bv = BitVector([1])
+        with pytest.raises(IndexError):
+            bv[1]
+        with pytest.raises(IndexError):
+            bv.rank1(2)
+
+    @given(bits, st.data())
+    def test_rank_property(self, values, data):
+        bv = BitVector(values)
+        i = data.draw(st.integers(0, len(values)))
+        assert bv.rank1(i) == sum(values[:i])
+        assert bv.rank0(i) == i - sum(values[:i])
+
+
+class TestWaveletTree:
+    def test_paper_bwt(self):
+        # BWT(acagaca$) encoded over DNA: a c g $ c a a a.
+        wt = WaveletTree(DNA.encode("acg$caaa"), DNA.size)
+        assert wt.rank(DNA.code("a"), 8) == 4
+        assert wt.rank(DNA.code("c"), 5) == 2
+        assert wt.rank(0, 4) == 1  # the sentinel
+
+    def test_access(self):
+        seq = DNA.encode("acg$caaa")
+        wt = WaveletTree(seq, DNA.size)
+        assert [wt.access(i) for i in range(len(seq))] == seq
+
+    @given(codes, st.data())
+    @settings(max_examples=80)
+    def test_rank_access_properties(self, values, data):
+        wt = WaveletTree(values, 8)
+        if values:
+            i = data.draw(st.integers(0, len(values) - 1))
+            assert wt.access(i) == values[i]
+        i = data.draw(st.integers(0, len(values)))
+        code = data.draw(st.integers(0, 7))
+        assert wt.rank(code, i) == values[:i].count(code)
+
+    def test_single_code_alphabet(self):
+        wt = WaveletTree([0, 0, 0], 1)
+        assert wt.rank(0, 3) == 3
+
+
+class TestWaveletRank:
+    def test_matches_rankall(self):
+        from repro.bwt.rankall import RankAll
+
+        rng = random.Random(5)
+        bwt = bwt_transform("".join(rng.choice("acgt") for _ in range(150)))
+        wavelet = WaveletRank(bwt, DNA)
+        rankall = RankAll(bwt, DNA)
+        for i in range(0, len(bwt) + 1, 3):
+            assert wavelet.counts_at(i) == rankall.counts_at(i)
+        for i in range(len(bwt)):
+            assert wavelet.char_code_at(i) == rankall.char_code_at(i)
+
+    def test_verify(self):
+        WaveletRank(bwt_transform("acagaca"), DNA).verify()
+
+    def test_protein_alphabet(self):
+        text = "MKVLAWLQ"
+        bwt = bwt_transform(text, PROTEIN)
+        ra = WaveletRank(bwt, PROTEIN)
+        for code in range(PROTEIN.size):
+            assert ra.total(code) == bwt.count(PROTEIN.symbol(code))
+
+
+class TestFMIndexWaveletBackend:
+    def test_search_equivalence(self):
+        rng = random.Random(6)
+        text = "".join(rng.choice("acgt") for _ in range(300))
+        fm_rank = FMIndex(text, DNA)
+        fm_wave = FMIndex(text, DNA, rank_backend="wavelet")
+        for _ in range(20):
+            m = rng.randint(1, 10)
+            pattern = "".join(rng.choice("acgt") for _ in range(m))
+            assert fm_wave.count(pattern) == fm_rank.count(pattern)
+            assert sorted(fm_wave.locate(pattern)) == sorted(fm_rank.locate(pattern))
+
+    def test_kmismatch_over_wavelet(self):
+        from repro.core.algorithm_a import AlgorithmASearcher
+        from repro.baselines.naive import naive_search
+
+        text = "acagacagttacgtaacgacag"
+        fm = FMIndex(text[::-1], DNA, rank_backend="wavelet")
+        occs, _ = AlgorithmASearcher(fm).search("gacag", 2)
+        expected = [(o.start, o.mismatches) for o in naive_search(text, "gacag", 2)]
+        assert [(o.start, o.mismatches) for o in occs] == expected
+
+    def test_serialization_preserves_backend(self):
+        fm = FMIndex("acagaca", DNA, rank_backend="wavelet")
+        clone = FMIndex.loads(fm.dumps())
+        assert clone.count("aca") == 2
+        assert clone._rank_backend == "wavelet"
+
+    def test_unknown_backend(self):
+        with pytest.raises(IndexCorruptionError):
+            FMIndex("acgt", DNA, rank_backend="btree")
