@@ -24,7 +24,7 @@ from repro.bench.reporting import format_table
 from repro.bench.suite import MethodSuite
 from repro.bench.workloads import catalog_workload
 
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 FULL = os.environ.get("REPRO_BENCH_FULL_TABLE2") == "1"
 
@@ -40,6 +40,7 @@ _GENOME_CAP = 40_000
 @pytest.mark.benchmark(group="table2")
 def test_table2_mtree_leaf_counts(benchmark, results_dir):
     rows = []
+    configs_json = []
 
     def sweep():
         for k, length in CONFIGS:
@@ -58,8 +59,31 @@ def test_table2_mtree_leaf_counts(benchmark, results_dir):
                     f"{stats.memo_size:,}",
                 ]
             )
+            configs_json.append(
+                {
+                    "k": k,
+                    "read_length": length,
+                    "n_reads": len(workload.reads),
+                    "occurrences": result.n_occurrences,
+                    "stats": stats.to_dict(),
+                    "latency_ms": result.latency_hist.to_dict()
+                    if result.latency_hist is not None
+                    else None,
+                }
+            )
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_json_result(
+        results_dir,
+        "table2_leaf_counts",
+        {
+            "experiment": "table2_leaf_counts",
+            "genome_cap_bp": _GENOME_CAP,
+            "full_table2": FULL,
+            "method": "A()",
+            "configs": configs_json,
+        },
+    )
     table = format_table(
         ["k/length", "n' (M-tree leaves)", "nodes expanded", "reuse hits", "hash entries"],
         rows,

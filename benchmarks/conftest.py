@@ -14,6 +14,7 @@ Scale knobs (environment):
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -32,3 +33,10 @@ def write_result(results_dir: Path, name: str, content: str) -> None:
     path = results_dir / f"{name}.txt"
     path.write_text(content + "\n")
     print(f"\n{content}\n[written to {path}]")
+
+
+def write_json_result(results_dir: Path, name: str, payload: dict) -> None:
+    """Persist an experiment's machine-readable companion artifact."""
+    path = results_dir / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[stats written to {path}]")

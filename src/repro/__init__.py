@@ -21,6 +21,7 @@ Package map
 ``repro.baselines``  — naive, Landau–Vishkin, Amir, Cole comparators
 ``repro.simulate``   — synthetic genomes and wgsim-style reads
 ``repro.bench``      — workload/reporting harness for the experiments
+``repro.obs``        — tracing/metrics layer (``repro.obs.OBS``)
 """
 
 from .alphabet import DNA, PROTEIN, Alphabet, infer_alphabet
@@ -42,6 +43,7 @@ from .core.types import Occurrence, SearchStats
 from .core.wildcard import WildcardSearcher
 from .collection import SequenceCollection
 from .dna import reverse_complement
+from .obs import OBS
 
 __version__ = "1.0.0"
 
@@ -71,5 +73,6 @@ __all__ = [
     "SearchStats",
     "SequenceCollection",
     "reverse_complement",
+    "OBS",
     "__version__",
 ]

@@ -6,7 +6,9 @@ report, as aligned ASCII tables — no plotting dependencies.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
+
+from ..obs.metrics import Histogram
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
@@ -60,3 +62,30 @@ def format_seconds(seconds: float) -> str:
     if seconds < 1.0:
         return f"{seconds * 1e3:.1f}ms"
     return f"{seconds:.2f}s"
+
+
+#: Percentiles reported by the latency columns (paper tables report only
+#: averages; the tail is where per-read variance shows).
+PERCENTILES = (50, 90, 99)
+
+
+def percentile_headers(prefix: str = "") -> List[str]:
+    """Column headers matching :func:`percentile_cells` (``p50`` ...)."""
+    return [f"{prefix}p{p}" for p in PERCENTILES]
+
+
+def percentile_cells(hist: Optional[Histogram]) -> List[str]:
+    """One formatted cell per :data:`PERCENTILES` entry for ``hist``.
+
+    ``hist`` holds milliseconds (the convention of
+    :class:`~repro.bench.suite.MethodResult.latency_hist`); empty or
+    missing histograms render as dashes so tables stay aligned.
+    """
+    if hist is None or hist.count == 0:
+        return ["-" for _ in PERCENTILES]
+    return [format_seconds(hist.percentile(p) / 1e3) for p in PERCENTILES]
+
+
+def format_histogram(hist: Histogram, width: int = 40) -> str:
+    """ASCII rendering of one histogram (delegates to the obs layer)."""
+    return hist.render(width=width)

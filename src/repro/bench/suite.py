@@ -27,6 +27,7 @@ from ..core.algorithm_a import AlgorithmASearcher
 from ..core.matcher import KMismatchIndex
 from ..core.stree import STreeSearcher
 from ..core.types import SearchStats
+from ..obs import LATENCY_BUCKETS_MS, OBS, Histogram
 
 #: The four methods of the paper's evaluation, in its naming.
 PAPER_METHODS = ("A()", "BWT", "Amir's", "Cole's")
@@ -42,6 +43,10 @@ class MethodResult:
     n_occurrences: int
     stats: Optional[SearchStats] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Per-read latency distribution (milliseconds), always populated by
+    #: :meth:`MethodSuite.run` — feeds the percentile columns of
+    #: :func:`repro.bench.reporting.format_percentiles`.
+    latency_hist: Optional[Histogram] = None
 
     @property
     def avg_seconds(self) -> float:
@@ -83,23 +88,37 @@ class MethodSuite:
     # -- single-method timing --------------------------------------------------
 
     def run(self, method: str, reads: Sequence[str], k: int) -> MethodResult:
-        """Time ``method`` over ``reads`` at mismatch bound ``k``."""
+        """Time ``method`` over ``reads`` at mismatch bound ``k``.
+
+        Each read is also timed individually into the result's
+        ``latency_hist`` so reports can show tail percentiles next to the
+        paper's average — averages hide exactly the reads the derivation
+        machinery is supposed to help.
+        """
         runner = self._runner_for(method, k)
         last_stats: Optional[SearchStats] = None
         n_occurrences = 0
-        start = time.perf_counter()
-        for read in reads:
-            occurrences, stats = runner(read)
-            n_occurrences += len(occurrences)
-            if stats is not None:
-                last_stats = stats if last_stats is None else last_stats.merge(stats)
-        elapsed = time.perf_counter() - start
+        latency_hist = Histogram(f"suite.{method}.latency_ms", LATENCY_BUCKETS_MS)
+        with OBS.span("suite.run", method=method, k=k, n_reads=len(reads)) as span:
+            start = time.perf_counter()
+            for read in reads:
+                read_start = time.perf_counter()
+                occurrences, stats = runner(read)
+                latency_hist.observe((time.perf_counter() - read_start) * 1e3)
+                n_occurrences += len(occurrences)
+                if stats is not None:
+                    last_stats = stats if last_stats is None else last_stats.merge(stats)
+            elapsed = time.perf_counter() - start
+            span.set(seconds=round(elapsed, 6), occurrences=n_occurrences)
+        if OBS.enabled:
+            OBS.metrics.histogram(f"suite.{method}.latency_ms").merge(latency_hist)
         return MethodResult(
             method=method,
             total_seconds=elapsed,
             n_reads=len(reads),
             n_occurrences=n_occurrences,
             stats=last_stats,
+            latency_hist=latency_hist,
         )
 
     def run_all(self, reads: Sequence[str], k: int) -> List[MethodResult]:

@@ -22,6 +22,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..alphabet import SENTINEL, Alphabet, infer_alphabet
 from ..errors import IndexCorruptionError, PatternError, SerializationError
+from ..obs import OBS
 from .. import suffix
 from .rankall import DEFAULT_SAMPLE_RATE, RankAll
 from .transform import bwt_from_suffix_array
@@ -92,12 +93,21 @@ class FMIndex:
         self._text_len = len(text)
         self._sa_sample_rate = sa_sample_rate
 
-        sa = suffix.suffix_array(text, alphabet)
-        bwt = bwt_from_suffix_array(text, sa)
-        self._init_from_bwt(bwt, occ_sample_rate, rank_backend)
-        self._sampled_sa: Dict[int, int] = {
-            row: pos for row, pos in enumerate(sa) if pos % sa_sample_rate == 0
-        }
+        with OBS.span("fmindex.build", length=len(text), backend=rank_backend) as build_span:
+            with OBS.span("fmindex.suffix_array"):
+                sa = suffix.suffix_array(text, alphabet)
+            with OBS.span("fmindex.bwt"):
+                bwt = bwt_from_suffix_array(text, sa)
+            with OBS.span("fmindex.rank_tables"):
+                self._init_from_bwt(bwt, occ_sample_rate, rank_backend)
+            with OBS.span("fmindex.sample_sa", rate=sa_sample_rate):
+                self._sampled_sa: Dict[int, int] = {
+                    row: pos for row, pos in enumerate(sa) if pos % sa_sample_rate == 0
+                }
+            build_span.set(nbytes=self.nbytes())
+        if OBS.enabled:
+            OBS.metrics.counter("fmindex.builds").inc()
+            OBS.metrics.gauge("fmindex.nbytes").set(self.nbytes())
 
     def _init_from_bwt(self, bwt: str, occ_sample_rate: int, rank_backend: str = "rankall") -> None:
         self._bwt = bwt
@@ -249,6 +259,9 @@ class FMIndex:
             steps += 1
             if steps > self.n_rows:
                 raise IndexCorruptionError("LF walk failed to reach a sampled row")
+        if OBS.enabled:
+            OBS.metrics.counter("fmindex.locates").inc()
+            OBS.metrics.counter("fmindex.lf_walk_steps").inc(steps)
         return sampled[row] + steps
 
     def locate_range(self, rng: Range) -> List[int]:

@@ -31,6 +31,7 @@ from typing import List
 
 from ..alphabet import Alphabet
 from ..errors import IndexCorruptionError
+from ..obs import OBS
 from ..sequence import PackedSequence, bits_needed
 
 #: The paper's Fig. 2 stores one checkpoint per 4 BWT elements.
@@ -79,24 +80,25 @@ class RankAll:
         self._size = alphabet.size
         self._sample_rate = sample_rate
         self._length = len(bwt)
-        codes = alphabet.encode(bwt)
-        self._packed = PackedSequence(bits_needed(alphabet.size), codes)
-        self._codes_bytes = bytes(codes)
+        with OBS.span("rankall.build", length=self._length, sample_rate=sample_rate):
+            codes = alphabet.encode(bwt)
+            self._packed = PackedSequence(bits_needed(alphabet.size), codes)
+            self._codes_bytes = bytes(codes)
 
-        n_codes = self._size
-        n_blocks = self._length // sample_rate + 1
-        # Row-major: flat[block * n_codes + code] = count of `code` in
-        # L[: block * sample_rate].
-        flat = array("i")  # 32-bit checkpoint values, as in the paper's Fig. 2
-        running = [0] * n_codes
-        for block in range(n_blocks):
-            flat.extend(running)
-            lo = block * sample_rate
-            hi = min(lo + sample_rate, self._length)
-            for i in range(lo, hi):
-                running[codes[i]] += 1
-        self._flat = flat
-        self._totals = running
+            n_codes = self._size
+            n_blocks = self._length // sample_rate + 1
+            # Row-major: flat[block * n_codes + code] = count of `code` in
+            # L[: block * sample_rate].
+            flat = array("i")  # 32-bit checkpoint values, as in the paper's Fig. 2
+            running = [0] * n_codes
+            for block in range(n_blocks):
+                flat.extend(running)
+                lo = block * sample_rate
+                hi = min(lo + sample_rate, self._length)
+                for i in range(lo, hi):
+                    running[codes[i]] += 1
+            self._flat = flat
+            self._totals = running
 
     # -- primitives ---------------------------------------------------------
 
@@ -116,6 +118,8 @@ class RankAll:
         """Occurrences of character ``code`` in the prefix ``L[:i]``."""
         if not 0 <= i <= self._length:
             raise IndexError(f"prefix length {i} out of range 0..{self._length}")
+        if OBS.enabled:
+            OBS.metrics.counter("rank.rankall.occ_probes").inc()
         block_start = i - i % self._sample_rate
         count = self._flat[(i // self._sample_rate) * self._size + code]
         if i > block_start:
@@ -128,6 +132,8 @@ class RankAll:
         ``counts_at(i)[c] == occ(c, i)`` for every code ``c``; a single
         checkpoint-row slice plus at most ``sample_rate - 1`` tail reads.
         """
+        if OBS.enabled:
+            OBS.metrics.counter("rank.rankall.counts_at_probes").inc()
         size = self._size
         base = (i // self._sample_rate) * size
         row = self._flat[base:base + size].tolist()

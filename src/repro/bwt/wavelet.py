@@ -26,6 +26,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..alphabet import Alphabet
 from ..errors import IndexCorruptionError
+from ..obs import OBS
 from ..sequence import bits_needed
 
 _WORD = 64
@@ -197,11 +198,12 @@ class WaveletRank:
         self._alphabet = alphabet
         self._size = alphabet.size
         self._length = len(bwt)
-        codes = alphabet.encode(bwt)
-        self._tree = WaveletTree(codes, alphabet.size)
-        self._totals = [0] * alphabet.size
-        for c in codes:
-            self._totals[c] += 1
+        with OBS.span("wavelet.build", length=self._length, n_codes=alphabet.size):
+            codes = alphabet.encode(bwt)
+            self._tree = WaveletTree(codes, alphabet.size)
+            self._totals = [0] * alphabet.size
+            for c in codes:
+                self._totals[c] += 1
 
     def __len__(self) -> int:
         return self._length
@@ -217,10 +219,14 @@ class WaveletRank:
 
     def occ(self, code: int, i: int) -> int:
         """Occurrences of ``code`` in ``L[:i]`` (O(log σ) bit ranks)."""
+        if OBS.enabled:
+            OBS.metrics.counter("rank.wavelet.occ_probes").inc()
         return self._tree.rank(code, i)
 
     def counts_at(self, i: int) -> List[int]:
         """Per-code prefix counts at ``i`` (σ rank walks)."""
+        if OBS.enabled:
+            OBS.metrics.counter("rank.wavelet.counts_at_probes").inc()
         return [self._tree.rank(code, i) for code in range(self._size)]
 
     def occ_range(self, code: int, lo: int, hi: int) -> int:

@@ -5,7 +5,14 @@ Subcommands
 ``index``     Build a BWT index for a FASTA/plain-text target and save it.
 ``search``    Query a target (or saved index) for a pattern with k mismatches.
 ``simulate``  Generate a synthetic genome and/or simulated reads.
+``map``       Map reads to a target, SAM-like output.
 ``compare``   Run the paper's four methods over a read batch and print a table.
+``stats``     Render a saved ``--stats-json`` trace file as text.
+
+The ``index``, ``search``, ``map`` and ``compare`` subcommands accept
+``--trace`` (print a span/metrics summary to stderr) and
+``--stats-json PATH`` (write the full machine-readable trace document —
+see ``docs/OBSERVABILITY.md`` for the format).
 
 The CLI works on plain one-sequence-per-file text or minimal FASTA (the
 first record's sequence, headers stripped).
@@ -15,13 +22,18 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 from typing import List, Optional
 
-from .bench.reporting import format_seconds, format_table
+from .bench.reporting import (
+    format_seconds,
+    format_table,
+    percentile_cells,
+    percentile_headers,
+)
 from .bench.suite import MethodSuite, PAPER_METHODS
 from .core.matcher import METHODS, KMismatchIndex
+from .obs import OBS, load_trace, render_trace
 from .simulate.genome import GenomeConfig, generate_genome
 from .simulate.reads import ReadConfig, simulate_reads
 
@@ -45,13 +57,12 @@ def read_sequence(path: Path) -> str:
 
 def _cmd_index(args: argparse.Namespace) -> int:
     text = read_sequence(Path(args.target))
-    start = time.perf_counter()
-    index = KMismatchIndex(
-        text, occ_sample_rate=args.occ_sample, sa_sample_rate=args.sa_sample
-    )
-    elapsed = time.perf_counter() - start
+    with OBS.timed("cli.index", length=len(text)) as timer:
+        index = KMismatchIndex(
+            text, occ_sample_rate=args.occ_sample, sa_sample_rate=args.sa_sample
+        )
     Path(args.output).write_text(index.dumps())
-    print(f"indexed {len(text)} bp in {format_seconds(elapsed)} -> {args.output} "
+    print(f"indexed {len(text)} bp in {format_seconds(timer.seconds)} -> {args.output} "
           f"({index.nbytes()} payload bytes)")
     return 0
 
@@ -65,22 +76,21 @@ def _load_index(args: argparse.Namespace) -> KMismatchIndex:
 def _cmd_search(args: argparse.Namespace) -> int:
     index = _load_index(args)
     pattern = args.pattern.lower()
-    start = time.perf_counter()
-    if args.edit:
-        for occ in index.search_edit(pattern, args.k):
-            print(f"{occ.start}\t{occ.length}\t{occ.distance}")
-        count = "edit-distance windows"
-    else:
-        if args.wildcard:
-            occurrences = index.search_wildcard(pattern, args.k, wildcard=args.wildcard)
+    with OBS.timed("cli.search", m=len(pattern), k=args.k) as timer:
+        if args.edit:
+            for occ in index.search_edit(pattern, args.k):
+                print(f"{occ.start}\t{occ.length}\t{occ.distance}")
+            count = "edit-distance windows"
         else:
-            occurrences = index.search(pattern, args.k, method=args.method)
-        for occ in occurrences:
-            mm = ",".join(str(p) for p in occ.mismatches) or "-"
-            print(f"{occ.start}\t{occ.n_mismatches}\t{mm}")
-        count = f"{len(occurrences)} occurrence(s)"
-    elapsed = time.perf_counter() - start
-    print(f"# {count} in {format_seconds(elapsed)}", file=sys.stderr)
+            if args.wildcard:
+                occurrences = index.search_wildcard(pattern, args.k, wildcard=args.wildcard)
+            else:
+                occurrences = index.search(pattern, args.k, method=args.method)
+            for occ in occurrences:
+                mm = ",".join(str(p) for p in occ.mismatches) or "-"
+                print(f"{occ.start}\t{occ.n_mismatches}\t{mm}")
+            count = f"{len(occurrences)} occurrence(s)"
+    print(f"# {count} in {format_seconds(timer.seconds)}", file=sys.stderr)
     return 0
 
 
@@ -131,7 +141,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
     out = sys.stdout if args.output == "-" else Path(args.output).open("w")
     try:
-        written = write_sam(out, [(reference, len(text))], alignments())
+        with OBS.timed("cli.map", n_reads=len(records), k=args.k):
+            written = write_sam(out, [(reference, len(text))], alignments())
     finally:
         if out is not sys.stdout:
             out.close()
@@ -151,11 +162,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         reads = reads[: args.limit]
     suite = MethodSuite(text, methods=args.methods)
     rows = []
-    for result in suite.run_all(reads, args.k):
-        rows.append([result.method, format_seconds(result.avg_seconds), result.n_occurrences])
-    print(format_table(["method", "avg time/read", "occurrences"], rows,
+    with OBS.timed("cli.compare", k=args.k, n_reads=len(reads)):
+        for result in suite.run_all(reads, args.k):
+            rows.append(
+                [result.method, format_seconds(result.avg_seconds)]
+                + percentile_cells(result.latency_hist)
+                + [result.n_occurrences]
+            )
+    print(format_table(["method", "avg time/read", *percentile_headers(), "occurrences"],
+                       rows,
                        title=f"k={args.k}, {len(reads)} reads, target {len(text)} bp"))
     return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    document = load_trace(args.trace_file)
+    print(render_trace(document))
+    return 0
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared observability flags to one subcommand parser."""
+    parser.add_argument("--trace", action="store_true",
+                        help="print a span/metrics summary to stderr when done")
+    parser.add_argument("--stats-json", default="", metavar="PATH",
+                        help="write the full trace document (spans + metrics) as JSON")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -171,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_index.add_argument("-o", "--output", default="target.fmidx", help="output index path")
     p_index.add_argument("--occ-sample", type=int, default=4, help="rankall checkpoint spacing")
     p_index.add_argument("--sa-sample", type=int, default=8, help="suffix-array sampling distance")
+    _add_obs_flags(p_index)
     p_index.set_defaults(func=_cmd_index)
 
     p_search = sub.add_parser("search", help="k-mismatch search in a target")
@@ -185,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="k errors (Levenshtein) instead of k mismatches")
     p_search.add_argument("--wildcard", default="",
                           help="treat this pattern character as a don't-care")
+    _add_obs_flags(p_search)
     p_search.set_defaults(func=_cmd_search)
 
     p_sim = sub.add_parser("simulate", help="generate a synthetic genome and reads")
@@ -203,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("-k", type=int, default=4, help="mismatch bound")
     p_map.add_argument("-o", "--output", default="-", help="output path ('-' = stdout)")
     p_map.add_argument("--reference-name", default="target", help="@SQ record name")
+    _add_obs_flags(p_map)
     p_map.set_defaults(func=_cmd_map)
 
     p_cmp = sub.add_parser("compare", help="run the paper's methods over a read batch")
@@ -211,14 +245,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("-k", type=int, default=3)
     p_cmp.add_argument("--methods", nargs="+", default=list(PAPER_METHODS))
     p_cmp.add_argument("--limit", type=int, default=0, help="use only the first N reads")
+    _add_obs_flags(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_stats = sub.add_parser("stats", help="render a saved --stats-json trace file")
+    p_stats.add_argument("trace_file", metavar="TRACE",
+                         help="trace file written by --stats-json")
+    p_stats.set_defaults(func=_cmd_stats)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace = getattr(args, "trace", False) is True
+    stats_json = getattr(args, "stats_json", "")
+    observing = trace or bool(stats_json)
+    if observing:
+        OBS.reset().enable()
+    try:
+        return args.func(args)
+    finally:
+        if observing:
+            OBS.disable()
+            if stats_json:
+                OBS.write_trace(stats_json, command=args.command)
+                print(f"# trace written to {stats_json}", file=sys.stderr)
+            if trace:
+                print(OBS.render_summary(), file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -34,8 +34,9 @@ from typing import Iterator, List, Optional, Tuple
 from ..bwt.fmindex import FMIndex, Range
 from ..errors import PatternError
 from ..mismatch.tables import MismatchTables
+from ..obs import COUNT_BUCKETS, OBS
 from .mtree import MTree
-from .stree import _ensure_recursion_headroom, compute_phi
+from .stree import _ensure_recursion_headroom, compute_phi, record_search_metrics
 from .types import Occurrence, SearchStats
 
 #: Stored segments at most this long are re-scored by direct comparison;
@@ -151,26 +152,44 @@ class AlgorithmASearcher:
             return [], stats
         _ensure_recursion_headroom(m)
 
-        self._n = fm.text_length
-        self._m = m
-        self._k = k
-        self._pcodes = fm.alphabet.encode(pattern)
-        # Preprocessing (paper's O(m log m) term): the R tables and the
-        # kangaroo oracle that backs their unbounded extension.  Built
-        # lazily — only derivations over segments longer than the direct-
-        # scan threshold consult them, and many searches never do.
-        self._pattern = pattern
-        self._tables_cache: Optional[MismatchTables] = None
-        self._phi = compute_phi(fm, self._pcodes) if self._use_phi else None
-        self._memo: dict = {}
-        self._stats = stats
-        self._occurrences: List[Occurrence] = []
-        self._path: List[Tuple[int, int]] = []  # (pattern offset, code) per mismatch
-        self._mtree = MTree(m) if self._record_mtree else None
+        with OBS.span(
+            "algorithm_a.search", m=m, k=k, reuse=self._enable_reuse, phi=self._use_phi
+        ) as span:
+            self._n = fm.text_length
+            self._m = m
+            self._k = k
+            self._pcodes = fm.alphabet.encode(pattern)
+            # Preprocessing (paper's O(m log m) term): the R tables and the
+            # kangaroo oracle that backs their unbounded extension.  Built
+            # lazily — only derivations over segments longer than the direct-
+            # scan threshold consult them, and many searches never do.
+            self._pattern = pattern
+            self._tables_cache: Optional[MismatchTables] = None
+            self._phi = compute_phi(fm, self._pcodes) if self._use_phi else None
+            self._memo: dict = {}
+            self._stats = stats
+            self._occurrences: List[Occurrence] = []
+            self._path: List[Tuple[int, int]] = []  # (pattern offset, code) per mismatch
+            self._mtree = MTree(m) if self._record_mtree else None
 
-        self._continue_live(fm.full_range(), 0, 0)
+            self._continue_live(fm.full_range(), 0, 0)
 
-        stats.memo_size = len(self._memo)
+            stats.memo_size = len(self._memo)
+            span.set(
+                leaves=stats.leaves,
+                reuse_hits=stats.reuse_hits,
+                memo_size=stats.memo_size,
+                occurrences=len(self._occurrences),
+            )
+        if OBS.enabled:
+            record_search_metrics("algorithm_a", stats, len(self._occurrences))
+            metrics = OBS.metrics
+            metrics.counter("search.algorithm_a.reuse_hits").inc(stats.reuse_hits)
+            metrics.counter("search.algorithm_a.chars_replayed").inc(stats.chars_replayed)
+            metrics.counter("search.algorithm_a.derivation_jumps").inc(stats.derivation_jumps)
+            metrics.histogram("search.algorithm_a.memo_size", COUNT_BUCKETS).observe(
+                stats.memo_size
+            )
         self.last_mtree = self._mtree
         return sorted(self._occurrences), stats
 

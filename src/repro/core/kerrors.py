@@ -27,6 +27,7 @@ from typing import Dict, List, Tuple
 
 from ..bwt.fmindex import FMIndex, Range
 from ..errors import PatternError
+from ..obs import COUNT_BUCKETS, OBS
 from .stree import _ensure_recursion_headroom
 
 _INF = float("inf")
@@ -99,18 +100,25 @@ class KErrorsSearcher:
         m = len(pattern)
         _ensure_recursion_headroom(m + k)
 
-        self._m = m
-        self._k = k
-        self._n = fm.text_length
-        self._pcodes = fm.alphabet.encode(pattern)
-        self._out: List[EditOccurrence] = []
-        self._seen: set = set()
+        with OBS.span("kerrors.search", m=m, k=k) as span:
+            self._m = m
+            self._k = k
+            self._n = fm.text_length
+            self._pcodes = fm.alphabet.encode(pattern)
+            self._out: List[EditOccurrence] = []
+            self._seen: set = set()
 
-        # DP row over pattern prefixes: row[j] = min edits aligning the
-        # consumed target substring against pattern[:j].  Depth 0: row[j]
-        # = j (delete j pattern characters), banded at k.
-        row = [j if j <= k else _INF for j in range(m + 1)]
-        self._walk(fm.full_range(), 0, row)
+            # DP row over pattern prefixes: row[j] = min edits aligning the
+            # consumed target substring against pattern[:j].  Depth 0: row[j]
+            # = j (delete j pattern characters), banded at k.
+            row = [j if j <= k else _INF for j in range(m + 1)]
+            self._walk(fm.full_range(), 0, row)
+            span.set(occurrences=len(self._out))
+        if OBS.enabled:
+            OBS.metrics.counter("search.kerrors.queries").inc()
+            OBS.metrics.histogram("search.kerrors.occurrences", COUNT_BUCKETS).observe(
+                len(self._out)
+            )
         return sorted(self._out)
 
     # -- internals ------------------------------------------------------------

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..alphabet import DNA, Alphabet, infer_alphabet
+from ..obs import OBS
 from ..bwt.fmindex import DEFAULT_SA_SAMPLE, FMIndex
 from ..bwt.rankall import DEFAULT_SAMPLE_RATE
 from ..dna import reverse_complement
@@ -81,12 +83,13 @@ class KMismatchIndex:
             alphabet = DNA if DNA.contains(text) else infer_alphabet(text)
         self._text = text
         self._alphabet = alphabet
-        self._fm = FMIndex(
-            text[::-1],
-            alphabet,
-            occ_sample_rate=occ_sample_rate,
-            sa_sample_rate=sa_sample_rate,
-        )
+        with OBS.span("kmismatch.build", length=len(text)):
+            self._fm = FMIndex(
+                text[::-1],
+                alphabet,
+                occ_sample_rate=occ_sample_rate,
+                sa_sample_rate=sa_sample_rate,
+            )
 
     # -- introspection ------------------------------------------------------------
 
@@ -135,6 +138,22 @@ class KMismatchIndex:
     ) -> Tuple[List[Occurrence], SearchStats]:
         """Like :meth:`search`, also returning the search statistics."""
         self._alphabet.validate(pattern)
+        if not OBS.enabled:
+            return self._dispatch(pattern, k, method, record_mtree)
+        start_ns = perf_counter_ns()
+        with OBS.span("kmismatch.search", method=method, m=len(pattern), k=k) as span:
+            occurrences, stats = self._dispatch(pattern, k, method, record_mtree)
+            span.set(occurrences=len(occurrences))
+        OBS.metrics.histogram("query.latency_ms").observe(
+            (perf_counter_ns() - start_ns) / 1e6
+        )
+        OBS.metrics.counter("query.count").inc()
+        OBS.metrics.counter("query.occurrences").inc(len(occurrences))
+        return occurrences, stats
+
+    def _dispatch(
+        self, pattern: str, k: int, method: str, record_mtree: bool
+    ) -> Tuple[List[Occurrence], SearchStats]:
         if method.startswith("algorithm_a"):
             if method == "algorithm_a":
                 searcher = AlgorithmASearcher(self._fm, record_mtree=record_mtree)
@@ -219,8 +238,13 @@ class KMismatchIndex:
         """
         if self._alphabet != DNA:
             raise PatternError("map_read requires a DNA target")
-        hits = [ReadHit(occ, "+") for occ in self.search(read, k)]
-        hits += [ReadHit(occ, "-") for occ in self.search(reverse_complement(read), k)]
+        with OBS.span("kmismatch.map_read", m=len(read), k=k) as span:
+            hits = [ReadHit(occ, "+") for occ in self.search(read, k)]
+            hits += [ReadHit(occ, "-") for occ in self.search(reverse_complement(read), k)]
+            span.set(hits=len(hits))
+        if OBS.enabled:
+            OBS.metrics.counter("map_read.count").inc()
+            OBS.metrics.counter("map_read.hits").inc(len(hits))
         return sorted(hits)
 
     def search_batch(

@@ -25,7 +25,25 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..bwt.fmindex import FMIndex, Range
 from ..errors import PatternError
+from ..obs import COUNT_BUCKETS, OBS
 from .types import Occurrence, SearchStats
+
+
+def record_search_metrics(engine: str, stats: SearchStats, n_occurrences: int) -> None:
+    """Fold one search's :class:`SearchStats` into the metrics registry.
+
+    Shared by every tree searcher so the per-query distributions (the
+    paper's n' leaf counts, node totals) accumulate under uniform names:
+    ``search.<engine>.leaves`` etc.  No-op while tracing is disabled.
+    """
+    metrics = OBS.metrics
+    metrics.histogram(f"search.{engine}.leaves", COUNT_BUCKETS).observe(stats.leaves)
+    metrics.histogram(f"search.{engine}.nodes_expanded", COUNT_BUCKETS).observe(
+        stats.nodes_expanded
+    )
+    metrics.histogram(f"search.{engine}.occurrences", COUNT_BUCKETS).observe(n_occurrences)
+    metrics.counter(f"search.{engine}.queries").inc()
+    metrics.counter(f"search.{engine}.rank_queries").inc(stats.rank_queries)
 
 
 def compute_phi(fm_reverse: FMIndex, pattern_codes: Sequence[int]) -> List[int]:
@@ -109,16 +127,27 @@ class STreeSearcher:
             return [], stats
         _ensure_recursion_headroom(m)
 
-        self._n = fm.text_length
-        self._m = m
-        self._k = k
-        self._pcodes = fm.alphabet.encode(pattern)
-        self._phi = compute_phi(fm, self._pcodes) if self._use_phi else None
-        self._stats = stats
-        self._occurrences: List[Occurrence] = []
-        self._path_mm: List[int] = []
+        with OBS.span("stree.search", m=m, k=k, phi=self._use_phi) as span:
+            self._n = fm.text_length
+            self._m = m
+            self._k = k
+            self._pcodes = fm.alphabet.encode(pattern)
+            self._phi = compute_phi(fm, self._pcodes) if self._use_phi else None
+            self._stats = stats
+            self._occurrences: List[Occurrence] = []
+            self._path_mm: List[int] = []
+            # Prebound so the per-leaf hot path pays one None check when
+            # tracing is off (the paper's S-tree depth distribution).
+            self._leaf_depth = (
+                OBS.metrics.histogram("search.stree.leaf_depth", COUNT_BUCKETS)
+                if OBS.enabled
+                else None
+            )
 
-        self._expand(fm.full_range(), 0, 0)
+            self._expand(fm.full_range(), 0, 0)
+            span.set(leaves=stats.leaves, occurrences=len(self._occurrences))
+        if OBS.enabled:
+            record_search_metrics("stree", stats, len(self._occurrences))
         return sorted(self._occurrences), stats
 
     # -- internals -----------------------------------------------------------
@@ -137,17 +166,23 @@ class STreeSearcher:
         if i == self._m:
             stats.leaves += 1
             stats.completed_paths += 1
+            if self._leaf_depth is not None:
+                self._leaf_depth.observe(i)
             self._emit(rng)
             return
         if self._phi is not None and self._k - used < self._phi[i]:
             stats.leaves += 1
             stats.phi_pruned += 1
+            if self._leaf_depth is not None:
+                self._leaf_depth.observe(i)
             return
         stats.rank_queries += 1
         children = self._fm.children(rng)
         if not children:
             stats.leaves += 1
             stats.dead_ends += 1
+            if self._leaf_depth is not None:
+                self._leaf_depth.observe(i)
             return
         pcode = self._pcodes[i]
         for code, child_rng in children:
@@ -162,3 +197,5 @@ class STreeSearcher:
             else:
                 stats.leaves += 1
                 stats.budget_pruned += 1
+                if self._leaf_depth is not None:
+                    self._leaf_depth.observe(i)

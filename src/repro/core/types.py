@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Tuple
 
 
@@ -69,20 +69,33 @@ class SearchStats:
     extra: dict = field(default_factory=dict)
 
     def merge(self, other: "SearchStats") -> "SearchStats":
-        """Aggregate counters from another search (for batch runs)."""
-        for name in (
-            "nodes_expanded",
-            "rank_queries",
-            "leaves",
-            "completed_paths",
-            "budget_pruned",
-            "dead_ends",
-            "phi_pruned",
-            "reuse_hits",
-            "chars_replayed",
-            "derivation_jumps",
-            "rows_located",
-            "memo_size",
-        ):
-            setattr(self, name, getattr(self, name) + getattr(other, name))
+        """Aggregate counters from another search (for batch runs).
+
+        Every dataclass counter field is summed — the field list is
+        derived from :func:`dataclasses.fields`, so counters added later
+        can never be silently dropped from batch aggregation.  ``extra``
+        is merged key-wise: numeric values add (missing keys count as 0),
+        anything else takes the other side's value.
+        """
+        for spec in fields(self):
+            if spec.name == "extra":
+                continue
+            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+        for key, value in other.extra.items():
+            mine = self.extra.get(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool) and (
+                mine is None or (isinstance(mine, (int, float)) and not isinstance(mine, bool))
+            ):
+                self.extra[key] = (mine or 0) + value
+            else:
+                self.extra[key] = value
         return self
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dictionary of every counter (``extra`` included)."""
+        payload = {
+            spec.name: getattr(self, spec.name) for spec in fields(self) if spec.name != "extra"
+        }
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload

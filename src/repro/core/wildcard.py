@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..bwt.fmindex import FMIndex, Range
 from ..errors import PatternError
+from ..obs import COUNT_BUCKETS, OBS
 from .stree import _ensure_recursion_headroom
 from .types import Occurrence
 
@@ -56,16 +57,23 @@ class WildcardSearcher:
             return []
         _ensure_recursion_headroom(m)
 
-        self._m = m
-        self._k = k
-        self._n = fm.text_length
-        # None marks a wild-card slot.
-        self._pcodes: List[Optional[int]] = [
-            None if ch == self._wildcard else fm.alphabet.code(ch) for ch in pattern
-        ]
-        self._out: List[Occurrence] = []
-        self._path_mm: List[int] = []
-        self._expand(fm.full_range(), 0, 0)
+        with OBS.span("wildcard.search", m=m, k=k, wildcard=self._wildcard) as span:
+            self._m = m
+            self._k = k
+            self._n = fm.text_length
+            # None marks a wild-card slot.
+            self._pcodes: List[Optional[int]] = [
+                None if ch == self._wildcard else fm.alphabet.code(ch) for ch in pattern
+            ]
+            self._out: List[Occurrence] = []
+            self._path_mm: List[int] = []
+            self._expand(fm.full_range(), 0, 0)
+            span.set(occurrences=len(self._out))
+        if OBS.enabled:
+            OBS.metrics.counter("search.wildcard.queries").inc()
+            OBS.metrics.histogram("search.wildcard.occurrences", COUNT_BUCKETS).observe(
+                len(self._out)
+            )
         return sorted(self._out)
 
     # -- internals -----------------------------------------------------------

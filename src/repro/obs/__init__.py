@@ -1,0 +1,193 @@
+"""Observability: tracing, metrics, and trace-file export.
+
+This package is the engine's measurement substrate.  Every layer —
+FM-index construction, rank backends, the tree searchers, the facade,
+the benchmark suite, the CLI — reports through the one process-wide
+:data:`OBS` singleton, so a single switch turns the whole pipeline's
+instrumentation on and a single export captures it.
+
+Quickstart
+----------
+>>> from repro.obs import OBS
+>>> OBS.reset(); OBS.enable()
+>>> from repro import KMismatchIndex
+>>> index = KMismatchIndex("acagaca")
+>>> _ = index.search("tcaca", k=2)
+>>> OBS.disable()
+>>> any(s.name == "kmismatch.search" for s in OBS.tracer.iter_finished())
+True
+>>> OBS.metrics.counter("rank.rankall.occ_probes").value > 0
+True
+
+Instrumented code follows two rules:
+
+* **Per-region work** (a build phase, one query) opens a span:
+  ``with OBS.span("fmindex.build", length=n): ...`` — `span()` returns a
+  shared no-op when disabled.
+* **Per-operation work** (a rank probe, an LF step) guards with the
+  ``enabled`` flag: ``if OBS.enabled: OBS.metrics.counter(...).inc()`` —
+  one attribute read on the disabled path.
+
+The trace-file format written by :meth:`Observability.export` /
+``repro-cli --stats-json`` is documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from .metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_MS,
+    MetricError,
+    MetricsRegistry,
+    render_metrics,
+)
+from .tracing import NULL_SPAN, Span, Timer, Tracer, render_span_tree
+
+#: Identifier written into every exported trace document.
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+
+class Observability:
+    """The paired tracer + metrics registry behind :data:`OBS`.
+
+    ``enabled`` gates *everything*: spans collapse to a no-op singleton
+    and hot-path counter updates are skipped entirely.  The flag is a
+    plain attribute so the disabled check is one load — the overhead
+    budget the test suite enforces.
+    """
+
+    __slots__ = ("tracer", "metrics", "enabled")
+
+    def __init__(self):
+        self.tracer = Tracer(enabled=False)
+        self.metrics = MetricsRegistry()
+        self.enabled = False
+
+    # -- switches -------------------------------------------------------------
+
+    def enable(self) -> "Observability":
+        """Turn on span collection and metric updates."""
+        self.enabled = True
+        self.tracer.enabled = True
+        return self
+
+    def disable(self) -> "Observability":
+        """Turn instrumentation off (collected data is kept)."""
+        self.enabled = False
+        self.tracer.enabled = False
+        return self
+
+    def reset(self) -> "Observability":
+        """Drop all collected spans and metrics (enabled state unchanged)."""
+        self.tracer.reset()
+        self.metrics.reset()
+        return self
+
+    # -- convenience forwarding ----------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """A tracer span (the shared no-op singleton when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, attrs, self.tracer)
+
+    def timed(self, name: str, **attrs: Any) -> Timer:
+        """An always-on stopwatch that is also a span when enabled."""
+        return Timer(self.span(name, **attrs))
+
+    def observe(self, name: str, value: float, buckets=LATENCY_BUCKETS_MS) -> None:
+        """Record a histogram observation iff enabled."""
+        if self.enabled:
+            self.metrics.histogram(name, buckets).observe(value)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a counter iff enabled."""
+        if self.enabled:
+            self.metrics.counter(name).inc(n)
+
+    # -- export ---------------------------------------------------------------
+
+    def export(self, **meta: Any) -> dict:
+        """One JSON-compatible document: spans + metrics + metadata."""
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "meta": meta,
+            "spans": self.tracer.to_dicts(),
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def write_trace(self, path: str, **meta: Any) -> dict:
+        """Write :meth:`export` to ``path`` as JSON; returns the document."""
+        document = self.export(**meta)
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        return document
+
+    def render_summary(self) -> str:
+        """Plain-text span tree plus metric summary of everything collected."""
+        parts = []
+        spans = self.tracer.to_dicts()
+        if spans:
+            parts.append("spans\n-----\n" + render_span_tree(spans))
+        if len(self.metrics):
+            parts.append("metrics\n-------\n" + self.metrics.render_summary())
+        return "\n\n".join(parts) if parts else "(no trace data collected)"
+
+
+def load_trace(path: str) -> dict:
+    """Read and validate a trace document written by :meth:`Observability.write_trace`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("format") != TRACE_FORMAT:
+        raise MetricError(f"{path} is not a {TRACE_FORMAT} document")
+    return document
+
+
+def render_trace(document: dict) -> str:
+    """Plain-text rendering of a loaded trace document."""
+    parts = []
+    meta = document.get("meta") or {}
+    if meta:
+        parts.append(" ".join(f"{k}={v}" for k, v in sorted(meta.items())))
+    spans = document.get("spans") or []
+    if spans:
+        parts.append("spans\n-----\n" + render_span_tree(spans))
+    metrics = document.get("metrics") or {}
+    if metrics:
+        parts.append("metrics\n-------\n" + render_metrics(metrics))
+    return "\n\n".join(parts) if parts else "(empty trace)"
+
+
+#: The process-wide observability singleton used by all instrumented code.
+OBS = Observability()
+
+__all__ = [
+    "OBS",
+    "Observability",
+    "Tracer",
+    "Span",
+    "Timer",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "LATENCY_BUCKETS_MS",
+    "COUNT_BUCKETS",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "load_trace",
+    "render_trace",
+    "render_span_tree",
+    "render_metrics",
+]

@@ -1,0 +1,325 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the machine-readable side of the observability layer —
+the paper's own evaluation quantities (n′ leaf counts, reuse rates,
+rank-probe totals) become named metrics that every benchmark and the CLI
+export the same way, instead of each harness hand-rolling its counters.
+
+Three instrument kinds, in the Prometheus tradition but with no external
+dependency:
+
+* :class:`Counter` — a monotonically increasing total (rank probes,
+  LF-walk steps, queries served);
+* :class:`Gauge` — a last-write-wins level (index payload bytes,
+  hash-table size after a search);
+* :class:`Histogram` — fixed upper-bound buckets with count/sum/min/max,
+  percentile estimation, and a compact ASCII rendering (per-query
+  latency, S-tree depth, M-tree leaf count distributions).
+
+Export paths: :meth:`MetricsRegistry.to_dict` (one JSON document),
+:meth:`MetricsRegistry.write_jsonl` (one JSON object per line, for
+appending across runs), and :meth:`MetricsRegistry.render_summary`
+(aligned plain text for terminals).
+
+Updates are single attribute mutations under the GIL — safe for the
+threaded batch layers this instrumentation is built to measure.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Dict, IO, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ReproError
+
+
+class MetricError(ReproError):
+    """Raised on metric type conflicts or malformed histogram buckets."""
+
+
+#: Default latency buckets in milliseconds (sub-0.1ms to 10s).
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 10_000,
+)
+
+#: Default buckets for tree-size style counts (leaves, nodes, depth).
+COUNT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000,
+    50_000, 250_000, 1_000_000,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the total."""
+        self.value += n
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins level."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max and percentiles.
+
+    ``buckets`` are sorted upper bounds; an implicit +inf bucket catches
+    the overflow.  ``counts[i]`` is the number of observations ``v``
+    with ``v <= buckets[i]`` (and for the last slot, everything larger)
+    — cumulative-free storage so merging histograms is element-wise.
+
+    >>> h = Histogram("latency_ms", (1, 10, 100))
+    >>> for v in (0.5, 3, 3, 250): h.observe(v)
+    >>> h.counts
+    [1, 2, 0, 1]
+    >>> h.percentile(50)
+    10.0
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Sequence[float] = LATENCY_BUCKETS_MS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise MetricError(f"histogram buckets must be sorted and unique: {buckets!r}")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper-bound estimate of the ``p``-th percentile (0 < p <= 100).
+
+        Returns the upper bound of the bucket containing the percentile
+        rank; observations above the largest bound report the observed
+        maximum.  Bucket-resolution accuracy, like any fixed-bucket
+        histogram.
+        """
+        if not 0 < p <= 100:
+            raise MetricError(f"percentile must be in (0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        running = 0
+        for i, c in enumerate(self.counts):
+            running += c
+            if running >= rank:
+                if i < len(self.buckets):
+                    return self.buckets[i]
+                return float(self.max if self.max is not None else 0.0)
+        return float(self.max if self.max is not None else 0.0)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Element-wise merge of another histogram with identical buckets."""
+        if other.buckets != self.buckets:
+            raise MetricError("cannot merge histograms with different buckets")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def render(self, width: int = 40) -> str:
+        """Compact ASCII bar rendering, one line per non-empty bucket."""
+        peak = max(self.counts) if self.count else 0
+        lines = [
+            f"{self.name}: count={self.count} mean={self.mean:.3g} "
+            f"min={self.min if self.min is not None else '-'} "
+            f"max={self.max if self.max is not None else '-'} "
+            f"p50={self.percentile(50):g} p90={self.percentile(90):g} "
+            f"p99={self.percentile(99):g}" if self.count else f"{self.name}: count=0"
+        ]
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            bound = f"<= {self.buckets[i]:g}" if i < len(self.buckets) else "> max bucket"
+            bar = "#" * max(1, round(width * c / peak))
+            lines.append(f"  {bound:>14} {c:>8} {bar}")
+        return "\n".join(lines)
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name-keyed store of counters, gauges, and histograms.
+
+    Accessors create on first use and return the existing instrument on
+    later calls; asking for an existing name with a different kind (or a
+    histogram with different buckets) raises :class:`MetricError` so two
+    call sites can never silently split one metric.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: str) -> Optional[Metric]:
+        metric = self._metrics.get(name)
+        if metric is not None and metric.kind != kind:
+            raise MetricError(f"metric {name!r} is a {metric.kind}, not a {kind}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        metric = self._get(name, "counter")
+        if metric is None:
+            metric = self._metrics[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        metric = self._get(name, "gauge")
+        if metric is None:
+            metric = self._metrics[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, buckets: Sequence[float] = LATENCY_BUCKETS_MS) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        metric = self._get(name, "histogram")
+        if metric is None:
+            metric = self._metrics[name] = Histogram(name, buckets)
+        elif tuple(float(b) for b in buckets) != metric.buckets:
+            raise MetricError(f"histogram {name!r} already exists with different buckets")
+        return metric
+
+    # -- introspection / export ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The instrument called ``name``, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every registered instrument."""
+        self._metrics = {}
+
+    def to_dict(self) -> dict:
+        """All metrics keyed by name, JSON-compatible."""
+        return {name: self._metrics[name].to_dict() for name in sorted(self._metrics)}
+
+    def write_jsonl(self, out: Union[str, IO[str]], extra: Optional[dict] = None) -> int:
+        """Append one JSON line per metric to ``out`` (path or file object).
+
+        ``extra`` keys (run id, timestamp, configuration) are merged into
+        every line.  Returns the number of lines written.
+        """
+        payloads = [self._metrics[name].to_dict() for name in sorted(self._metrics)]
+        if extra:
+            for payload in payloads:
+                payload.update(extra)
+        if isinstance(out, str):
+            with open(out, "a") as handle:
+                for payload in payloads:
+                    handle.write(json.dumps(payload) + "\n")
+        else:
+            for payload in payloads:
+                out.write(json.dumps(payload) + "\n")
+        return len(payloads)
+
+    def render_summary(self) -> str:
+        """Aligned plain-text summary of every registered metric."""
+        return render_metrics(self.to_dict())
+
+
+def render_metrics(metrics: Dict[str, dict]) -> str:
+    """Plain-text rendering of a :meth:`MetricsRegistry.to_dict` payload.
+
+    Takes the JSON form so the CLI ``stats`` subcommand can replay saved
+    files; live registries go through :meth:`MetricsRegistry.render_summary`.
+    """
+    scalars: List[Tuple[str, str, Any]] = []
+    histograms: List[dict] = []
+    for name in sorted(metrics):
+        payload = metrics[name]
+        if payload.get("type") == "histogram":
+            histograms.append(payload)
+        else:
+            scalars.append((name, payload.get("type", "?"), payload.get("value")))
+    lines: List[str] = []
+    if scalars:
+        width = max(len(name) for name, _, _ in scalars)
+        for name, kind, value in scalars:
+            lines.append(f"{name:<{width}}  {kind:<7}  {value}")
+    for payload in histograms:
+        if lines:
+            lines.append("")
+        h = Histogram(payload["name"], payload["buckets"])
+        h.counts = list(payload["counts"])
+        h.count = payload["count"]
+        h.total = payload.get("sum", 0.0)
+        h.min = payload.get("min")
+        h.max = payload.get("max")
+        lines.append(h.render())
+    return "\n".join(lines)

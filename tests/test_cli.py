@@ -78,6 +78,54 @@ class TestCommands:
         starts = [line.split("\t")[0] for line in capsys.readouterr().out.splitlines() if line]
         assert starts == ["0", "2", "4"]
 
+    def test_search_trace_and_stats_json(self, genome_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "out.json"
+        rc = main(["search", str(genome_file), "tcaca", "-k", "2",
+                   "--trace", "--stats-json", str(trace_path)])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "spans" in err and "metrics" in err
+        document = json.loads(trace_path.read_text())
+        assert document["format"] == "repro-trace"
+        assert document["meta"]["command"] == "search"
+        names = set()
+
+        def collect(node):
+            names.add(node["name"])
+            for child in node.get("children", []):
+                collect(child)
+
+        for root in document["spans"]:
+            collect(root)
+        # At least one span per layer: index, searcher, rank backend.
+        assert {"kmismatch.search", "algorithm_a.search", "rankall.build"} <= names
+        assert document["metrics"]["query.latency_ms"]["type"] == "histogram"
+        # Tracing must not leak into later, untraced invocations.
+        from repro.obs import OBS
+
+        assert not OBS.enabled
+
+    def test_stats_subcommand_renders_saved_trace(self, genome_file, tmp_path, capsys):
+        trace_path = tmp_path / "out.json"
+        main(["search", str(genome_file), "aca", "--stats-json", str(trace_path)])
+        capsys.readouterr()
+        rc = main(["stats", str(trace_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kmismatch.search" in out
+        assert "query.latency_ms" in out
+
+    def test_compare_reports_percentile_columns(self, genome_file, capsys, tmp_path):
+        reads_path = tmp_path / "reads.txt"
+        reads_path.write_text("acagaca\ncagacag\n")
+        rc = main(["compare", str(genome_file), str(reads_path), "-k", "1",
+                   "--methods", "A()"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p90" in out and "p99" in out
+
     def test_simulate_and_compare(self, tmp_path, capsys):
         genome_path = tmp_path / "g.fa"
         rc = main([
