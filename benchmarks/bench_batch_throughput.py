@@ -1,0 +1,121 @@
+"""Experiment E1 — batch throughput: sequential vs cached engine vs parallel.
+
+The many-read workload is the engine layer's reason to exist: one target,
+a stream of simulated reads.  Three executions of the same batch are
+compared
+
+* **sequential** — a fresh searcher per read (the pre-engine-layer
+  behaviour: no state survives between queries);
+* **cached** — the facade's serial batch path, where one cached engine
+  carries Algorithm A's pair memo across the whole batch;
+* **parallel** — the batch executor on a thread pool.
+
+All three must return identical occurrences; the cached run must report
+cross-query memo hits.  Reads/sec for each mode land in
+``benchmarks/results/batch_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.matcher import KMismatchIndex
+
+from conftest import write_json_result, write_result
+
+N_READS = 240
+READ_LENGTH = 60
+K = 2
+WORKERS = 4
+
+
+def repeat_genome(units: int = 1500, unit_length: int = 40, divergence: float = 0.02) -> str:
+    rng = random.Random(11)
+    unit = "".join(rng.choice("acgt") for _ in range(unit_length))
+    parts = []
+    for _ in range(units):
+        parts.append(
+            "".join(ch if rng.random() >= divergence else rng.choice("acgt") for ch in unit)
+        )
+    return "".join(parts)
+
+
+def simulated_reads(text: str, n: int, length: int) -> list:
+    rng = random.Random(17)
+    reads = []
+    for _ in range(n):
+        pos = rng.randrange(0, len(text) - length)
+        read = list(text[pos : pos + length])
+        for _ in range(rng.randrange(0, K + 1)):
+            read[rng.randrange(length)] = rng.choice("acgt")
+        reads.append("".join(read))
+    return reads
+
+
+@pytest.mark.benchmark(group="batch-throughput")
+def test_batch_throughput(benchmark, results_dir):
+    text = repeat_genome()
+    index = KMismatchIndex(text)
+    reads = simulated_reads(text, N_READS, READ_LENGTH)
+    measured = {}
+
+    def run_all():
+        # Sequential baseline: a fresh searcher per read, no carried state.
+        start = time.perf_counter()
+        sequential = [index.engine("algorithm_a", fresh=True).search(r, K)[0] for r in reads]
+        measured["sequential"] = time.perf_counter() - start
+
+        # Cached engine, serial: the cross-query memo serves the batch.
+        start = time.perf_counter()
+        cached, stats = index.search_batch_with_stats(reads, K)
+        measured["cached"] = time.perf_counter() - start
+        measured["shared_reuse_hits"] = stats.shared_reuse_hits
+
+        # Parallel thread pool over index clones.
+        start = time.perf_counter()
+        parallel = index.search_batch(reads, K, workers=WORKERS, mode="thread")
+        measured["parallel"] = time.perf_counter() - start
+
+        # All modes must agree byte-for-byte with the sequential baseline.
+        for read, occs in zip(reads, sequential):
+            assert cached[read] == occs
+        assert parallel == cached
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    assert measured["shared_reuse_hits"] > 0, "cached batch produced no cross-query memo hits"
+
+    throughput = {
+        mode: N_READS / measured[mode] for mode in ("sequential", "cached", "parallel")
+    }
+    rows = [
+        [mode, f"{measured[mode]:.3f}s", f"{throughput[mode]:,.0f}"]
+        for mode in ("sequential", "cached", "parallel")
+    ]
+    table = format_table(
+        ["mode", "time", "reads/sec"],
+        rows,
+        title=(
+            f"E1: {N_READS} reads x {READ_LENGTH} bp, k={K} on {len(text):,} bp "
+            f"(workers={WORKERS}, shared memo hits={measured['shared_reuse_hits']:,})"
+        ),
+    )
+    write_result(results_dir, "batch_throughput", table)
+    write_json_result(
+        results_dir,
+        "batch_throughput",
+        {
+            "n_reads": N_READS,
+            "read_length": READ_LENGTH,
+            "k": K,
+            "genome_bp": len(text),
+            "workers": WORKERS,
+            "seconds": {m: measured[m] for m in ("sequential", "cached", "parallel")},
+            "reads_per_sec": throughput,
+            "shared_reuse_hits": measured["shared_reuse_hits"],
+        },
+    )

@@ -21,6 +21,7 @@ Package map
 ``repro.baselines``  — naive, Landau–Vishkin, Amir, Cole comparators
 ``repro.simulate``   — synthetic genomes and wgsim-style reads
 ``repro.bench``      — workload/reporting harness for the experiments
+``repro.engine``     — engine registry + batch executor (``docs/ENGINES.md``)
 ``repro.obs``        — tracing/metrics layer (``repro.obs.OBS``)
 """
 
@@ -43,6 +44,7 @@ from .core.types import Occurrence, SearchStats
 from .core.wildcard import WildcardSearcher
 from .collection import SequenceCollection
 from .dna import reverse_complement
+from .engine import REGISTRY, BatchExecutor, EngineRegistry, EngineSpec
 from .obs import OBS
 
 __version__ = "1.0.0"
@@ -73,6 +75,10 @@ __all__ = [
     "SearchStats",
     "SequenceCollection",
     "reverse_complement",
+    "REGISTRY",
+    "EngineRegistry",
+    "EngineSpec",
+    "BatchExecutor",
     "OBS",
     "__version__",
 ]

@@ -17,7 +17,7 @@ so patterns longer than 64 characters need no blocking.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List
 
 from ..core.types import Occurrence
 from ..errors import PatternError

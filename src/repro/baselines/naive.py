@@ -6,7 +6,6 @@ from typing import List
 
 from ..core.types import Occurrence
 from ..errors import PatternError
-from ..strings.hamming import mismatch_positions
 
 
 def naive_search(text: str, pattern: str, k: int) -> List[Occurrence]:

@@ -22,7 +22,7 @@ case O(mn) "which is extremely unlikely" (paper Sec. II, on [22]).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Set
 
 from ..core.types import Occurrence
 from ..errors import PatternError

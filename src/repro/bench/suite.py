@@ -18,19 +18,22 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..baselines.amir import AmirMatcher
-from ..baselines.cole import ColeMatcher
-from ..baselines.landau_vishkin import LandauVishkinMatcher
-from ..core.algorithm_a import AlgorithmASearcher
+from ..engine.registry import CAP_MISMATCH, REGISTRY
 from ..core.matcher import KMismatchIndex
-from ..core.stree import STreeSearcher
 from ..core.types import SearchStats
 from ..obs import LATENCY_BUCKETS_MS, OBS, Histogram
 
-#: The four methods of the paper's evaluation, in its naming.
+#: The four methods of the paper's evaluation, in its naming.  These are
+#: registry aliases; :meth:`MethodSuite.run` accepts any registered
+#: mismatch engine name or alias.
 PAPER_METHODS = ("A()", "BWT", "Amir's", "Cole's")
+
+
+def available_methods() -> Tuple[str, ...]:
+    """Every registered mismatch engine the suite can time."""
+    return REGISTRY.names(capability=CAP_MISMATCH)
 
 
 @dataclass
@@ -73,17 +76,11 @@ class MethodSuite:
         self._text = text
         self._methods = tuple(methods)
         self._index = KMismatchIndex(text)
-        self._cole: Optional[ColeMatcher] = None
 
     @property
     def index(self) -> KMismatchIndex:
         """The shared BWT index."""
         return self._index
-
-    def _cole_matcher(self) -> ColeMatcher:
-        if self._cole is None:
-            self._cole = ColeMatcher(self._text)
-        return self._cole
 
     # -- single-method timing --------------------------------------------------
 
@@ -128,23 +125,19 @@ class MethodSuite:
     # -- method registry ----------------------------------------------------------
 
     def _runner_for(self, method: str, k: int) -> Callable:
-        fm = self._index.fm_index
-        text = self._text
-        if method in ("A()", "algorithm_a"):
-            return lambda read: AlgorithmASearcher(fm).search(read, k)
-        if method in ("A()-nophi", "algorithm_a_nophi"):
-            return lambda read: AlgorithmASearcher(fm, use_phi=False).search(read, k)
-        if method in ("A()-noreuse", "algorithm_a_noreuse"):
-            return lambda read: AlgorithmASearcher(fm, enable_reuse=False).search(read, k)
-        if method in ("BWT", "stree"):
-            return lambda read: STreeSearcher(fm, use_phi=True).search(read, k)
-        if method in ("BWT-nophi", "stree_nophi"):
-            return lambda read: STreeSearcher(fm, use_phi=False).search(read, k)
-        if method in ("Amir's", "amir"):
-            return lambda read: (AmirMatcher(text, read).search(k), None)
-        if method in ("Cole's", "cole"):
-            matcher = self._cole_matcher()
-            return lambda read: (matcher.search(read, k), None)
-        if method in ("LV", "landau_vishkin"):
-            return lambda read: (LandauVishkinMatcher(text, read).search(k), None)
-        raise ValueError(f"unknown method {method!r}")
+        """Resolve ``method`` through the engine registry.
+
+        The engine instance comes from the index's per-(method, knobs)
+        cache, so per-target preprocessing (Cole's suffix tree, the
+        q-gram table, Algorithm A's persistent pair memo) is amortised
+        across the batch — the paper's accounting, extended to every
+        registered engine.  Index-backed engines report their
+        :class:`SearchStats`; text baselines report ``None`` (their
+        adapters return empty stats, normalised here so result rows keep
+        the historical shape).
+        """
+        spec = REGISTRY.resolve(method)
+        engine = self._index.engine(spec.name)
+        if spec.kind == "index":
+            return lambda read: engine.search(read, k)
+        return lambda read: (engine.search(read, k)[0], None)

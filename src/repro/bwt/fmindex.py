@@ -18,7 +18,7 @@ Burrows–Wheeler matrix; this maps to the paper's rank pairs ``[α, β]`` as
 from __future__ import annotations
 
 import json
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..alphabet import SENTINEL, Alphabet, infer_alphabet
 from ..errors import IndexCorruptionError, PatternError, SerializationError

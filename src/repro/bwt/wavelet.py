@@ -27,7 +27,6 @@ from typing import Iterable, List, Optional, Sequence
 from ..alphabet import Alphabet
 from ..errors import IndexCorruptionError
 from ..obs import OBS
-from ..sequence import bits_needed
 
 _WORD = 64
 

@@ -5,9 +5,15 @@ Subcommands
 ``index``     Build a BWT index for a FASTA/plain-text target and save it.
 ``search``    Query a target (or saved index) for a pattern with k mismatches.
 ``simulate``  Generate a synthetic genome and/or simulated reads.
-``map``       Map reads to a target, SAM-like output.
-``compare``   Run the paper's four methods over a read batch and print a table.
+``map``       Map reads to a target, SAM-like output (``--workers N`` fans
+              the batch out over a thread or process pool).
+``compare``   Run the paper's methods over a read batch and print a table.
+``engines``   List every registered search engine and its capabilities.
 ``stats``     Render a saved ``--stats-json`` trace file as text.
+
+Method names on ``search`` and ``compare`` are resolved through the
+engine registry (``repro.engine.REGISTRY``) — any registered mismatch
+engine or alias works; ``repro-cli engines`` lists them.
 
 The ``index``, ``search``, ``map`` and ``compare`` subcommands accept
 ``--trace`` (print a span/metrics summary to stderr) and
@@ -32,7 +38,8 @@ from .bench.reporting import (
     percentile_headers,
 )
 from .bench.suite import MethodSuite, PAPER_METHODS
-from .core.matcher import METHODS, KMismatchIndex
+from .core.matcher import KMismatchIndex
+from .engine import CAP_MISMATCH, MODES, REGISTRY
 from .obs import OBS, load_trace, render_trace
 from .simulate.genome import GenomeConfig, generate_genome
 from .simulate.reads import ReadConfig, simulate_reads
@@ -135,14 +142,22 @@ def _cmd_map(args: argparse.Namespace) -> int:
         ]
     reference = args.reference_name
 
-    def alignments():
-        for name, sequence in records:
-            yield name, sequence, reference, index.map_read(sequence, args.k)
-
     out = sys.stdout if args.output == "-" else Path(args.output).open("w")
     try:
-        with OBS.timed("cli.map", n_reads=len(records), k=args.k):
-            written = write_sam(out, [(reference, len(text))], alignments())
+        with OBS.timed("cli.map", n_reads=len(records), k=args.k,
+                       workers=args.workers, mode=args.mode):
+            hit_lists = index.map_reads(
+                [sequence for _, sequence in records],
+                args.k,
+                workers=args.workers,
+                mode=args.mode,
+                chunk_size=args.chunk_size or None,
+            )
+            alignments = (
+                (name, sequence, reference, hits)
+                for (name, sequence), hits in zip(records, hit_lists)
+            )
+            written = write_sam(out, [(reference, len(text))], alignments)
     finally:
         if out is not sys.stdout:
             out.close()
@@ -172,6 +187,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(format_table(["method", "avg time/read", *percentile_headers(), "occurrences"],
                        rows,
                        title=f"k={args.k}, {len(reads)} reads, target {len(text)} bp"))
+    return 0
+
+
+def _cmd_engines(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in REGISTRY.specs(capability=args.capability or None):
+        rows.append([
+            spec.name,
+            spec.kind,
+            ",".join(sorted(spec.capabilities)),
+            ",".join(spec.aliases) or "-",
+            spec.description,
+        ])
+    print(format_table(["engine", "kind", "capabilities", "aliases", "description"],
+                       rows, title=f"{len(rows)} registered engine(s)"))
     return 0
 
 
@@ -210,7 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "index file when --index is set")
     p_search.add_argument("pattern", help="pattern string")
     p_search.add_argument("-k", type=int, default=0, help="mismatch / error bound")
-    p_search.add_argument("--method", choices=METHODS, default="algorithm_a")
+    p_search.add_argument("--method", choices=REGISTRY.names(capability=CAP_MISMATCH),
+                          default="algorithm_a",
+                          help="any registered mismatch engine (see `repro-cli engines`)")
     p_search.add_argument("--index", action="store_true",
                           help="treat TARGET as a saved index (from `repro-cli index`)")
     p_search.add_argument("--edit", action="store_true",
@@ -236,6 +268,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("-k", type=int, default=4, help="mismatch bound")
     p_map.add_argument("-o", "--output", default="-", help="output path ('-' = stdout)")
     p_map.add_argument("--reference-name", default="target", help="@SQ record name")
+    p_map.add_argument("--workers", type=int, default=0,
+                       help="fan the read batch out over N workers (0/1 = serial)")
+    p_map.add_argument("--mode", choices=MODES, default="thread",
+                       help="worker pool flavour for --workers > 1")
+    p_map.add_argument("--chunk-size", type=int, default=0,
+                       help="reads per worker chunk (0 = automatic)")
     _add_obs_flags(p_map)
     p_map.set_defaults(func=_cmd_map)
 
@@ -243,10 +281,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("target")
     p_cmp.add_argument("reads", help="file with one read per line (or simulate output)")
     p_cmp.add_argument("-k", type=int, default=3)
-    p_cmp.add_argument("--methods", nargs="+", default=list(PAPER_METHODS))
+    p_cmp.add_argument("--methods", nargs="+", default=list(PAPER_METHODS),
+                       help="registered engine names/aliases (see `repro-cli engines`)")
     p_cmp.add_argument("--limit", type=int, default=0, help="use only the first N reads")
     _add_obs_flags(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_eng = sub.add_parser("engines", help="list every registered search engine")
+    p_eng.add_argument("--capability", default="",
+                       help="only engines with this capability (mismatch/edit/wildcard)")
+    p_eng.set_defaults(func=_cmd_engines)
 
     p_stats = sub.add_parser("stats", help="render a saved --stats-json trace file")
     p_stats.add_argument("trace_file", metavar="TRACE",

@@ -12,7 +12,7 @@ and reports hits as ``(record name, occurrence)`` pairs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .alphabet import Alphabet
 from .core.matcher import KMismatchIndex, ReadHit
@@ -92,6 +92,61 @@ class SequenceCollection:
             if len(read) > len(index.text):
                 continue
             out.extend((name, hit) for hit in index.map_read(read, k))
+        return out
+
+    # -- batch queries -------------------------------------------------------------
+
+    def search_batch(
+        self,
+        patterns: Iterable[str],
+        k: int,
+        method: str = "algorithm_a",
+        workers: int = 0,
+        mode: str = "thread",
+    ) -> Dict[str, List[Tuple[str, Occurrence]]]:
+        """Search many patterns across every record; results keyed by pattern.
+
+        Each record's batch runs through its index's
+        :meth:`~repro.core.matcher.KMismatchIndex.search_batch` — the
+        cached engine (and, with ``workers > 1``, the parallel batch
+        executor) per record.  Result lists are ordered by record, then
+        position, like :meth:`search`.
+        """
+        patterns = list(patterns)
+        out: Dict[str, List[Tuple[str, Occurrence]]] = {p: [] for p in patterns}
+        for name, index in self._indexes.items():
+            fitting = [p for p in patterns if len(p) <= len(index.text)]
+            if not fitting:
+                continue
+            per_record = index.search_batch(
+                fitting, k, method=method, workers=workers, mode=mode
+            )
+            for pattern in fitting:
+                out[pattern].extend((name, occ) for occ in per_record[pattern])
+        return out
+
+    def map_reads(
+        self,
+        reads: Sequence[str],
+        k: int,
+        workers: int = 0,
+        mode: str = "thread",
+    ) -> List[List[Tuple[str, ReadHit]]]:
+        """Map a read batch across every record; ``result[i]`` lists read ``i``'s
+        ``(record, hit)`` pairs ordered by record then hit."""
+        reads = list(reads)
+        out: List[List[Tuple[str, ReadHit]]] = [[] for _ in reads]
+        for name, index in self._indexes.items():
+            fitting = [
+                (i, read) for i, read in enumerate(reads) if len(read) <= len(index.text)
+            ]
+            if not fitting:
+                continue
+            hit_lists = index.map_reads(
+                [read for _, read in fitting], k, workers=workers, mode=mode
+            )
+            for (i, _), hits in zip(fitting, hit_lists):
+                out[i].extend((name, hit) for hit in hits)
         return out
 
     # -- construction helpers ------------------------------------------------------------

@@ -64,11 +64,24 @@ class _Run:
     'stub'    never explored — the first visit's budget was spent
     'ref'     continuation is another memoised entry (``ref``)
     ========  =======================================================
+
+    ``gen`` is the searcher query generation that recorded the segment;
+    replays from a *later* generation (persistent cross-query memo) skip
+    the kangaroo merge — ``mm_rel``/``start_offset`` describe comparisons
+    against an earlier pattern — and re-score the stored characters
+    directly instead.
     """
 
-    __slots__ = ("start_offset", "codes", "ranges", "mm_rel", "status", "children", "ref")
+    __slots__ = ("start_offset", "codes", "ranges", "mm_rel", "status", "children", "ref", "gen")
 
-    def __init__(self, start_offset: int, codes: List[int], ranges: List[Range], mm_rel: List[int]):
+    def __init__(
+        self,
+        start_offset: int,
+        codes: List[int],
+        ranges: List[Range],
+        mm_rel: List[int],
+        gen: int = 0,
+    ):
         self.start_offset = start_offset
         self.codes = codes
         self.ranges = ranges
@@ -76,6 +89,7 @@ class _Run:
         self.status = "open"
         self.children: List["_Run"] = []
         self.ref: Optional[Tuple["_Run", int]] = None
+        self.gen = gen
 
 
 class AlgorithmASearcher:
@@ -107,6 +121,22 @@ class AlgorithmASearcher:
         hash insert plus node storage per character.  The paper's literal
         behaviour (every pair recorded) is ``min_memo_width=1``; the
         ablation benchmark sweeps this knob.
+    persistent_memo:
+        When True (default) the pair hash table survives across calls to
+        :meth:`search` on this instance: a range pair recorded while
+        serving one read is derived — never re-searched — when a later
+        read reaches the same BWT range.  The continuation of a range in
+        the index depends only on the *target*, so stored segments stay
+        valid for every future pattern; replays of segments recorded by
+        an earlier query re-score the stored characters directly (the
+        kangaroo merge needs same-pattern self-mismatch structure).
+        Cross-query hits are counted in ``stats.shared_reuse_hits``.
+    memo_limit:
+        Soft bound on persistent hash-table entries.  After each search,
+        entries recorded by the oldest generations are evicted until the
+        table fits (the current query's entries are never evicted, so one
+        very large query may transiently exceed the bound).  Eviction and
+        occupancy are exported via ``OBS`` under ``algorithm_a.memo.*``.
 
     >>> from repro.alphabet import DNA
     >>> fm = FMIndex("acagaca"[::-1], DNA)
@@ -115,6 +145,10 @@ class AlgorithmASearcher:
     [(0, (0, 3)), (2, (0, 1))]
     """
 
+    #: Canonical engine-registry name; spans are ``<engine_name>.search``
+    #: and metrics ``search.<engine_name>.*`` (the obs naming contract).
+    engine_name = "algorithm_a"
+
     def __init__(
         self,
         fm_reverse: FMIndex,
@@ -122,16 +156,33 @@ class AlgorithmASearcher:
         enable_reuse: bool = True,
         use_phi: bool = True,
         min_memo_width: int = 4,
+        persistent_memo: bool = True,
+        memo_limit: int = 200_000,
     ):
         if min_memo_width < 1:
             raise PatternError("min_memo_width must be >= 1")
+        if memo_limit < 1:
+            raise PatternError("memo_limit must be >= 1")
         self._fm = fm_reverse
         self._record_mtree = record_mtree
         self._enable_reuse = enable_reuse
         self._use_phi = use_phi
         self._min_memo_width = min_memo_width
+        self._persistent_memo = persistent_memo
+        self._memo_limit = memo_limit
+        self._memo: dict = {}
+        self._generation = 0
         #: M-tree of the most recent search (when ``record_mtree``).
         self.last_mtree: Optional[MTree] = None
+
+    @property
+    def memo_entries(self) -> int:
+        """Live entries in the (persistent) pair hash table."""
+        return len(self._memo)
+
+    def clear_memo(self) -> None:
+        """Drop every retained range pair (the next search starts cold)."""
+        self._memo.clear()
 
     # -- public API ------------------------------------------------------------
 
@@ -153,7 +204,7 @@ class AlgorithmASearcher:
         _ensure_recursion_headroom(m)
 
         with OBS.span(
-            "algorithm_a.search", m=m, k=k, reuse=self._enable_reuse, phi=self._use_phi
+            self.engine_name + ".search", m=m, k=k, reuse=self._enable_reuse, phi=self._use_phi
         ) as span:
             self._n = fm.text_length
             self._m = m
@@ -166,7 +217,9 @@ class AlgorithmASearcher:
             self._pattern = pattern
             self._tables_cache: Optional[MismatchTables] = None
             self._phi = compute_phi(fm, self._pcodes) if self._use_phi else None
-            self._memo: dict = {}
+            if not self._persistent_memo:
+                self._memo = {}
+            self._generation += 1
             self._stats = stats
             self._occurrences: List[Occurrence] = []
             self._path: List[Tuple[int, int]] = []  # (pattern offset, code) per mismatch
@@ -175,23 +228,59 @@ class AlgorithmASearcher:
             self._continue_live(fm.full_range(), 0, 0)
 
             stats.memo_size = len(self._memo)
+            evicted = self._evict_memo() if self._persistent_memo else 0
             span.set(
                 leaves=stats.leaves,
                 reuse_hits=stats.reuse_hits,
+                shared_reuse_hits=stats.shared_reuse_hits,
                 memo_size=stats.memo_size,
                 occurrences=len(self._occurrences),
             )
         if OBS.enabled:
-            record_search_metrics("algorithm_a", stats, len(self._occurrences))
+            record_search_metrics(self.engine_name, stats, len(self._occurrences))
             metrics = OBS.metrics
             metrics.counter("search.algorithm_a.reuse_hits").inc(stats.reuse_hits)
+            metrics.counter("search.algorithm_a.shared_reuse_hits").inc(
+                stats.shared_reuse_hits
+            )
             metrics.counter("search.algorithm_a.chars_replayed").inc(stats.chars_replayed)
             metrics.counter("search.algorithm_a.derivation_jumps").inc(stats.derivation_jumps)
             metrics.histogram("search.algorithm_a.memo_size", COUNT_BUCKETS).observe(
                 stats.memo_size
             )
+            metrics.counter(self.engine_name + ".memo.evicted").inc(evicted)
+            metrics.gauge(self.engine_name + ".memo.entries").set(len(self._memo))
         self.last_mtree = self._mtree
         return sorted(self._occurrences), stats
+
+    def _evict_memo(self) -> int:
+        """Enforce ``memo_limit`` by dropping oldest-generation entries.
+
+        Generation granularity keeps this out of the per-node hot path: a
+        single O(table) sweep between queries, no per-hit LRU bookkeeping.
+        Entries recorded by the just-finished query are never dropped, so
+        the bound is soft for a single oversized search.
+        """
+        excess = len(self._memo) - self._memo_limit
+        if excess <= 0:
+            return 0
+        per_gen: dict = {}
+        for entry in self._memo.values():
+            gen = entry[0].gen
+            per_gen[gen] = per_gen.get(gen, 0) + 1
+        cutoff = -1
+        drop = 0
+        for gen in sorted(per_gen):
+            if gen == self._generation or drop >= excess:
+                break
+            drop += per_gen[gen]
+            cutoff = gen
+        if cutoff < 0:
+            return 0
+        self._memo = {
+            key: value for key, value in self._memo.items() if value[0].gen > cutoff
+        }
+        return drop
 
     @property
     def tables(self) -> Optional[MismatchTables]:
@@ -258,11 +347,13 @@ class AlgorithmASearcher:
         hit = self._memo.get(key) if self._enable_reuse else None
         if hit is not None:
             self._stats.reuse_hits += 1
+            if hit[0].gen != self._generation:
+                self._stats.shared_reuse_hits += 1
             self._replay(hit[0], hit[1], offset, used)
             return
         self._stats.rank_queries += 1
         branches = self._fm.children(rng)
-        pseudo = _Run(offset, [], [rng], [])
+        pseudo = _Run(offset, [], [rng], [], self._generation)
         if self._enable_reuse:
             self._memo[key] = (pseudo, -1)
         if not branches:
@@ -336,7 +427,7 @@ class AlgorithmASearcher:
                 kids.append((code, crng))
                 self._light(crng, offset + 1, used + is_mm)
             else:
-                child = _Run(offset, [code], [crng], [0] if is_mm else [])
+                child = _Run(offset, [code], [crng], [0] if is_mm else [], self._generation)
                 kids.append(child)
                 self._fill_run(child, used + is_mm)
             if is_mm:
@@ -374,6 +465,8 @@ class AlgorithmASearcher:
                     run.status = "ref"
                     run.ref = hit
                     stats.reuse_hits += 1
+                    if hit[0].gen != self._generation:
+                        stats.shared_reuse_hits += 1
                     self._replay(hit[0], hit[1], nxt, used)
                     break
             stats.rank_queries += 1
@@ -424,10 +517,14 @@ class AlgorithmASearcher:
         pushed = 0
         cut = False
         if window > 0:
-            if window <= _DIRECT_SCAN_LIMIT:
-                # Short stored segment: a direct compare loop beats the
-                # kangaroo-jump setup cost.  Same result, same recorded
-                # mismatches.
+            if window <= _DIRECT_SCAN_LIMIT or run.gen != self._generation:
+                # Direct compare loop: for short stored segments it beats
+                # the kangaroo-jump setup cost; for segments recorded by an
+                # *earlier query* (persistent memo) it is the only sound
+                # option — the kangaroo merge interprets ``mm_rel`` against
+                # the pattern the segment was first scored on.  Stored
+                # codes themselves are pattern-independent, so comparing
+                # them against the current pattern is exact either way.
                 codes = run.codes
                 pcodes = self._pcodes
                 base = t + 1
@@ -470,6 +567,8 @@ class AlgorithmASearcher:
                     self._record_dead(after)
                 elif status == "ref":
                     self._stats.reuse_hits += 1
+                    if run.ref[0].gen != self._generation:
+                        self._stats.shared_reuse_hits += 1
                     self._replay(run.ref[0], run.ref[1], after, used)
                 else:
                     # 'end' (paper case i > j: extend), 'stub' (first visit

@@ -23,7 +23,7 @@ O(kn) expected behaviour on the text side).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..bwt.fmindex import FMIndex, Range
 from ..errors import PatternError

@@ -19,12 +19,11 @@ from ..obs import OBS
 from ..bwt.fmindex import DEFAULT_SA_SAMPLE, FMIndex
 from ..bwt.rankall import DEFAULT_SAMPLE_RATE
 from ..dna import reverse_complement
+from ..engine.registry import CAP_MISMATCH, REGISTRY, SearchEngine
 from ..errors import PatternError, SerializationError
-from .algorithm_a import AlgorithmASearcher
-from .kerrors import EditOccurrence, KErrorsSearcher
-from .stree import STreeSearcher
+from .kerrors import EditOccurrence
 from .types import Occurrence, SearchStats
-from .wildcard import DEFAULT_WILDCARD, WildcardSearcher
+from .wildcard import DEFAULT_WILDCARD
 
 
 @dataclass(frozen=True, order=True)
@@ -39,14 +38,11 @@ class ReadHit:
     occurrence: Occurrence
     strand: str
 
-#: Method names accepted by :meth:`KMismatchIndex.search`.
-METHODS = (
-    "algorithm_a",
-    "algorithm_a_nophi",
-    "algorithm_a_noreuse",
-    "stree",
-    "stree_nophi",
-)
+#: The index-backed mismatch engines, in registry order — the method
+#: names the paper's evaluation exercises.  :meth:`KMismatchIndex.search`
+#: additionally accepts every other registered mismatch engine (the
+#: baselines of :mod:`repro.baselines`); see ``docs/ENGINES.md``.
+METHODS = REGISTRY.names(capability=CAP_MISMATCH, kind="index")
 
 
 class KMismatchIndex:
@@ -83,6 +79,10 @@ class KMismatchIndex:
             alphabet = DNA if DNA.contains(text) else infer_alphabet(text)
         self._text = text
         self._alphabet = alphabet
+        self._engines: Dict[tuple, SearchEngine] = {}
+        #: M-tree of the most recent ``algorithm_a`` search with
+        #: ``record_mtree=True`` (``None`` until then).
+        self.last_mtree = None
         with OBS.span("kmismatch.build", length=len(text)):
             self._fm = FMIndex(
                 text[::-1],
@@ -122,9 +122,11 @@ class KMismatchIndex:
     ) -> List[Occurrence]:
         """All occurrences of ``pattern`` within Hamming distance ``k``.
 
-        ``method`` selects the engine: ``"algorithm_a"`` (the paper's
-        contribution), ``"stree"`` (the baseline of [34] with the φ
-        heuristic) or ``"stree_nophi"`` (same, heuristic off).
+        ``method`` names any registered mismatch engine:
+        ``"algorithm_a"`` (the paper's contribution), ``"stree"`` /
+        ``"stree_nophi"`` (the baseline of [34]), the ablation variants,
+        or a comparison method from :mod:`repro.baselines` (``"naive"``,
+        ``"amir"``, ``"cole"``, ...).  See ``docs/ENGINES.md``.
         """
         occurrences, _ = self.search_with_stats(pattern, k, method)
         return occurrences
@@ -151,29 +153,66 @@ class KMismatchIndex:
         OBS.metrics.counter("query.occurrences").inc(len(occurrences))
         return occurrences, stats
 
+    def engine(self, method: str, fresh: bool = False, **knobs) -> SearchEngine:
+        """The engine instance serving ``method`` on this index.
+
+        Engines are resolved through the process-wide registry
+        (:data:`repro.engine.REGISTRY`) and **cached per (method, knobs)**
+        — repeated queries reuse one instance, which is what lets
+        Algorithm A's persistent pair memo derive range continuations
+        recorded while serving earlier queries, and lets per-target
+        baselines (Cole's suffix tree, the q-gram index) amortise their
+        preprocessing.
+
+        Engine instances are stateful and not thread-safe; pass
+        ``fresh=True`` (or use :meth:`clone_for_worker`) to obtain a
+        private, uncached instance for a worker.
+        """
+        spec = REGISTRY.resolve(method)
+        if fresh or not spec.cacheable:
+            return spec.factory(self, **knobs)
+        key = (spec.name, tuple(sorted(knobs.items())))
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = self._engines[key] = spec.factory(self, **knobs)
+        return engine
+
+    def clone_for_worker(self) -> "KMismatchIndex":
+        """A shallow clone sharing the FM-index but owning its engine cache.
+
+        Batch workers search through clones so each worker gets private
+        (non-thread-safe) engine instances while the expensive index
+        payload stays shared.
+        """
+        clone = object.__new__(type(self))
+        clone._text = self._text
+        clone._alphabet = self._alphabet
+        clone._fm = self._fm
+        clone._engines = {}
+        clone.last_mtree = None
+        return clone
+
     def _dispatch(
         self, pattern: str, k: int, method: str, record_mtree: bool
     ) -> Tuple[List[Occurrence], SearchStats]:
-        if method.startswith("algorithm_a"):
-            if method == "algorithm_a":
-                searcher = AlgorithmASearcher(self._fm, record_mtree=record_mtree)
-            elif method == "algorithm_a_nophi":
-                searcher = AlgorithmASearcher(self._fm, record_mtree=record_mtree, use_phi=False)
-            elif method == "algorithm_a_noreuse":
-                searcher = AlgorithmASearcher(self._fm, record_mtree=record_mtree, enable_reuse=False)
-            else:
-                raise PatternError(f"unknown method {method!r}; expected one of {METHODS}")
-            result = searcher.search(pattern, k)
-            self.last_mtree = searcher.last_mtree
-            return result
-        if method == "stree":
-            return STreeSearcher(self._fm, use_phi=True).search(pattern, k)
-        if method == "stree_nophi":
-            return STreeSearcher(self._fm, use_phi=False).search(pattern, k)
-        raise PatternError(f"unknown method {method!r}; expected one of {METHODS}")
+        spec = REGISTRY.resolve(method)
+        if CAP_MISMATCH not in spec.capabilities:
+            raise PatternError(
+                f"method {spec.name!r} does not answer k-mismatch queries; "
+                f"expected one of {REGISTRY.names(capability=CAP_MISMATCH)}"
+            )
+        knobs = {"record_mtree": True} if record_mtree and spec.supports_mtree else {}
+        engine = self.engine(spec.name, **knobs)
+        result = engine.search(pattern, k)
+        if spec.supports_mtree:
+            self.last_mtree = getattr(engine, "last_mtree", None)
+        return result
 
     def count(self, pattern: str, k: int = 0, method: str = "algorithm_a") -> int:
         """Number of occurrences of ``pattern`` within distance ``k``."""
+        # Validate on the k = 0 fast path too: every query entry point
+        # rejects out-of-alphabet patterns the same way `search` does.
+        self._alphabet.validate(pattern)
         if k == 0:
             # Exact counting never needs the tree search: one backward pass.
             return self._fm.count(pattern[::-1])
@@ -181,6 +220,7 @@ class KMismatchIndex:
 
     def contains(self, pattern: str, k: int = 0) -> bool:
         """True when the pattern occurs within distance ``k``."""
+        self._alphabet.validate(pattern)
         if k == 0:
             return self._fm.contains(pattern[::-1])
         return bool(self.search(pattern, k))
@@ -189,6 +229,7 @@ class KMismatchIndex:
         """Exact occurrence starts (k = 0 fast path)."""
         if not pattern:
             raise PatternError("pattern must be non-empty")
+        self._alphabet.validate(pattern)
         n, m = len(self._text), len(pattern)
         return sorted(n - p - m for p in self._fm.locate(pattern[::-1]))
 
@@ -219,39 +260,105 @@ class KMismatchIndex:
         :func:`repro.core.kerrors.best_per_start` to reduce per start.
         """
         self._alphabet.validate(pattern)
-        return KErrorsSearcher(self._fm).search(pattern, k)
+        occurrences, _ = self.engine("kerrors").search(pattern, k)
+        return occurrences
 
     def search_wildcard(
         self, pattern: str, k: int = 0, wildcard: str = DEFAULT_WILDCARD
     ) -> List[Occurrence]:
         """k-mismatch search where ``wildcard`` pattern positions match anything."""
-        return WildcardSearcher(self._fm, wildcard=wildcard).search(pattern, k)
+        occurrences, _ = self.engine("wildcard", wildcard=wildcard).search(pattern, k)
+        return occurrences
 
     # -- read mapping -------------------------------------------------------------------
 
-    def map_read(self, read: str, k: int) -> List[ReadHit]:
+    def map_read(self, read: str, k: int, method: str = "algorithm_a") -> List[ReadHit]:
         """Map a read against both strands of the target.
 
         Searches the read as given (``'+'`` hits) and its reverse
         complement (``'-'`` hits), the way the paper's evaluation handles
         wgsim's strand-flipped reads.  DNA targets only.
         """
+        hits, _ = self.map_read_with_stats(read, k, method=method)
+        return hits
+
+    def map_read_with_stats(
+        self, read: str, k: int, method: str = "algorithm_a"
+    ) -> Tuple[List[ReadHit], SearchStats]:
+        """Like :meth:`map_read`, also returning merged two-strand stats."""
         if self._alphabet != DNA:
             raise PatternError("map_read requires a DNA target")
         with OBS.span("kmismatch.map_read", m=len(read), k=k) as span:
-            hits = [ReadHit(occ, "+") for occ in self.search(read, k)]
-            hits += [ReadHit(occ, "-") for occ in self.search(reverse_complement(read), k)]
+            forward, stats = self.search_with_stats(read, k, method)
+            reverse, reverse_stats = self.search_with_stats(
+                reverse_complement(read), k, method
+            )
+            stats.merge(reverse_stats)
+            hits = [ReadHit(occ, "+") for occ in forward]
+            hits += [ReadHit(occ, "-") for occ in reverse]
             span.set(hits=len(hits))
         if OBS.enabled:
             OBS.metrics.counter("map_read.count").inc()
             OBS.metrics.counter("map_read.hits").inc(len(hits))
-        return sorted(hits)
+        return sorted(hits), stats
+
+    def map_reads(
+        self,
+        reads: Sequence[str],
+        k: int,
+        method: str = "algorithm_a",
+        workers: int = 0,
+        mode: str = "thread",
+        chunk_size: Optional[int] = None,
+    ) -> List[List[ReadHit]]:
+        """Map a read batch; ``result[i]`` is read ``i``'s hit list.
+
+        ``workers > 1`` fans chunks out over a thread or process pool
+        (see :class:`repro.engine.BatchExecutor`); the serial path runs
+        every read through the one cached engine so Algorithm A's
+        persistent memo carries derivations across the whole batch.
+        Result order matches input order in every mode.
+        """
+        from ..engine.executor import BatchExecutor
+
+        executor = BatchExecutor(workers=workers, mode=mode, chunk_size=chunk_size)
+        return executor.run_map(self, reads, k, method=method).results
 
     def search_batch(
-        self, patterns: Sequence[str], k: int, method: str = "algorithm_a"
+        self,
+        patterns: Sequence[str],
+        k: int,
+        method: str = "algorithm_a",
+        workers: int = 0,
+        mode: str = "thread",
+        chunk_size: Optional[int] = None,
     ) -> Dict[str, List[Occurrence]]:
         """Search many patterns over the one index; results keyed by pattern."""
-        return {pattern: self.search(pattern, k, method=method) for pattern in patterns}
+        results, _ = self.search_batch_with_stats(
+            patterns, k, method=method, workers=workers, mode=mode, chunk_size=chunk_size
+        )
+        return results
+
+    def search_batch_with_stats(
+        self,
+        patterns: Sequence[str],
+        k: int,
+        method: str = "algorithm_a",
+        workers: int = 0,
+        mode: str = "thread",
+        chunk_size: Optional[int] = None,
+    ) -> Tuple[Dict[str, List[Occurrence]], SearchStats]:
+        """Like :meth:`search_batch`, also returning batch-merged stats.
+
+        The batch is executed through :class:`repro.engine.BatchExecutor`:
+        serially over the cached engine when ``workers <= 1``, else
+        chunked over a ``"thread"`` or ``"process"`` pool with
+        deterministic, input-ordered results.
+        """
+        from ..engine.executor import BatchExecutor
+
+        executor = BatchExecutor(workers=workers, mode=mode, chunk_size=chunk_size)
+        return executor.search_batch(self, patterns, k, method=method)
 
     # -- self-checks ------------------------------------------------------------------------
 
@@ -305,6 +412,8 @@ class KMismatchIndex:
         instance._fm = fm
         instance._alphabet = fm.alphabet
         instance._text = fm.reconstruct_text()[::-1]
+        instance._engines = {}
+        instance.last_mtree = None
         try:
             instance._alphabet.validate(instance._text)
         except Exception:

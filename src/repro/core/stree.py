@@ -21,7 +21,7 @@ pattern is consumed left-to-right (paper Sec. IV: ``L = BWT(s̄)``).
 from __future__ import annotations
 
 import sys
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..bwt.fmindex import FMIndex, Range
 from ..errors import PatternError
@@ -101,6 +101,10 @@ class STreeSearcher:
     [(0, (0, 3)), (2, (0, 1))]
     """
 
+    #: Canonical engine-registry name; spans are ``<engine_name>.search``
+    #: and metrics ``search.<engine_name>.*`` (the obs naming contract).
+    engine_name = "stree"
+
     def __init__(self, fm_reverse: FMIndex, use_phi: bool = True):
         self._fm = fm_reverse
         self._use_phi = use_phi
@@ -127,7 +131,7 @@ class STreeSearcher:
             return [], stats
         _ensure_recursion_headroom(m)
 
-        with OBS.span("stree.search", m=m, k=k, phi=self._use_phi) as span:
+        with OBS.span(self.engine_name + ".search", m=m, k=k, phi=self._use_phi) as span:
             self._n = fm.text_length
             self._m = m
             self._k = k
@@ -147,7 +151,7 @@ class STreeSearcher:
             self._expand(fm.full_range(), 0, 0)
             span.set(leaves=stats.leaves, occurrences=len(self._occurrences))
         if OBS.enabled:
-            record_search_metrics("stree", stats, len(self._occurrences))
+            record_search_metrics(self.engine_name, stats, len(self._occurrences))
         return sorted(self._occurrences), stats
 
     # -- internals -----------------------------------------------------------

@@ -57,6 +57,9 @@ class SearchStats:
     phi_pruned: int = 0
     #: Hash-table hits: subtrees derived instead of re-searched (Alg. A).
     reuse_hits: int = 0
+    #: Subset of ``reuse_hits`` on entries recorded by an *earlier* query
+    #: (Alg. A with a persistent cross-query memo).
+    shared_reuse_hits: int = 0
     #: Stored characters replayed through derivation (Alg. A).
     chars_replayed: int = 0
     #: Kangaroo-jump probes used during derivation (Alg. A).

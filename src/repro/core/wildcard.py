@@ -14,7 +14,7 @@ nucleotide), the default here.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 from ..bwt.fmindex import FMIndex, Range
 from ..errors import PatternError

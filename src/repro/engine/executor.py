@@ -1,0 +1,223 @@
+"""Chunked fan-out of batch queries over one index.
+
+The many-pattern setting is the one the paper (and the related
+k-mismatch literature) argues matters in practice: a fixed target, a
+stream of reads.  :class:`BatchExecutor` turns a read batch into chunks
+and runs them
+
+* **serially** (``workers <= 1``) through the index's *cached* engine,
+  so Algorithm A's persistent pair memo carries range derivations from
+  one read to the next;
+* on a **thread pool**, one shallow index clone per chunk — the clones
+  share the FM-index payload but own their engine instances, because
+  engines are stateful and not thread-safe;
+* on a **process pool**, shipping the serialized index payload once per
+  worker (initializer) and rebuilding it there — true CPU parallelism
+  for workloads big enough to amortise the fork.
+
+Results are always returned in input order regardless of scheduling, and
+per-chunk :class:`~repro.core.types.SearchStats` are merged in chunk
+order, so parallel runs are byte-identical to sequential ones.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.types import Occurrence, SearchStats
+from ..errors import PatternError
+from ..obs import OBS
+
+#: Execution modes accepted by :class:`BatchExecutor`.
+MODES = ("thread", "process")
+
+#: Target number of chunks per worker when no explicit chunk size is given
+#: — small enough to balance uneven reads, large enough to amortise the
+#: per-chunk engine construction.
+_CHUNKS_PER_WORKER = 4
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batch run: per-item results plus merged stats."""
+
+    #: One result entry per input item, in input order.
+    results: List[object]
+    #: Per-chunk stats merged through :meth:`SearchStats.merge`.
+    stats: SearchStats
+    n_chunks: int = 1
+    workers: int = 1
+    mode: str = "serial"
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class BatchExecutor:
+    """Run a batch of queries against one index with optional parallelism.
+
+    Parameters
+    ----------
+    workers:
+        ``<= 1`` runs serially (through the index's cached, memo-bearing
+        engine); larger values fan chunks out over a pool.
+    mode:
+        ``"thread"`` (default; shares the in-memory index) or
+        ``"process"`` (rebuilds the index per worker from its serialized
+        payload — needs a picklable workload, pays a startup cost, and in
+        exchange escapes the GIL).
+    chunk_size:
+        Items per chunk; default splits the batch into
+        ``workers * 4`` chunks.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        mode: str = "thread",
+        chunk_size: Optional[int] = None,
+    ):
+        if mode not in MODES:
+            raise PatternError(f"unknown batch mode {mode!r}; expected one of {MODES}")
+        if chunk_size is not None and chunk_size < 1:
+            raise PatternError("chunk_size must be positive")
+        self.workers = max(0, int(workers))
+        self.mode = mode
+        self.chunk_size = chunk_size
+
+    # -- public API -----------------------------------------------------------
+
+    def run_search(
+        self, index, patterns: Sequence[str], k: int, method: str = "algorithm_a"
+    ) -> BatchResult:
+        """Search every pattern; ``results[i]`` is pattern ``i``'s occurrence list."""
+        return self._run(index, "search", list(patterns), k, method)
+
+    def run_map(
+        self, index, reads: Sequence[str], k: int, method: str = "algorithm_a"
+    ) -> BatchResult:
+        """Strand-aware mapping of every read; ``results[i]`` is a ReadHit list."""
+        return self._run(index, "map", list(reads), k, method)
+
+    def search_batch(
+        self, index, patterns: Sequence[str], k: int, method: str = "algorithm_a"
+    ) -> Tuple[Dict[str, List[Occurrence]], SearchStats]:
+        """Dict-shaped search results (the facade's ``search_batch`` contract)."""
+        batch = self.run_search(index, patterns, k, method)
+        return (
+            {pattern: occs for pattern, occs in zip(patterns, batch.results)},
+            batch.stats,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _run(self, index, kind: str, items: List[str], k: int, method: str) -> BatchResult:
+        parallel = self.workers > 1 and len(items) > 1
+        workers = min(self.workers, len(items)) if parallel else 1
+        with OBS.span(
+            "engine.batch",
+            kind=kind,
+            mode=self.mode if parallel else "serial",
+            workers=workers,
+            items=len(items),
+        ) as span:
+            if not parallel:
+                results, stats = _run_chunk(index, kind, items, k, method, cached=True)
+                batch = BatchResult(results, stats, n_chunks=1, workers=1, mode="serial")
+            else:
+                batch = self._run_parallel(index, kind, items, k, method, workers)
+            span.set(chunks=batch.n_chunks)
+        if OBS.enabled:
+            OBS.metrics.counter("engine.batch.items").inc(len(items))
+            OBS.metrics.counter("engine.batch.chunks").inc(batch.n_chunks)
+        return batch
+
+    def _run_parallel(
+        self, index, kind: str, items: List[str], k: int, method: str, workers: int
+    ) -> BatchResult:
+        size = self.chunk_size or max(1, -(-len(items) // (workers * _CHUNKS_PER_WORKER)))
+        chunks = [items[i : i + size] for i in range(0, len(items), size)]
+        if self.mode == "process":
+            chunk_results = self._map_process(index, kind, chunks, k, method)
+        else:
+            chunk_results = self._map_thread(index, kind, chunks, k, method)
+        results: List[object] = []
+        stats = SearchStats()
+        for chunk_out, chunk_stats in chunk_results:
+            results.extend(chunk_out)
+            stats.merge(chunk_stats)
+        return BatchResult(
+            results, stats, n_chunks=len(chunks), workers=workers, mode=self.mode
+        )
+
+    def _map_thread(self, index, kind, chunks, k, method):
+        workers = min(self.workers, len(chunks))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_worker_chunk, index, kind, chunk, k, method)
+                for chunk in chunks
+            ]
+            return [future.result() for future in futures]
+
+    def _map_process(self, index, kind, chunks, k, method):
+        payload = index.dumps()
+        workers = min(self.workers, len(chunks))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_process_init, initargs=(payload,)
+        ) as pool:
+            futures = [
+                pool.submit(_process_chunk, kind, chunk, k, method) for chunk in chunks
+            ]
+            return [future.result() for future in futures]
+
+
+# -- chunk workers -------------------------------------------------------------
+
+
+def _run_chunk(
+    index, kind: str, chunk: Sequence[str], k: int, method: str, cached: bool
+) -> Tuple[List[object], SearchStats]:
+    """Run one chunk sequentially; the unit of work every mode shares.
+
+    ``cached=True`` routes through the index's own engine cache (serial
+    mode — the cross-query memo persists beyond this batch);
+    ``cached=False`` is for pool workers operating on a private clone.
+    """
+    worker_index = index if cached else index.clone_for_worker()
+    stats = SearchStats()
+    out: List[object] = []
+    if kind == "search":
+        for pattern in chunk:
+            occurrences, query_stats = worker_index.search_with_stats(pattern, k, method)
+            stats.merge(query_stats)
+            out.append(occurrences)
+    elif kind == "map":
+        for read in chunk:
+            hits, query_stats = worker_index.map_read_with_stats(read, k, method=method)
+            stats.merge(query_stats)
+            out.append(hits)
+    else:  # pragma: no cover - internal invariant
+        raise PatternError(f"unknown batch kind {kind!r}")
+    return out, stats
+
+
+def _run_worker_chunk(index, kind, chunk, k, method):
+    """Thread-pool entry: private index clone, then the shared chunk loop."""
+    return _run_chunk(index, kind, chunk, k, method, cached=False)
+
+
+#: Per-process rebuilt index (set by :func:`_process_init` in pool workers).
+_WORKER_INDEX = None
+
+
+def _process_init(payload: str) -> None:
+    """Process-pool initializer: rebuild the index once per worker."""
+    global _WORKER_INDEX
+    from ..core.matcher import KMismatchIndex
+
+    _WORKER_INDEX = KMismatchIndex.loads(payload)
+
+
+def _process_chunk(kind: str, chunk: Sequence[str], k: int, method: str):
+    """Process-pool entry: run one chunk against the per-worker index."""
+    return _run_chunk(_WORKER_INDEX, kind, chunk, k, method, cached=True)

@@ -12,7 +12,7 @@ full SAM implementation (no CIGAR beyond ``<m>M``, no quality recalc).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple
 
 from .core.matcher import ReadHit
 from .errors import PatternError

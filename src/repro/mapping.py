@@ -10,7 +10,7 @@ aligner recipe, built entirely from the library's k-mismatch primitive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .core.matcher import KMismatchIndex, ReadHit
 from .errors import PatternError
@@ -77,7 +77,17 @@ def map_pair(
         raise PatternError("min_fragment must not exceed max_fragment")
     hits1 = index.map_read(read1, k)
     hits2 = index.map_read(read2, k)
-    read_length = len(read1)
+    return _concordant_alignments(hits1, hits2, len(read1), min_fragment, max_fragment)
+
+
+def _concordant_alignments(
+    hits1: List[ReadHit],
+    hits2: List[ReadHit],
+    read_length: int,
+    min_fragment: int,
+    max_fragment: int,
+) -> List[PairAlignment]:
+    """Score every concordant hit combination, best first."""
     out: List[PairAlignment] = []
     for h1 in hits1:
         for h2 in hits2:
@@ -93,6 +103,39 @@ def map_pair(
                     )
                 )
     return sorted(out)
+
+
+def map_pairs(
+    index: KMismatchIndex,
+    pairs: Sequence[Tuple[str, str]],
+    k: int,
+    min_fragment: int = 0,
+    max_fragment: int = 2_000,
+    workers: int = 0,
+    mode: str = "thread",
+) -> List[List[PairAlignment]]:
+    """Batch :func:`map_pair`: ``result[i]`` are pair ``i``'s placements.
+
+    All mates are mapped in one batch through
+    :meth:`~repro.core.matcher.KMismatchIndex.map_reads`, so Algorithm A's
+    cross-query memo (serial) or the worker pool (``workers > 1``) serves
+    the whole pair set; the concordance pass then runs per pair.  Results
+    match calling :func:`map_pair` pair-by-pair exactly.
+    """
+    for read1, read2 in pairs:
+        if len(read1) != len(read2):
+            raise PatternError("mates must have equal length")
+    if min_fragment > max_fragment:
+        raise PatternError("min_fragment must not exceed max_fragment")
+    mates = [read for pair in pairs for read in pair]
+    hit_lists = index.map_reads(mates, k, workers=workers, mode=mode)
+    out: List[List[PairAlignment]] = []
+    for i, (read1, _) in enumerate(pairs):
+        hits1, hits2 = hit_lists[2 * i], hit_lists[2 * i + 1]
+        out.append(
+            _concordant_alignments(hits1, hits2, len(read1), min_fragment, max_fragment)
+        )
+    return out
 
 
 def best_pair(

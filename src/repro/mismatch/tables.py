@@ -17,7 +17,7 @@ its experiments; a direct-scan reference implementation is kept for tests.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..errors import PatternError
 from ..strings.zfunc import prefix_mismatch_positions

@@ -35,7 +35,7 @@ The trace-file format written by :meth:`Observability.export` /
 from __future__ import annotations
 
 import json
-from typing import Any, Optional
+from typing import Any
 
 from .metrics import (
     COUNT_BUCKETS,

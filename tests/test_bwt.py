@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.alphabet import DNA, infer_alphabet
+from repro.alphabet import DNA
 from repro.bwt import EMPTY_RANGE, FMIndex, Range, RankAll, bwt_transform, inverse_bwt
 from repro.errors import IndexCorruptionError, PatternError, SerializationError
 

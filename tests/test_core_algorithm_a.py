@@ -1,7 +1,5 @@
 """Tests for Algorithm A (repro.core.algorithm_a)."""
 
-import random
-
 import pytest
 
 from repro.alphabet import DNA

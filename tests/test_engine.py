@@ -1,0 +1,330 @@
+"""Tests for the engine layer: registry, caching, cross-query memo, batches."""
+
+import random
+
+import pytest
+
+from repro.baselines.naive import naive_search
+from repro.core.matcher import METHODS, KMismatchIndex
+from repro.core.types import SearchStats
+from repro.engine import (
+    CAP_EDIT,
+    CAP_MISMATCH,
+    CAP_WILDCARD,
+    REGISTRY,
+    BatchExecutor,
+    EngineRegistry,
+    EngineSpec,
+)
+from repro.errors import AlphabetError, PatternError
+
+from conftest import random_dna
+
+
+class TestRegistry:
+    def test_resolve_canonical(self):
+        assert REGISTRY.resolve("algorithm_a").name == "algorithm_a"
+
+    def test_resolve_alias(self):
+        assert REGISTRY.resolve("A()").name == "algorithm_a"
+        assert REGISTRY.resolve("BWT").name == "stree"
+        assert REGISTRY.resolve("Amir's").name == "amir"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(PatternError):
+            REGISTRY.resolve("quantum")
+
+    def test_unknown_name_is_value_error(self):
+        # Callers historically caught ValueError for bad method names.
+        with pytest.raises(ValueError):
+            REGISTRY.resolve("quantum")
+
+    def test_contains(self):
+        assert "algorithm_a" in REGISTRY
+        assert "A()" in REGISTRY
+        assert "quantum" not in REGISTRY
+
+    def test_methods_tuple_matches_registry(self):
+        assert METHODS == REGISTRY.names(capability=CAP_MISMATCH, kind="index")
+        assert METHODS == (
+            "algorithm_a",
+            "algorithm_a_nophi",
+            "algorithm_a_noreuse",
+            "stree",
+            "stree_nophi",
+        )
+
+    def test_capability_filters(self):
+        assert REGISTRY.names(capability=CAP_EDIT) == ("kerrors",)
+        assert REGISTRY.names(capability=CAP_WILDCARD) == ("wildcard",)
+        mismatch = REGISTRY.names(capability=CAP_MISMATCH)
+        assert "naive" in mismatch and "cole" in mismatch
+        assert "kerrors" not in mismatch
+
+    def test_duplicate_name_rejected(self):
+        registry = EngineRegistry()
+        spec = EngineSpec(name="x", factory=lambda index: None)
+        registry.register(spec)
+        with pytest.raises(PatternError):
+            registry.register(EngineSpec(name="x", factory=lambda index: None))
+
+    def test_duplicate_alias_rejected(self):
+        registry = EngineRegistry()
+        registry.register(EngineSpec(name="x", factory=lambda index: None, aliases=("y",)))
+        with pytest.raises(PatternError):
+            registry.register(EngineSpec(name="z", factory=lambda index: None, aliases=("y",)))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(PatternError):
+            EngineRegistry().register(
+                EngineSpec(name="x", factory=lambda index: None, kind="gpu")
+            )
+
+    def test_iteration_preserves_registration_order(self):
+        names = [spec.name for spec in REGISTRY]
+        assert names[:2] == ["algorithm_a", "algorithm_a_nophi"]
+        assert len(REGISTRY) == len(names)
+
+    def test_ablation_flags(self):
+        assert REGISTRY.resolve("algorithm_a").uses_phi
+        assert REGISTRY.resolve("algorithm_a").uses_reuse
+        assert not REGISTRY.resolve("algorithm_a_nophi").uses_phi
+        assert not REGISTRY.resolve("algorithm_a_noreuse").uses_reuse
+        assert REGISTRY.resolve("stree").uses_phi
+        assert not REGISTRY.resolve("stree_nophi").uses_phi
+
+
+class TestEngineCaching:
+    def test_engine_is_cached_per_method(self):
+        index = KMismatchIndex("acagaca" * 10)
+        assert index.engine("algorithm_a") is index.engine("algorithm_a")
+        assert index.engine("algorithm_a") is index.engine("A()")
+
+    def test_distinct_methods_distinct_engines(self):
+        index = KMismatchIndex("acagaca" * 10)
+        assert index.engine("algorithm_a") is not index.engine("stree")
+
+    def test_knobs_key_the_cache(self):
+        index = KMismatchIndex("acagaca" * 10)
+        plain = index.engine("algorithm_a")
+        recording = index.engine("algorithm_a", record_mtree=True)
+        assert plain is not recording
+        assert recording is index.engine("algorithm_a", record_mtree=True)
+
+    def test_fresh_bypasses_cache(self):
+        index = KMismatchIndex("acagaca" * 10)
+        assert index.engine("algorithm_a", fresh=True) is not index.engine("algorithm_a")
+
+    def test_non_mismatch_engine_rejected_by_search(self):
+        index = KMismatchIndex("acagaca")
+        with pytest.raises(PatternError):
+            index.search("aca", 0, method="kerrors")
+
+    def test_clone_for_worker_shares_fm_not_engines(self):
+        index = KMismatchIndex("acagaca" * 10)
+        engine = index.engine("algorithm_a")
+        clone = index.clone_for_worker()
+        assert clone.fm_index is index.fm_index
+        assert clone.text == index.text
+        assert clone.engine("algorithm_a") is not engine
+        assert clone.last_mtree is None
+
+
+class TestLastMtree:
+    def test_none_before_first_search(self):
+        assert KMismatchIndex("acagaca").last_mtree is None
+
+    def test_none_after_loads(self):
+        index = KMismatchIndex("acagaca")
+        index.search_with_stats("tcaca", 2, record_mtree=True)
+        assert index.last_mtree is not None
+        restored = KMismatchIndex.loads(index.dumps())
+        assert restored.last_mtree is None
+
+
+class TestAlphabetValidationFastPath:
+    def test_count_k0_validates(self):
+        with pytest.raises(AlphabetError):
+            KMismatchIndex("acgt").count("axg")
+
+    def test_contains_k0_validates(self):
+        with pytest.raises(AlphabetError):
+            KMismatchIndex("acgt").contains("axg")
+
+    def test_locate_exact_validates(self):
+        with pytest.raises(AlphabetError):
+            KMismatchIndex("acgt").locate_exact("axg")
+
+
+class TestCrossQueryMemo:
+    def test_shared_reuse_hits_accumulate(self, repeat_text):
+        index = KMismatchIndex(repeat_text)
+        reads = [repeat_text[i : i + 20] for i in range(0, 200, 10)]
+        _, first = index.search_with_stats(reads[0], 2)
+        assert first.shared_reuse_hits == 0
+        shared = 0
+        for read in reads[1:]:
+            _, stats = index.search_with_stats(read, 2)
+            shared += stats.shared_reuse_hits
+        assert shared > 0
+
+    def test_shared_hits_are_subset_of_reuse_hits(self, repeat_text):
+        index = KMismatchIndex(repeat_text)
+        for i in range(0, 100, 10):
+            _, stats = index.search_with_stats(repeat_text[i : i + 20], 2)
+            assert stats.shared_reuse_hits <= stats.reuse_hits
+
+    def test_cross_query_results_exact(self, repeat_text, rng):
+        index = KMismatchIndex(repeat_text)
+        for _ in range(25):
+            pos = rng.randrange(0, len(repeat_text) - 25)
+            read = list(repeat_text[pos : pos + 20])
+            for _ in range(rng.randrange(0, 3)):
+                read[rng.randrange(20)] = rng.choice("acgt")
+            read = "".join(read)
+            got = [(o.start, o.mismatches) for o in index.search(read, 2)]
+            want = [(o.start, o.mismatches) for o in naive_search(repeat_text, read, 2)]
+            assert got == want, read
+
+    def test_memo_eviction_bounds_size(self, repeat_text):
+        from repro.core.algorithm_a import AlgorithmASearcher
+
+        index = KMismatchIndex(repeat_text)
+        searcher = AlgorithmASearcher(index.fm_index, memo_limit=64)
+        for i in range(0, 300, 10):
+            occs, _ = searcher.search(repeat_text[i : i + 20], 2)
+        # Soft bound: the limit plus whatever the current query recorded.
+        _, last = searcher.search(repeat_text[0:20], 2)
+        assert searcher.memo_entries <= 64 + last.memo_size
+
+    def test_clear_memo(self, repeat_text):
+        from repro.core.algorithm_a import AlgorithmASearcher
+
+        searcher = AlgorithmASearcher(KMismatchIndex(repeat_text).fm_index)
+        searcher.search(repeat_text[:20], 2)
+        assert searcher.memo_entries > 0
+        searcher.clear_memo()
+        assert searcher.memo_entries == 0
+
+    def test_persistent_memo_off_restores_per_query_behaviour(self, repeat_text):
+        from repro.core.algorithm_a import AlgorithmASearcher
+
+        fm = KMismatchIndex(repeat_text).fm_index
+        searcher = AlgorithmASearcher(fm, persistent_memo=False)
+        for i in range(0, 60, 20):
+            _, stats = searcher.search(repeat_text[i : i + 20], 2)
+            assert stats.shared_reuse_hits == 0
+
+    def test_bad_memo_limit_rejected(self, repeat_text):
+        from repro.core.algorithm_a import AlgorithmASearcher
+
+        with pytest.raises(PatternError):
+            AlgorithmASearcher(KMismatchIndex("acgtacgt").fm_index, memo_limit=0)
+
+
+class TestBatchExecutor:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        rnd = random.Random(31337)
+        text = random_dna(rnd, 4000)
+        reads = []
+        for _ in range(60):
+            pos = rnd.randrange(0, len(text) - 30)
+            read = list(text[pos : pos + 24])
+            for _ in range(rnd.randrange(0, 3)):
+                read[rnd.randrange(24)] = rnd.choice("acgt")
+            reads.append("".join(read))
+        return text, reads
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(PatternError):
+            BatchExecutor(workers=2, mode="fiber")
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(PatternError):
+            BatchExecutor(workers=2, chunk_size=0)
+
+    def test_serial_batch_matches_per_query(self, workload):
+        text, reads = workload
+        index = KMismatchIndex(text)
+        batch, stats = index.search_batch_with_stats(reads, 2)
+        assert isinstance(stats, SearchStats)
+        for read in reads:
+            assert batch[read] == index.search(read, 2)
+
+    def test_thread_batch_identical_to_serial(self, workload):
+        text, reads = workload
+        index = KMismatchIndex(text)
+        serial = index.search_batch(reads, 2)
+        threaded = index.search_batch(reads, 2, workers=4, mode="thread")
+        assert threaded == serial
+
+    def test_process_batch_identical_to_serial(self, workload):
+        text, reads = workload
+        index = KMismatchIndex(text)
+        serial = index.search_batch(reads[:20], 2)
+        processed = index.search_batch(reads[:20], 2, workers=2, mode="process")
+        assert processed == serial
+
+    def test_map_reads_parallel_identical(self, workload):
+        text, reads = workload
+        index = KMismatchIndex(text)
+        serial = [index.map_read(read, 2) for read in reads[:20]]
+        assert index.map_reads(reads[:20], 2) == serial
+        assert index.map_reads(reads[:20], 2, workers=3) == serial
+
+    def test_results_in_input_order(self, workload):
+        text, reads = workload
+        index = KMismatchIndex(text)
+        batch = BatchExecutor(workers=3, chunk_size=7).run_search(index, reads, 2)
+        assert len(batch.results) == len(reads)
+        assert batch.n_chunks == -(-len(reads) // 7)
+        for read, occs in zip(reads, batch.results):
+            assert occs == index.search(read, 2)
+
+    def test_chunk_stats_merge(self, workload):
+        text, reads = workload
+        index = KMismatchIndex(text)
+        # Fresh engines per run so reuse effects do not skew the totals.
+        serial = BatchExecutor(workers=0).run_search(
+            index.clone_for_worker(), reads, 2, method="stree"
+        )
+        parallel = BatchExecutor(workers=4, chunk_size=5).run_search(
+            index.clone_for_worker(), reads, 2, method="stree"
+        )
+        assert parallel.stats.nodes_expanded == serial.stats.nodes_expanded
+        assert parallel.stats.leaves == serial.stats.leaves
+
+    def test_single_item_runs_serial(self, workload):
+        text, reads = workload
+        index = KMismatchIndex(text)
+        batch = BatchExecutor(workers=8).run_search(index, reads[:1], 2)
+        assert batch.mode == "serial"
+        assert batch.workers == 1
+
+
+class TestEngineNaiveAgreement:
+    """Every registered mismatch engine must agree with the naive scan."""
+
+    TRIALS = 50
+
+    @pytest.mark.parametrize("method", REGISTRY.names(capability=CAP_MISMATCH))
+    def test_agrees_with_naive(self, method):
+        rnd = random.Random(hash(method) & 0xFFFFFFFF)
+        for trial in range(self.TRIALS):
+            n = rnd.randrange(40, 200)
+            m = rnd.randrange(4, min(20, n))
+            k = rnd.randrange(0, 4)
+            text = random_dna(rnd, n)
+            if rnd.random() < 0.5 and n > m:
+                pos = rnd.randrange(0, n - m)
+                read = list(text[pos : pos + m])
+                for _ in range(rnd.randrange(0, k + 1)):
+                    read[rnd.randrange(m)] = rnd.choice("acgt")
+                pattern = "".join(read)
+            else:
+                pattern = random_dna(rnd, m)
+            index = KMismatchIndex(text)
+            got = {(o.start, o.mismatches) for o in index.search(pattern, k, method=method)}
+            want = {(o.start, o.mismatches) for o in naive_search(text, pattern, k)}
+            assert got == want, (method, trial, text, pattern, k)

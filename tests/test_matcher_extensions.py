@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import KMismatchIndex, reverse_complement
+from repro import KMismatchIndex
 from repro.core.kerrors import naive_kerrors_search
 from repro.core.matcher import ReadHit
 from repro.errors import PatternError, SerializationError

@@ -1,7 +1,5 @@
 """Tests for the mismatch-information machinery (repro.mismatch)."""
 
-import random
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
