@@ -11,6 +11,15 @@ tables/figures report.
 from .workloads import Workload, fig11_workload, catalog_workload, BENCH_SCALE
 from .suite import MethodResult, MethodSuite, PAPER_METHODS
 from .reporting import format_table, format_series
+from .regression import (
+    Regression,
+    RegressionError,
+    compare_runs,
+    format_report,
+    load_bench_json,
+    run_ci_workload,
+    write_bench_json,
+)
 
 __all__ = [
     "Workload",
@@ -22,4 +31,11 @@ __all__ = [
     "PAPER_METHODS",
     "format_table",
     "format_series",
+    "Regression",
+    "RegressionError",
+    "compare_runs",
+    "format_report",
+    "load_bench_json",
+    "run_ci_workload",
+    "write_bench_json",
 ]

@@ -56,6 +56,34 @@ class MethodResult:
         """Average matching time per read — the paper's reported metric."""
         return self.total_seconds / self.n_reads if self.n_reads else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-compatible summary (the regression gate's per-method row).
+
+        Latency is reported in milliseconds (average plus histogram
+        percentiles); work counters come from the merged
+        :class:`SearchStats` — ``rank_queries`` is the probe count the
+        gate compares, the machine-independent half of the check.
+        """
+        payload = {
+            "method": self.method,
+            "n_reads": self.n_reads,
+            "n_occurrences": self.n_occurrences,
+            "total_seconds": self.total_seconds,
+            "avg_ms": self.avg_seconds * 1e3,
+        }
+        if self.latency_hist is not None and self.latency_hist.count:
+            payload["latency_ms"] = {
+                "p50": self.latency_hist.percentile(50),
+                "p90": self.latency_hist.percentile(90),
+                "p99": self.latency_hist.percentile(99),
+                "max": self.latency_hist.max,
+            }
+        if self.stats is not None:
+            payload["stats"] = self.stats.to_dict()
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
+
 
 class MethodSuite:
     """Run any of the compared methods over one target string.
@@ -121,6 +149,27 @@ class MethodSuite:
     def run_all(self, reads: Sequence[str], k: int) -> List[MethodResult]:
         """Time every configured method; results in configuration order."""
         return [self.run(method, reads, k) for method in self._methods]
+
+    def run_json(self, reads: Sequence[str], k: int, **meta) -> dict:
+        """One JSON document for a full :meth:`run_all` pass.
+
+        The shape consumed by :mod:`repro.bench.regression` — workload
+        metadata (so baselines refuse to compare across different
+        set-ups) plus one :meth:`MethodResult.to_dict` row per method.
+        """
+        results = self.run_all(reads, k)
+        return {
+            "format": "repro-bench",
+            "version": 1,
+            "workload": {
+                "target_bp": len(self._text),
+                "n_reads": len(reads),
+                "read_length": len(reads[0]) if reads else 0,
+                "k": k,
+                **meta,
+            },
+            "methods": {result.method: result.to_dict() for result in results},
+        }
 
     # -- method registry ----------------------------------------------------------
 

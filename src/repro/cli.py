@@ -2,23 +2,31 @@
 
 Subcommands
 -----------
-``index``     Build a BWT index for a FASTA/plain-text target and save it.
-``search``    Query a target (or saved index) for a pattern with k mismatches.
-``simulate``  Generate a synthetic genome and/or simulated reads.
-``map``       Map reads to a target, SAM-like output (``--workers N`` fans
-              the batch out over a thread or process pool).
-``compare``   Run the paper's methods over a read batch and print a table.
-``engines``   List every registered search engine and its capabilities.
-``stats``     Render a saved ``--stats-json`` trace file as text.
+``index``          Build a BWT index for a FASTA/plain-text target and save it.
+``search``         Query a target (or saved index) for a pattern with k mismatches.
+``simulate``       Generate a synthetic genome and/or simulated reads.
+``map``            Map reads to a target, SAM-like output (``--workers N`` fans
+                   the batch out over a thread or process pool).
+``compare``        Run the paper's methods over a read batch and print a table.
+``engines``        List every registered search engine and its capabilities.
+``stats``          Render a saved ``--stats-json`` trace file as text.
+``serve-metrics``  Expose /metrics, /healthz and /debug/queries over HTTP,
+                   optionally driving a read workload to populate them.
+``flightrecorder`` Render a dumped flight-recorder / event-log JSONL file.
+``bench``          Run the fixed CI workload; with ``--check-regression``,
+                   gate against a committed baseline JSON.
 
 Method names on ``search`` and ``compare`` are resolved through the
 engine registry (``repro.engine.REGISTRY``) — any registered mismatch
 engine or alias works; ``repro-cli engines`` lists them.
 
 The ``index``, ``search``, ``map`` and ``compare`` subcommands accept
-``--trace`` (print a span/metrics summary to stderr) and
-``--stats-json PATH`` (write the full machine-readable trace document —
-see ``docs/OBSERVABILITY.md`` for the format).
+``--trace`` (print a span/metrics summary to stderr), ``--stats-json
+PATH`` (write the full machine-readable trace document), ``--events
+PATH`` (stream one JSON line per query/batch) and ``--flight-json PATH``
+(dump the flight recorder on exit) — see ``docs/OBSERVABILITY.md``.
+Setting ``REPRO_METRICS_PORT`` serves live telemetry over HTTP for the
+duration of any of those commands.
 
 The CLI works on plain one-sequence-per-file text or minimal FASTA (the
 first record's sequence, headers stripped).
@@ -27,7 +35,10 @@ first record's sequence, headers stripped).
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -40,7 +51,7 @@ from .bench.reporting import (
 from .bench.suite import MethodSuite, PAPER_METHODS
 from .core.matcher import KMismatchIndex
 from .engine import CAP_MISMATCH, MODES, REGISTRY
-from .obs import OBS, load_trace, render_trace
+from .obs import OBS, MetricError, load_events, load_trace, render_records, render_trace
 from .simulate.genome import GenomeConfig, generate_genome
 from .simulate.reads import ReadConfig, simulate_reads
 
@@ -206,9 +217,105 @@ def _cmd_engines(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    document = load_trace(args.trace_file)
+    try:
+        document = load_trace(args.trace_file)
+    except MetricError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_trace(document))
     return 0
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    from .obs.server import MetricsServer
+
+    OBS.enable()
+    if args.slow_ms is not None:
+        OBS.recorder.slow_ms = args.slow_ms
+    server = MetricsServer(host=args.host, port=args.port)
+    host, port = server.address
+    print(f"# serving /metrics /healthz /debug/queries on http://{host}:{port}",
+          file=sys.stderr)
+    server.start()
+    try:
+        if args.target:
+            text = read_sequence(Path(args.target))
+            index = KMismatchIndex(text)
+            if args.reads:
+                reads = [
+                    line.strip().lower()
+                    for line in Path(args.reads).read_text().splitlines()
+                    if line.strip() and not line.startswith(("@", ">", "#"))
+                ]
+                for cycle in range(max(1, args.loop)):
+                    for read in reads:
+                        index.search_with_stats(read, args.k)
+                print(f"# ran {max(1, args.loop)} pass(es) over {len(reads)} read(s)",
+                      file=sys.stderr)
+        if args.duration > 0:
+            time.sleep(args.duration)
+        else:
+            print("# Ctrl-C to stop", file=sys.stderr)
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        OBS.disable()
+    return 0
+
+
+def _cmd_flightrecorder(args: argparse.Namespace) -> int:
+    try:
+        records = load_events(args.records_file)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.records_file}: {exc}", file=sys.stderr)
+        return 2
+    print(render_records(records, slow_only=args.slow, show_spans=args.spans))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.regression import (
+        RegressionError,
+        compare_runs,
+        format_report,
+        load_bench_json,
+        run_ci_workload,
+        write_bench_json,
+    )
+
+    document = run_ci_workload(
+        methods=args.methods,
+        k=args.k,
+        scale=args.scale,
+        n_reads=args.reads,
+        read_length=args.read_length,
+        seed=args.seed,
+    )
+    if args.json_out:
+        write_bench_json(document, args.json_out)
+        print(f"# benchmark JSON written to {args.json_out}", file=sys.stderr)
+    baseline = None
+    findings = []
+    if args.check_regression or args.baseline:
+        if not args.baseline:
+            print("error: --check-regression requires --baseline PATH", file=sys.stderr)
+            return 2
+        try:
+            baseline = load_bench_json(args.baseline)
+            findings = compare_runs(
+                document,
+                baseline,
+                latency_threshold=args.latency_threshold / 100.0,
+                probe_threshold=args.probe_threshold / 100.0,
+            )
+        except RegressionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    print(format_report(findings, document, baseline))
+    return 3 if findings else 0
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -217,6 +324,11 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="print a span/metrics summary to stderr when done")
     parser.add_argument("--stats-json", default="", metavar="PATH",
                         help="write the full trace document (spans + metrics) as JSON")
+    parser.add_argument("--events", default="", metavar="PATH",
+                        help="stream one JSON line per query/batch event to PATH")
+    parser.add_argument("--flight-json", default="", metavar="PATH",
+                        help="dump the flight recorder (recent + pinned slow "
+                             "queries) as JSON lines on exit")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -296,6 +408,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("trace_file", metavar="TRACE",
                          help="trace file written by --stats-json")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_serve = sub.add_parser(
+        "serve-metrics",
+        help="expose /metrics, /healthz and /debug/queries over HTTP")
+    p_serve.add_argument("target", nargs="?", default="",
+                         help="optional FASTA/plain-text target to index and query")
+    p_serve.add_argument("--reads", default="",
+                         help="file with one read per line to run against TARGET")
+    p_serve.add_argument("-k", type=int, default=2, help="mismatch bound for --reads")
+    p_serve.add_argument("--loop", type=int, default=1,
+                         help="passes over the read file (populates metrics)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=9109,
+                         help="listen port (0 picks an ephemeral port)")
+    p_serve.add_argument("--duration", type=float, default=0,
+                         help="serve for this many seconds then exit (0 = forever)")
+    p_serve.add_argument("--slow-ms", type=float, default=None,
+                         help="pin queries at or above this latency (ms) in the "
+                              "flight recorder")
+    p_serve.set_defaults(func=_cmd_serve_metrics)
+
+    p_flight = sub.add_parser(
+        "flightrecorder",
+        help="render a dumped flight-recorder / event-log JSONL file")
+    p_flight.add_argument("records_file", metavar="RECORDS",
+                          help="JSONL file from --flight-json / --events")
+    p_flight.add_argument("--slow", action="store_true",
+                          help="show only records pinned as slow")
+    p_flight.add_argument("--spans", action="store_true",
+                          help="render each record's span tree too")
+    p_flight.set_defaults(func=_cmd_flightrecorder)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the fixed CI workload; optionally gate against a baseline")
+    p_bench.add_argument("--methods", nargs="+", default=["A()", "BWT"],
+                         help="registered engine names/aliases to time")
+    p_bench.add_argument("-k", type=int, default=2)
+    p_bench.add_argument("--scale", type=int, default=40_000,
+                         help="target genome size (bp)")
+    p_bench.add_argument("--reads", type=int, default=12, help="number of reads")
+    p_bench.add_argument("--read-length", type=int, default=60)
+    p_bench.add_argument("--seed", type=int, default=7)
+    p_bench.add_argument("--json-out", default="", metavar="PATH",
+                         help="write the run's benchmark JSON here")
+    p_bench.add_argument("--baseline", default="", metavar="PATH",
+                         help="committed baseline JSON to compare against")
+    p_bench.add_argument("--check-regression", action="store_true",
+                         help="exit 3 when any metric regresses past its threshold")
+    p_bench.add_argument("--latency-threshold", type=float, default=25.0,
+                         help="allowed avg-latency growth over baseline (percent)")
+    p_bench.add_argument("--probe-threshold", type=float, default=25.0,
+                         help="allowed probe-count growth over baseline (percent)")
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 
@@ -304,14 +470,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     trace = getattr(args, "trace", False) is True
     stats_json = getattr(args, "stats_json", "")
-    observing = trace or bool(stats_json)
+    events_path = getattr(args, "events", "")
+    flight_json = getattr(args, "flight_json", "")
+    observing = trace or bool(stats_json) or bool(events_path) or bool(flight_json)
+    metrics_port = os.environ.get("REPRO_METRICS_PORT", "")
+    server = None
+    if metrics_port and args.command != "serve-metrics":
+        from .obs.server import start_server
+
+        observing = True
+        server = start_server(port=int(metrics_port))
+        print(f"# telemetry on http://{server.address[0]}:{server.address[1]} "
+              f"for the duration of this command", file=sys.stderr)
     if observing:
         OBS.reset().enable()
+        if events_path:
+            OBS.open_event_log(events_path)
     try:
         return args.func(args)
     finally:
+        if server is not None:
+            server.stop()
         if observing:
             OBS.disable()
+            OBS.close_event_log()
+            if events_path:
+                print(f"# events streamed to {events_path}", file=sys.stderr)
+            if flight_json:
+                n = OBS.recorder.dump_jsonl(flight_json)
+                print(f"# flight recorder ({n} record(s)) written to {flight_json}",
+                      file=sys.stderr)
             if stats_json:
                 OBS.write_trace(stats_json, command=args.command)
                 print(f"# trace written to {stats_json}", file=sys.stderr)

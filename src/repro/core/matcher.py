@@ -146,11 +146,19 @@ class KMismatchIndex:
         with OBS.span("kmismatch.search", method=method, m=len(pattern), k=k) as span:
             occurrences, stats = self._dispatch(pattern, k, method, record_mtree)
             span.set(occurrences=len(occurrences))
-        OBS.metrics.histogram("query.latency_ms").observe(
-            (perf_counter_ns() - start_ns) / 1e6
-        )
+        duration_ms = (perf_counter_ns() - start_ns) / 1e6
+        OBS.metrics.histogram("query.latency_ms").observe(duration_ms)
         OBS.metrics.counter("query.count").inc()
         OBS.metrics.counter("query.occurrences").inc(len(occurrences))
+        OBS.record_query(
+            engine=method,
+            k=k,
+            m=len(pattern),
+            duration_ms=duration_ms,
+            occurrences=len(occurrences),
+            stats=stats,
+            spans=span.to_dict() if OBS.tracer.enabled else None,
+        )
         return occurrences, stats
 
     def engine(self, method: str, fresh: bool = False, **knobs) -> SearchEngine:

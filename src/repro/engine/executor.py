@@ -24,11 +24,12 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.types import Occurrence, SearchStats
 from ..errors import PatternError
-from ..obs import OBS
+from ..obs import OBS, ObsDelta, merge_obs_delta
 
 #: Execution modes accepted by :class:`BatchExecutor`.
 MODES = ("thread", "process")
@@ -114,6 +115,7 @@ class BatchExecutor:
     def _run(self, index, kind: str, items: List[str], k: int, method: str) -> BatchResult:
         parallel = self.workers > 1 and len(items) > 1
         workers = min(self.workers, len(items)) if parallel else 1
+        start = perf_counter()
         with OBS.span(
             "engine.batch",
             kind=kind,
@@ -130,6 +132,19 @@ class BatchExecutor:
         if OBS.enabled:
             OBS.metrics.counter("engine.batch.items").inc(len(items))
             OBS.metrics.counter("engine.batch.chunks").inc(batch.n_chunks)
+            OBS.record_event(
+                "batch",
+                engine=method,
+                k=k,
+                duration_ms=(perf_counter() - start) * 1e3,
+                occurrences=sum(len(r) for r in batch.results),
+                stats=batch.stats.to_dict(),
+                kind=kind,
+                items=len(items),
+                chunks=batch.n_chunks,
+                workers=batch.workers,
+                mode=batch.mode,
+            )
         return batch
 
     def _run_parallel(
@@ -162,13 +177,24 @@ class BatchExecutor:
     def _map_process(self, index, kind, chunks, k, method):
         payload = index.dumps()
         workers = min(self.workers, len(chunks))
+        observe = OBS.enabled
         with ProcessPoolExecutor(
-            max_workers=workers, initializer=_process_init, initargs=(payload,)
+            max_workers=workers, initializer=_process_init, initargs=(payload, observe)
         ) as pool:
             futures = [
-                pool.submit(_process_chunk, kind, chunk, k, method) for chunk in chunks
+                pool.submit(_process_chunk, kind, chunk, k, method, observe)
+                for chunk in chunks
             ]
-            return [future.result() for future in futures]
+            outcomes = [future.result() for future in futures]
+        # Fold each worker chunk's telemetry back into this process, in
+        # chunk order — `map --mode process` reports the same counter
+        # totals a sequential run would.
+        results = []
+        for chunk_out, chunk_stats, obs_payload in outcomes:
+            if observe:
+                merge_obs_delta(OBS, obs_payload)
+            results.append((chunk_out, chunk_stats))
+        return results
 
 
 # -- chunk workers -------------------------------------------------------------
@@ -210,14 +236,38 @@ def _run_worker_chunk(index, kind, chunk, k, method):
 _WORKER_INDEX = None
 
 
-def _process_init(payload: str) -> None:
-    """Process-pool initializer: rebuild the index once per worker."""
+def _process_init(payload: str, observe: bool = False) -> None:
+    """Process-pool initializer: rebuild the index once per worker.
+
+    ``observe`` mirrors the parent's ``OBS.enabled`` at submit time, so
+    worker-side instrumentation runs exactly when the parent's does
+    (under ``spawn`` the child starts with a fresh, disabled singleton;
+    under ``fork`` it inherits whatever the parent had).
+    """
     global _WORKER_INDEX
     from ..core.matcher import KMismatchIndex
 
+    if observe:
+        OBS.enable()
+        # Under fork the worker inherits the parent's open engine.batch
+        # span; drop it so worker spans finish as roots and get shipped.
+        OBS.tracer.clear_stack()
     _WORKER_INDEX = KMismatchIndex.loads(payload)
 
 
-def _process_chunk(kind: str, chunk: Sequence[str], k: int, method: str):
-    """Process-pool entry: run one chunk against the per-worker index."""
-    return _run_chunk(_WORKER_INDEX, kind, chunk, k, method, cached=True)
+def _process_chunk(kind: str, chunk: Sequence[str], k: int, method: str, observe: bool = False):
+    """Process-pool entry: run one chunk against the per-worker index.
+
+    Returns ``(results, stats, obs_payload)`` — the third element is the
+    chunk's serialized telemetry delta (metric increments plus finished
+    span trees, see :class:`repro.obs.ObsDelta`), or ``None`` when the
+    parent was not observing.  Deltas are taken against a snapshot at
+    chunk entry, so index-rebuild work from the initializer and counters
+    inherited across ``fork`` are not double-reported, and a worker
+    serving many chunks ships each chunk's increments exactly once.
+    """
+    if not observe:
+        return (*_run_chunk(_WORKER_INDEX, kind, chunk, k, method, cached=True), None)
+    snapshot = ObsDelta.capture(OBS)
+    out, stats = _run_chunk(_WORKER_INDEX, kind, chunk, k, method, cached=True)
+    return out, stats, snapshot.finish(OBS)

@@ -48,6 +48,23 @@ from .metrics import (
     render_metrics,
 )
 from .tracing import NULL_SPAN, Span, Timer, Tracer, render_span_tree
+from .export import (
+    OPENMETRICS_CONTENT_TYPE,
+    ObsDelta,
+    merge_metrics,
+    merge_obs_delta,
+    metrics_delta,
+    render_openmetrics,
+    sanitize_metric_name,
+)
+from .recorder import (
+    DEFAULT_SLOW_MS,
+    EventLog,
+    FlightRecorder,
+    load_events,
+    make_record,
+    render_records,
+)
 
 #: Identifier written into every exported trace document.
 TRACE_FORMAT = "repro-trace"
@@ -63,12 +80,16 @@ class Observability:
     budget the test suite enforces.
     """
 
-    __slots__ = ("tracer", "metrics", "enabled")
+    __slots__ = ("tracer", "metrics", "enabled", "recorder", "event_log")
 
     def __init__(self):
         self.tracer = Tracer(enabled=False)
         self.metrics = MetricsRegistry()
         self.enabled = False
+        #: Bounded ring of recent query/batch records (+ pinned slow ones).
+        self.recorder = FlightRecorder()
+        #: Optional JSONL sink; set via :meth:`open_event_log`.
+        self.event_log = None
 
     # -- switches -------------------------------------------------------------
 
@@ -85,9 +106,11 @@ class Observability:
         return self
 
     def reset(self) -> "Observability":
-        """Drop all collected spans and metrics (enabled state unchanged)."""
+        """Drop all collected spans, metrics and flight-recorder records
+        (enabled state and any open event log unchanged)."""
         self.tracer.reset()
         self.metrics.reset()
+        self.recorder.clear()
         return self
 
     # -- convenience forwarding ----------------------------------------------
@@ -111,6 +134,59 @@ class Observability:
         """Increment a counter iff enabled."""
         if self.enabled:
             self.metrics.counter(name).inc(n)
+
+    # -- flight recorder / event log ------------------------------------------
+
+    def open_event_log(self, path: str) -> EventLog:
+        """Start streaming every recorded event to ``path`` (JSON lines).
+
+        Replaces (and closes) any previously open log.  The log receives
+        records regardless of the ``enabled`` flag's later toggles — it
+        is closed only by :meth:`close_event_log`.
+        """
+        self.close_event_log()
+        self.event_log = EventLog(path)
+        return self.event_log
+
+    def close_event_log(self) -> None:
+        """Close and detach the JSONL event sink (no-op when none open)."""
+        if self.event_log is not None:
+            self.event_log.close()
+            self.event_log = None
+
+    def record_event(self, event: str, **fields) -> dict:
+        """Build, retain and (if a log is open) stream one record.
+
+        The record lands in the flight recorder's ring (pinned too when
+        it crosses the slow threshold) and in the JSONL event log.  Call
+        sites guard with ``if OBS.enabled`` — this method does not.
+        """
+        record = self.recorder.record(make_record(event, **fields))
+        if self.event_log is not None:
+            self.event_log.emit(record)
+        return record
+
+    def record_query(
+        self,
+        engine: str,
+        k: int,
+        m: int,
+        duration_ms: float,
+        occurrences: int,
+        stats=None,
+        spans=None,
+    ) -> dict:
+        """One per-query record (the facade's per-search call)."""
+        return self.record_event(
+            "query",
+            engine=engine,
+            k=k,
+            m=m,
+            duration_ms=duration_ms,
+            occurrences=occurrences,
+            stats=stats.to_dict() if stats is not None else None,
+            spans=spans,
+        )
 
     # -- export ---------------------------------------------------------------
 
@@ -144,12 +220,40 @@ class Observability:
 
 
 def load_trace(path: str) -> dict:
-    """Read and validate a trace document written by :meth:`Observability.write_trace`."""
+    """Read and validate a trace document written by :meth:`Observability.write_trace`.
+
+    Validation happens up front — a malformed file, a foreign format, or
+    a trace written by a *newer* format version raises
+    :class:`MetricError` naming what was found, instead of surfacing as
+    an opaque ``KeyError`` deep inside replay/rendering.
+    """
     with open(path) as handle:
-        document = json.load(handle)
-    if not isinstance(document, dict) or document.get("format") != TRACE_FORMAT:
-        raise MetricError(f"{path} is not a {TRACE_FORMAT} document")
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise MetricError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(document, dict):
+        raise MetricError(
+            f"{path} is not a {TRACE_FORMAT} document "
+            f"(top level is {type(document).__name__}, expected object)"
+        )
+    found_format = document.get("format")
+    if found_format != TRACE_FORMAT:
+        raise MetricError(
+            f"{path} is not a {TRACE_FORMAT} document (format={found_format!r})"
+        )
+    found_version = document.get("version")
+    if not isinstance(found_version, int) or found_version > TRACE_VERSION:
+        raise MetricError(
+            f"{path} has unsupported {TRACE_FORMAT} version {found_version!r} "
+            f"(this build reads versions <= {TRACE_VERSION})"
+        )
     return document
+
+
+#: Validated trace loading, exposed on the class so callers holding an
+#: Observability instance need no extra import.
+Observability.load = staticmethod(load_trace)
 
 
 def render_trace(document: dict) -> str:
@@ -190,4 +294,19 @@ __all__ = [
     "render_trace",
     "render_span_tree",
     "render_metrics",
+    # export / aggregation (repro.obs.export)
+    "OPENMETRICS_CONTENT_TYPE",
+    "render_openmetrics",
+    "sanitize_metric_name",
+    "metrics_delta",
+    "merge_metrics",
+    "merge_obs_delta",
+    "ObsDelta",
+    # flight recorder / event log (repro.obs.recorder)
+    "FlightRecorder",
+    "EventLog",
+    "DEFAULT_SLOW_MS",
+    "make_record",
+    "load_events",
+    "render_records",
 ]

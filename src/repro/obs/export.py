@@ -1,0 +1,207 @@
+"""Metric export formats and cross-process snapshot aggregation.
+
+Two concerns live here, both pure functions over the JSON form of
+:meth:`~repro.obs.metrics.MetricsRegistry.to_dict`:
+
+* **OpenMetrics rendering** — :func:`render_openmetrics` turns the
+  registry payload into the Prometheus/OpenMetrics text exposition
+  format served by :mod:`repro.obs.server` on ``/metrics``.  Dotted
+  metric names become underscore-separated (``rank.rankall.occ_probes``
+  → ``rank_rankall_occ_probes``), counters gain the conventional
+  ``_total`` suffix, and histograms expand into cumulative
+  ``_bucket{le="..."}`` series plus ``_sum`` / ``_count``.
+
+* **Snapshot deltas and merging** — process-pool batch workers each
+  accumulate into their *own* ``OBS`` singleton (a forked or spawned
+  copy), so their counters would silently vanish when the pool shuts
+  down.  :func:`metrics_delta` computes what one chunk added on top of a
+  baseline snapshot (fork-safe: inherited pre-fork totals subtract out),
+  and :func:`merge_metrics` folds such a delta back into the parent's
+  registry.  :class:`ObsDelta` bundles the metric delta with the span
+  trees the chunk finished, which is exactly the payload
+  ``repro.engine.executor._process_chunk`` ships home.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from .metrics import Histogram, MetricsRegistry
+
+#: Content type the ``/metrics`` endpoint serves (Prometheus text format).
+OPENMETRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_NAME_LEADING = re.compile(r"^[^a-zA-Z_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A Prometheus-legal metric name for a dotted repro metric name.
+
+    >>> sanitize_metric_name("rank.rankall.occ_probes")
+    'rank_rankall_occ_probes'
+    >>> sanitize_metric_name("9bad name")
+    '_bad_name'
+    """
+    cleaned = _NAME_INVALID.sub("_", name)
+    return _NAME_LEADING.sub("_", cleaned[:1]) + cleaned[1:] if cleaned else "_"
+
+
+def _format_value(value: Any) -> str:
+    """A Prometheus-style number: integers bare, floats via repr."""
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_openmetrics(metrics: Dict[str, dict], prefix: str = "repro_") -> str:
+    """The Prometheus text exposition of a registry ``to_dict`` payload.
+
+    Every series is prefixed (default ``repro_``) so a scrape of a mixed
+    process cannot collide with other exporters.  Histogram buckets are
+    rendered cumulatively with inclusive ``le`` bounds and a final
+    ``+Inf`` bucket, matching the storage convention of
+    :class:`~repro.obs.metrics.Histogram` (per-bucket, non-cumulative).
+    """
+    lines: List[str] = []
+    for name in sorted(metrics):
+        payload = metrics[name]
+        kind = payload.get("type")
+        base = prefix + sanitize_metric_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {base}_total counter")
+            lines.append(f"{base}_total {_format_value(payload.get('value', 0))}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_format_value(payload.get('value', 0))}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {base} histogram")
+            buckets = payload.get("buckets", [])
+            counts = payload.get("counts", [])
+            running = 0
+            for bound, count in zip(buckets, counts):
+                running += count
+                lines.append(f'{base}_bucket{{le="{_format_value(float(bound))}"}} {running}')
+            running += counts[len(buckets)] if len(counts) > len(buckets) else 0
+            lines.append(f'{base}_bucket{{le="+Inf"}} {running}')
+            lines.append(f"{base}_sum {_format_value(payload.get('sum', 0.0))}")
+            lines.append(f"{base}_count {_format_value(payload.get('count', 0))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# -- cross-process snapshot aggregation -----------------------------------------
+
+
+def metrics_delta(before: Dict[str, dict], after: Dict[str, dict]) -> Dict[str, dict]:
+    """What ``after`` added on top of ``before`` (both ``to_dict`` payloads).
+
+    Counters and histogram counts subtract element-wise; gauges are
+    last-write-wins so the ``after`` value is taken verbatim.  Metrics
+    with nothing new are omitted, so an idle chunk ships an empty dict.
+    Histogram ``min``/``max`` in a delta are the ``after`` values — a
+    bucket-resolution approximation, consistent with everything else a
+    fixed-bucket histogram reports.
+    """
+    delta: Dict[str, dict] = {}
+    for name, payload in after.items():
+        kind = payload.get("type")
+        prior = before.get(name)
+        if prior is not None and prior.get("type") != kind:
+            prior = None  # kind changed (registry reset mid-run): treat as new
+        if kind == "counter":
+            value = payload.get("value", 0) - (prior.get("value", 0) if prior else 0)
+            if value:
+                delta[name] = {"type": "counter", "name": name, "value": value}
+        elif kind == "gauge":
+            if prior is None or payload.get("value") != prior.get("value"):
+                delta[name] = dict(payload)
+        elif kind == "histogram":
+            if prior is None:
+                if payload.get("count", 0):
+                    delta[name] = dict(payload)
+                continue
+            if payload.get("buckets") != prior.get("buckets"):
+                delta[name] = dict(payload)  # buckets changed: ship whole thing
+                continue
+            counts = [c - p for c, p in zip(payload.get("counts", []), prior.get("counts", []))]
+            count = payload.get("count", 0) - prior.get("count", 0)
+            if count <= 0 and not any(counts):
+                continue
+            entry = dict(payload)
+            entry["counts"] = counts
+            entry["count"] = count
+            entry["sum"] = payload.get("sum", 0.0) - prior.get("sum", 0.0)
+            delta[name] = entry
+    return delta
+
+
+def merge_metrics(registry: MetricsRegistry, payload: Dict[str, dict]) -> None:
+    """Fold a ``to_dict``/:func:`metrics_delta` payload into ``registry``.
+
+    Counters increment, gauges set, histograms merge element-wise
+    (buckets must agree with any existing instrument of the same name —
+    the registry raises on mismatch, same as two live call sites would).
+    """
+    for name in sorted(payload):
+        entry = payload[name]
+        kind = entry.get("type")
+        if kind == "counter":
+            registry.counter(name).inc(entry.get("value", 0))
+        elif kind == "gauge":
+            registry.gauge(name).set(entry.get("value", 0))
+        elif kind == "histogram":
+            incoming = Histogram(name, entry.get("buckets") or (1,))
+            incoming.counts = list(entry.get("counts", incoming.counts))
+            incoming.count = entry.get("count", 0)
+            incoming.total = entry.get("sum", 0.0)
+            incoming.min = entry.get("min")
+            incoming.max = entry.get("max")
+            registry.histogram(name, incoming.buckets).merge(incoming)
+
+
+class ObsDelta:
+    """One chunk's observability payload: metric deltas plus span trees.
+
+    Built worker-side by :meth:`capture`/:meth:`finish`, shipped as a
+    plain dict (picklable), merged parent-side by :func:`merge_obs_delta`.
+    """
+
+    __slots__ = ("_before_metrics", "_before_roots", "payload")
+
+    def __init__(self):
+        self._before_metrics: Dict[str, dict] = {}
+        self._before_roots = 0
+        self.payload: Optional[dict] = None
+
+    @classmethod
+    def capture(cls, obs) -> "ObsDelta":
+        """Snapshot ``obs`` (an :class:`~repro.obs.Observability`) now."""
+        snap = cls()
+        snap._before_metrics = obs.metrics.to_dict()
+        snap._before_roots = len(obs.tracer.finished)
+        return snap
+
+    def finish(self, obs) -> dict:
+        """The delta accumulated on ``obs`` since :meth:`capture`."""
+        spans = [span.to_dict() for span in obs.tracer.finished[self._before_roots :]]
+        self.payload = {
+            "metrics": metrics_delta(self._before_metrics, obs.metrics.to_dict()),
+            "spans": spans,
+        }
+        return self.payload
+
+
+def merge_obs_delta(obs, payload: Optional[dict]) -> None:
+    """Merge one worker chunk's :class:`ObsDelta` payload into ``obs``."""
+    if not payload:
+        return
+    merge_metrics(obs.metrics, payload.get("metrics") or {})
+    spans = payload.get("spans") or []
+    if spans:
+        obs.tracer.adopt(spans)

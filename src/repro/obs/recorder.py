@@ -1,0 +1,239 @@
+"""Flight recorder and structured event log.
+
+The metrics registry answers "how much, in total"; the flight recorder
+answers "what just happened" — a bounded ring buffer of the most recent
+per-query records (engine, ``k``, pattern length, duration, occurrence
+count, the full :class:`~repro.core.types.SearchStats` dictionary, and
+the query's span tree when tracing is on).  Queries slower than a
+configurable threshold are additionally **pinned** into a separate
+bounded list, so the interesting outliers survive long after the ring
+has churned past them — the black-box-recorder property the name is
+borrowed from.
+
+The :class:`EventLog` is the streaming sibling: one JSON object per
+line, appended as records arrive, so long benchmark runs and served
+traffic leave a replayable, greppable trail (``repro-cli flightrecorder``
+renders these files).
+
+Both consume the same record dictionaries, produced by
+:meth:`repro.obs.Observability.record_query` /
+:meth:`~repro.obs.Observability.record_event`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, IO, List, Optional, Union
+
+#: Ring-buffer capacity (recent records) — override via REPRO_FLIGHT_CAPACITY.
+DEFAULT_CAPACITY = int(os.environ.get("REPRO_FLIGHT_CAPACITY", "256"))
+
+#: Pinned-slow-record capacity.
+DEFAULT_SLOW_CAPACITY = 64
+
+#: Slow-query threshold in milliseconds — override via REPRO_SLOW_QUERY_MS.
+DEFAULT_SLOW_MS = float(os.environ.get("REPRO_SLOW_QUERY_MS", "250"))
+
+
+def make_record(
+    event: str,
+    *,
+    engine: str = "",
+    k: int = 0,
+    m: int = 0,
+    duration_ms: float = 0.0,
+    occurrences: int = 0,
+    stats: Optional[dict] = None,
+    spans: Optional[dict] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """One flight-recorder/event-log record (plain JSON-compatible dict).
+
+    ``event`` is ``"query"`` for single searches and ``"batch"`` for
+    executor runs; ``spans`` is the query's span tree
+    (:meth:`~repro.obs.tracing.Span.to_dict`) or ``None`` when tracing
+    was off.
+    """
+    record: Dict[str, Any] = {
+        "event": event,
+        "ts": time.time(),
+        "engine": engine,
+        "k": k,
+        "m": m,
+        "duration_ms": round(float(duration_ms), 6),
+        "occurrences": occurrences,
+    }
+    if stats is not None:
+        record["stats"] = stats
+    if spans is not None:
+        record["spans"] = spans
+    record.update(extra)
+    return record
+
+
+class FlightRecorder:
+    """Bounded ring of recent records plus a pinned list of slow ones.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum recent records retained (oldest evicted first).
+    slow_ms:
+        Records with ``duration_ms`` at or above this are *also* pinned
+        into the slow list; ``None`` disables pinning.
+    slow_capacity:
+        Bound on the pinned list (oldest pinned records evicted first —
+        the recorder never grows without bound).
+
+    Appends take a lock: recorders are shared by the threaded batch
+    paths, and a deque append alone is atomic but the sequence counter
+    update next to it is not.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        slow_ms: Optional[float] = DEFAULT_SLOW_MS,
+        slow_capacity: int = DEFAULT_SLOW_CAPACITY,
+    ):
+        if capacity < 1 or slow_capacity < 1:
+            raise ValueError("flight recorder capacities must be positive")
+        self.capacity = capacity
+        self.slow_ms = slow_ms
+        self.slow_capacity = slow_capacity
+        self._recent: deque = deque(maxlen=capacity)
+        self._slow: deque = deque(maxlen=slow_capacity)
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._recent)
+
+    @property
+    def total_recorded(self) -> int:
+        """How many records have ever been appended (evicted ones included)."""
+        return self._seq
+
+    def record(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Append one record; returns it with its ``seq`` number set."""
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            record["slow"] = bool(
+                self.slow_ms is not None
+                and record.get("duration_ms", 0.0) >= self.slow_ms
+            )
+            self._recent.append(record)
+            if record["slow"]:
+                self._slow.append(record)
+        return record
+
+    def recent(self) -> List[Dict[str, Any]]:
+        """The ring contents, oldest first."""
+        with self._lock:
+            return list(self._recent)
+
+    def slow(self) -> List[Dict[str, Any]]:
+        """The pinned slow records, oldest first (survive ring eviction)."""
+        with self._lock:
+            return list(self._slow)
+
+    def clear(self) -> None:
+        """Drop every retained record (the sequence counter keeps counting)."""
+        with self._lock:
+            self._recent.clear()
+            self._slow.clear()
+
+    def to_dict(self) -> dict:
+        """JSON document served by ``/debug/queries`` and the CLI dump."""
+        return {
+            "capacity": self.capacity,
+            "slow_ms": self.slow_ms,
+            "total_recorded": self.total_recorded,
+            "recent": self.recent(),
+            "slow": self.slow(),
+        }
+
+    def dump_jsonl(self, out: Union[str, IO[str]]) -> int:
+        """Write every retained record as JSON lines (slow-but-evicted
+        records included, deduplicated by ``seq``); returns line count."""
+        recent = self.recent()
+        seen = {record.get("seq") for record in recent}
+        records = [r for r in self.slow() if r.get("seq") not in seen] + recent
+        records.sort(key=lambda r: r.get("seq", 0))
+        if isinstance(out, str):
+            with open(out, "w") as handle:
+                return self.dump_jsonl(handle)
+        for record in records:
+            out.write(json.dumps(record) + "\n")
+        return len(records)
+
+
+class EventLog:
+    """Append-only JSON-lines sink for telemetry records.
+
+    One :func:`make_record` dictionary per line; flushed per write so a
+    killed process loses at most the current line.  Thread-safe.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: Optional[IO[str]] = open(path, "a")
+        self._lock = threading.Lock()
+        self.lines_written = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Append one record (no-op after :meth:`close`)."""
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(json.dumps(record) + "\n")
+            self._handle.flush()
+            self.lines_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def load_events(path: str) -> List[Dict[str, Any]]:
+    """Parse an event-log / flight-recorder JSONL file (blank lines skipped)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def render_records(
+    records: List[Dict[str, Any]], slow_only: bool = False, show_spans: bool = False
+) -> str:
+    """Aligned table of records for ``repro-cli flightrecorder``."""
+    from .tracing import render_span_tree
+
+    rows = [r for r in records if not slow_only or r.get("slow")]
+    if not rows:
+        return "(no records)"
+    header = f"{'seq':>5}  {'event':<6} {'engine':<18} {'k':>2} {'m':>4} " \
+             f"{'ms':>10} {'occ':>6}  flags"
+    lines = [header, "-" * len(header)]
+    for record in rows:
+        flags = "SLOW" if record.get("slow") else ""
+        lines.append(
+            f"{record.get('seq', '-'):>5}  {record.get('event', '?'):<6} "
+            f"{record.get('engine', '?'):<18} {record.get('k', '-'):>2} "
+            f"{record.get('m', '-'):>4} {record.get('duration_ms', 0):>10.3f} "
+            f"{record.get('occurrences', 0):>6}  {flags}"
+        )
+        if show_spans and record.get("spans"):
+            tree = render_span_tree([record["spans"]])
+            lines.extend("      " + line for line in tree.splitlines())
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Stdlib-only HTTP endpoint for live telemetry.
+
+A :class:`ThreadingHTTPServer` exposing the process-wide ``OBS``
+singleton:
+
+* ``GET /metrics``       — Prometheus/OpenMetrics text exposition of the
+  metrics registry (what a Prometheus scrape job points at);
+* ``GET /healthz``       — liveness JSON (uptime, instrumentation state,
+  metric/record counts);
+* ``GET /debug/queries`` — the flight recorder as JSON: recent query
+  records plus the pinned slow list.
+
+Start it with :func:`start_server` (daemon thread, ephemeral port
+supported for tests), via ``repro-cli serve-metrics``, or by setting
+``REPRO_METRICS_PORT`` before any CLI command — the CLI then serves
+telemetry for the duration of the run.
+
+The server holds no state of its own: every request renders the
+singleton at that instant, so it composes with any workload the process
+is running.  Nothing outside the Python standard library is used.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import urlparse
+
+from .export import OPENMETRICS_CONTENT_TYPE, render_openmetrics
+
+#: Default port for `repro-cli serve-metrics` (0 = ephemeral).
+DEFAULT_PORT = 9109
+
+
+class _ObsRequestHandler(BaseHTTPRequestHandler):
+    """Routes the three telemetry endpoints over the OBS singleton."""
+
+    server_version = "repro-obs/1"
+
+    def _respond(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        from . import OBS
+
+        path = urlparse(self.path).path
+        if path == "/metrics":
+            self._respond(
+                200, OPENMETRICS_CONTENT_TYPE, render_openmetrics(OBS.metrics.to_dict())
+            )
+        elif path == "/healthz":
+            body = {
+                "status": "ok",
+                "enabled": OBS.enabled,
+                "uptime_s": round(time.time() - self.server.started_at, 3),
+                "n_metrics": len(OBS.metrics),
+                "n_query_records": OBS.recorder.total_recorded,
+            }
+            self._respond(200, "application/json", json.dumps(body) + "\n")
+        elif path == "/debug/queries":
+            self._respond(
+                200, "application/json", json.dumps(OBS.recorder.to_dict()) + "\n"
+            )
+        else:
+            self._respond(
+                404,
+                "application/json",
+                json.dumps({"error": "not found",
+                            "endpoints": ["/metrics", "/healthz", "/debug/queries"]}) + "\n",
+            )
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr logging (scrapes are periodic)."""
+
+
+class MetricsServer:
+    """A running telemetry endpoint (wraps :class:`ThreadingHTTPServer`).
+
+    >>> server = start_server(port=0)     # ephemeral port
+    >>> server.url.startswith("http://")
+    True
+    >>> server.stop()
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT):
+        self._httpd = ThreadingHTTPServer((host, port), _ObsRequestHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.started_at = time.time()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — the port is resolved even when 0 was asked."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "MetricsServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-obs-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI's blocking mode)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Shut the server down and release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+def start_server(host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> MetricsServer:
+    """Bind and start a :class:`MetricsServer` on a daemon thread."""
+    return MetricsServer(host, port).start()

@@ -107,6 +107,21 @@ class Span:
         for child in self.children:
             yield from child.iter_spans()
 
+    @classmethod
+    def from_dict(cls, payload: dict, tracer: Optional["Tracer"] = None) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output.
+
+        Reconstructed spans carry only relative timing (``start_ns`` is
+        0, ``end_ns`` the recorded duration) — enough for rendering and
+        aggregation, which is all adopted cross-process spans are for.
+        """
+        span = cls(str(payload.get("name", "?")), dict(payload.get("attrs") or {}), tracer)
+        span.end_ns = int(payload.get("duration_ns", 0))
+        span.children = [
+            cls.from_dict(child, tracer) for child in payload.get("children") or []
+        ]
+        return span
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Span({self.name!r}, {self.duration_ns}ns, {len(self.children)} children)"
 
@@ -238,6 +253,29 @@ class Tracer:
     def reset(self) -> None:
         """Drop all finished spans (open spans are unaffected)."""
         self.finished = []
+
+    def clear_stack(self) -> None:
+        """Forget any open spans (fork hygiene).
+
+        A pool worker forked while the parent held an open span would
+        otherwise attach every span it records as a child of that
+        inherited — and in the worker never-finishing — parent, so they
+        would never reach :attr:`finished` and the chunk's telemetry
+        delta would ship no span trees.
+        """
+        self._local = threading.local()
+
+    def adopt(self, payloads: List[dict]) -> None:
+        """Append span trees recorded elsewhere (worker processes).
+
+        ``payloads`` is :meth:`to_dicts` output from another tracer; the
+        reconstructed roots join ``finished`` under the same
+        :data:`max_roots` bound as locally recorded spans.
+        """
+        for payload in payloads:
+            self.finished.append(Span.from_dict(payload, self))
+        if len(self.finished) > self.max_roots:
+            del self.finished[: len(self.finished) - self.max_roots]
 
     def to_dicts(self) -> List[dict]:
         """All finished root spans as JSON-compatible dictionaries."""

@@ -1,0 +1,222 @@
+"""Tests for the perf-regression gate (repro.bench.regression).
+
+The hermetic cases build documents by hand so the 25% default thresholds
+are exercised without depending on CI-runner timing; one end-to-end case
+runs the real (tiny) workload through the CLI.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    RegressionError,
+    compare_runs,
+    format_report,
+    load_bench_json,
+    run_ci_workload,
+    write_bench_json,
+)
+from repro.bench.regression import (
+    BENCH_FORMAT,
+    BENCH_VERSION,
+    LATENCY_FLOOR_MS,
+    validate_bench_document,
+)
+from repro.cli import main
+
+
+def make_document(avg_ms=4.0, rank_queries=2000, nodes=500, leaves=120):
+    return {
+        "format": BENCH_FORMAT,
+        "version": BENCH_VERSION,
+        "workload": {
+            "target_bp": 40_000,
+            "n_reads": 12,
+            "read_length": 60,
+            "k": 2,
+            "seed": 7,
+        },
+        "methods": {
+            "A()": {
+                "method": "A()",
+                "avg_ms": avg_ms,
+                "stats": {
+                    "rank_queries": rank_queries,
+                    "nodes_expanded": nodes,
+                    "leaves": leaves,
+                },
+            },
+        },
+    }
+
+
+class TestCompareRuns:
+    def test_identical_runs_pass(self):
+        document = make_document()
+        assert compare_runs(document, copy.deepcopy(document)) == []
+
+    def test_injected_2x_slowdown_fails_default_threshold(self):
+        baseline = make_document(avg_ms=4.0)
+        current = make_document(avg_ms=8.0)
+        findings = compare_runs(current, baseline)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.metric == "avg_ms"
+        assert finding.ratio == pytest.approx(2.0)
+        assert "2.00x" in finding.describe()
+
+    def test_within_threshold_slowdown_passes(self):
+        baseline = make_document(avg_ms=4.0)
+        current = make_document(avg_ms=4.9)  # +22.5% < 25%
+        assert compare_runs(current, baseline) == []
+
+    def test_improvement_never_fails(self):
+        baseline = make_document(avg_ms=4.0, rank_queries=2000)
+        current = make_document(avg_ms=1.0, rank_queries=900)
+        assert compare_runs(current, baseline) == []
+
+    def test_sub_floor_latency_growth_is_noise(self):
+        # 2x ratio but absolute growth below the floor: timer noise.
+        baseline = make_document(avg_ms=0.02)
+        current = make_document(avg_ms=0.02 + LATENCY_FLOOR_MS / 2)
+        assert compare_runs(current, baseline) == []
+
+    def test_probe_count_regression_fails(self):
+        baseline = make_document(rank_queries=2000)
+        current = make_document(rank_queries=2600)  # +30%
+        findings = compare_runs(current, baseline)
+        assert [f.metric for f in findings] == ["stats.rank_queries"]
+        assert findings[0].threshold == 0.25
+
+    def test_multiple_counters_reported_separately(self):
+        baseline = make_document(rank_queries=2000, nodes=500, leaves=120)
+        current = make_document(rank_queries=4000, nodes=1000, leaves=120)
+        metrics = {f.metric for f in compare_runs(current, baseline)}
+        assert metrics == {"stats.rank_queries", "stats.nodes_expanded"}
+
+    def test_workload_mismatch_raises(self):
+        baseline = make_document()
+        current = make_document()
+        current["workload"]["target_bp"] = 80_000
+        with pytest.raises(RegressionError, match="workload mismatch"):
+            compare_runs(current, baseline)
+
+    def test_missing_baseline_method_raises(self):
+        baseline = make_document()
+        current = make_document()
+        current["methods"] = {}
+        with pytest.raises(RegressionError, match="missing baseline method"):
+            compare_runs(current, baseline)
+
+    def test_extra_current_method_is_ignored(self):
+        baseline = make_document()
+        current = make_document()
+        current["methods"]["BWT"] = {"method": "BWT", "avg_ms": 99.0, "stats": {}}
+        assert compare_runs(current, baseline) == []
+
+
+class TestDocumentValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(RegressionError, match="format='repro-trace'"):
+            validate_bench_document({"format": "repro-trace", "version": 1})
+
+    def test_future_version_rejected(self):
+        document = make_document()
+        document["version"] = BENCH_VERSION + 1
+        with pytest.raises(RegressionError, match=f"version {BENCH_VERSION + 1}"):
+            validate_bench_document(document)
+
+    def test_missing_methods_rejected(self):
+        document = make_document()
+        del document["methods"]
+        with pytest.raises(RegressionError, match="methods"):
+            validate_bench_document(document)
+
+    def test_load_bench_json_round_trip(self, tmp_path):
+        path = tmp_path / "run.json"
+        write_bench_json(make_document(), str(path))
+        loaded = load_bench_json(str(path))
+        assert loaded["methods"]["A()"]["avg_ms"] == 4.0
+
+    def test_load_bench_json_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(RegressionError, match="not valid JSON"):
+            load_bench_json(str(path))
+
+
+class TestFormatReport:
+    def test_pass_report(self):
+        report = format_report([], make_document(), make_document())
+        assert "regression gate passed" in report
+        assert "baseline avg" in report
+
+    def test_fail_report_lists_findings(self):
+        baseline = make_document(avg_ms=4.0)
+        current = make_document(avg_ms=8.0)
+        findings = compare_runs(current, baseline)
+        report = format_report(findings, current, baseline)
+        assert "REGRESSION GATE FAILED" in report
+        assert "avg_ms regressed" in report
+
+
+class TestCiWorkload:
+    SMALL = ["--scale", "4000", "--reads", "3", "--read-length", "40"]
+
+    def test_run_ci_workload_is_deterministic(self):
+        first = run_ci_workload(methods=("BWT",), scale=4000, n_reads=3,
+                                read_length=40)
+        second = run_ci_workload(methods=("BWT",), scale=4000, n_reads=3,
+                                 read_length=40)
+        assert first["workload"] == second["workload"]
+        assert (
+            first["methods"]["BWT"]["stats"]
+            == second["methods"]["BWT"]["stats"]
+        )
+        assert first["methods"]["BWT"]["stats"]["rank_queries"] > 0
+
+    def test_cli_gate_passes_against_own_output(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        code = main(["bench", "--methods", "BWT", *self.SMALL,
+                     "--json-out", str(baseline)])
+        assert code == 0
+        code = main(["bench", "--methods", "BWT", *self.SMALL,
+                     "--baseline", str(baseline), "--check-regression",
+                     "--latency-threshold", "900"])
+        assert code == 0
+        assert "regression gate passed" in capsys.readouterr().out
+
+    def test_cli_gate_fails_on_doctored_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", "--methods", "BWT", *self.SMALL,
+                     "--json-out", str(baseline)]) == 0
+        document = json.loads(baseline.read_text())
+        # Halving the baseline probe count makes the (deterministic)
+        # current run look like a 2x work regression.
+        stats = document["methods"]["BWT"]["stats"]
+        stats["rank_queries"] //= 2
+        baseline.write_text(json.dumps(document))
+        code = main(["bench", "--methods", "BWT", *self.SMALL,
+                     "--baseline", str(baseline), "--check-regression",
+                     "--latency-threshold", "900"])
+        assert code == 3
+        assert "REGRESSION GATE FAILED" in capsys.readouterr().out
+
+    def test_cli_check_regression_requires_baseline(self, capsys):
+        code = main(["bench", "--methods", "BWT", *self.SMALL,
+                     "--check-regression"])
+        assert code == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_committed_baseline_is_valid(self):
+        import pathlib
+
+        path = (pathlib.Path(__file__).resolve().parent.parent
+                / "benchmarks" / "results" / "baseline_ci.json")
+        document = load_bench_json(str(path))
+        assert set(document["methods"]) == {"A()", "BWT"}
+        assert document["workload"]["seed"] == 7

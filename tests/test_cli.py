@@ -126,6 +126,95 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "p50" in out and "p90" in out and "p99" in out
 
+    def test_stats_rejects_malformed_trace_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "something-else", "version": 1}')
+        rc = main(["stats", str(bad)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "something-else" in err
+
+    def test_search_streams_events_and_flight_json(self, genome_file, tmp_path,
+                                                   capsys):
+        events = tmp_path / "events.jsonl"
+        flight = tmp_path / "flight.jsonl"
+        rc = main(["search", str(genome_file), "tcaca", "-k", "2",
+                   "--events", str(events), "--flight-json", str(flight)])
+        assert rc == 0
+        from repro.obs import load_events
+
+        event_records = load_events(str(events))
+        assert len(event_records) == 1
+        assert event_records[0]["event"] == "query"
+        assert event_records[0]["engine"] == "algorithm_a"
+        flight_records = load_events(str(flight))
+        assert len(flight_records) == 1
+        assert flight_records[0]["stats"]["rank_queries"] > 0
+        err = capsys.readouterr().err
+        assert "events streamed" in err and "flight recorder" in err
+
+    def test_flightrecorder_renders_dump(self, genome_file, tmp_path, capsys):
+        flight = tmp_path / "flight.jsonl"
+        assert main(["search", str(genome_file), "tcaca", "-k", "2",
+                     "--flight-json", str(flight)]) == 0
+        capsys.readouterr()
+        rc = main(["flightrecorder", str(flight), "--spans"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "algorithm_a" in out
+        assert "kmismatch.search" in out  # --spans renders the span tree
+
+    def test_flightrecorder_unreadable_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        rc = main(["flightrecorder", str(missing)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_port_env_serves_during_command(self, genome_file, capsys,
+                                                    monkeypatch):
+        import json as json_module
+        import urllib.request
+
+        import repro.cli as cli_module
+        from repro.obs.server import start_server
+
+        captured = {}
+        real_start = start_server
+
+        def capturing_start(host="127.0.0.1", port=0):
+            server = real_start(host=host, port=0)  # ephemeral port for the test
+            captured["url"] = server.url
+
+            class _Probe:
+                address = server.address
+                url = server.url
+
+                def stop(self_inner):
+                    with urllib.request.urlopen(server.url + "/healthz",
+                                                timeout=5) as response:
+                        captured["healthz"] = json_module.loads(response.read())
+                    server.stop()
+
+            return _Probe()
+
+        monkeypatch.setenv("REPRO_METRICS_PORT", "9109")
+        monkeypatch.setattr("repro.obs.server.start_server", capturing_start)
+        rc = cli_module.main(["search", str(genome_file), "tcaca", "-k", "1"])
+        assert rc == 0
+        assert captured["healthz"]["status"] == "ok"
+        assert "telemetry on" in capsys.readouterr().err
+
+    def test_serve_metrics_bounded_duration(self, genome_file, tmp_path, capsys):
+        reads = tmp_path / "reads.txt"
+        reads.write_text("acagaca\ncagacag\n")
+        rc = main(["serve-metrics", str(genome_file), "--reads", str(reads),
+                   "-k", "1", "--port", "0", "--duration", "0.05",
+                   "--slow-ms", "0"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "serving /metrics" in err
+        assert "2 read(s)" in err
+
     def test_simulate_and_compare(self, tmp_path, capsys):
         genome_path = tmp_path / "g.fa"
         rc = main([

@@ -303,6 +303,92 @@ class TestBatchExecutor:
         assert batch.workers == 1
 
 
+class TestProcessPoolObsParity:
+    """Process-pool batches must report the same OBS counters as a
+    sequential run (satellite 1) — worker-side metrics and spans used to
+    be silently dropped.
+
+    Uses ``method="stree"`` because it is stateless per query; Algorithm
+    A's persistent cross-query memo makes rank totals depend on how the
+    batch is chunked, which would be a real behaviour difference, not a
+    telemetry bug.
+    """
+
+    PARITY_COUNTERS = (
+        "rank.rankall.occ_probes",
+        "rank.rankall.counts_at_probes",
+        "query.count",
+        "engine.batch.items",
+    )
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        rnd = random.Random(777)
+        text = random_dna(rnd, 3000)
+        reads = []
+        for _ in range(20):
+            pos = rnd.randrange(0, len(text) - 30)
+            reads.append(text[pos : pos + 20])
+        return text, reads
+
+    def _counters_after(self, index, reads, **batch_kwargs):
+        from repro.obs import OBS
+
+        OBS.reset()
+        OBS.enable()
+        try:
+            results = index.search_batch(reads, 2, method="stree", **batch_kwargs)
+        finally:
+            OBS.disable()
+        snapshot = OBS.metrics.to_dict()
+        counters = {
+            name: snapshot[name]["value"]
+            for name in self.PARITY_COUNTERS
+            if name in snapshot
+        }
+        def walk(span):
+            yield span
+            for child in span.children:
+                yield from walk(child)
+
+        n_spans = sum(
+            1
+            for root in OBS.tracer.finished
+            for span in walk(root)
+            if span.name == "kmismatch.search"
+        )
+        OBS.reset()
+        return results, counters, n_spans
+
+    def test_process_mode_reports_sequential_counters(self, workload):
+        text, reads = workload
+        index = KMismatchIndex(text)
+        serial_results, serial, serial_spans = self._counters_after(index, reads)
+        process_results, process, process_spans = self._counters_after(
+            index, reads, workers=2, mode="process", chunk_size=5
+        )
+        assert process_results == serial_results
+        assert serial["rank.rankall.occ_probes"] > 0
+        assert process == serial
+        assert process_spans == serial_spans > 0
+
+    def test_chunk_count_reflects_split(self, workload):
+        from repro.obs import OBS
+
+        text, reads = workload
+        index = KMismatchIndex(text)
+        OBS.reset()
+        OBS.enable()
+        try:
+            index.search_batch(reads, 2, method="stree", workers=2,
+                               mode="process", chunk_size=5)
+        finally:
+            OBS.disable()
+        snapshot = OBS.metrics.to_dict()
+        assert snapshot["engine.batch.chunks"]["value"] == 4
+        OBS.reset()
+
+
 class TestEngineNaiveAgreement:
     """Every registered mismatch engine must agree with the naive scan."""
 

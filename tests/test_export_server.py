@@ -1,0 +1,303 @@
+"""Tests for telemetry export: OpenMetrics, snapshot deltas, the flight
+recorder/event log, and the HTTP endpoint."""
+
+from __future__ import annotations
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import KMismatchIndex
+from repro.obs import (
+    OBS,
+    EventLog,
+    FlightRecorder,
+    MetricsRegistry,
+    ObsDelta,
+    load_events,
+    make_record,
+    merge_metrics,
+    merge_obs_delta,
+    metrics_delta,
+    render_openmetrics,
+    render_records,
+    sanitize_metric_name,
+)
+from repro.obs.server import MetricsServer
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    OBS.disable()
+    OBS.reset()
+    yield
+    OBS.disable()
+    OBS.reset()
+
+
+class TestOpenMetrics:
+    def test_name_sanitization(self):
+        assert sanitize_metric_name("rank.rankall.occ_probes") == "rank_rankall_occ_probes"
+        assert sanitize_metric_name("9starts.bad") == "_starts_bad"
+        assert sanitize_metric_name("ok_name") == "ok_name"
+
+    def test_counter_and_gauge_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("query.count").inc(7)
+        registry.gauge("fmindex.nbytes").set(1234.5)
+        text = render_openmetrics(registry.to_dict())
+        assert "# TYPE repro_query_count_total counter" in text
+        assert "repro_query_count_total 7" in text
+        assert "# TYPE repro_fmindex_nbytes gauge" in text
+        assert "repro_fmindex_nbytes 1234.5" in text
+        assert text.endswith("# EOF\n")
+
+    def test_histogram_rendering_is_cumulative(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("query.latency_ms", (1, 10, 100))
+        for value in (0.5, 5, 5, 50, 5000):
+            h.observe(value)
+        text = render_openmetrics(registry.to_dict())
+        assert 'repro_query_latency_ms_bucket{le="1.0"} 1' in text
+        assert 'repro_query_latency_ms_bucket{le="10.0"} 3' in text
+        assert 'repro_query_latency_ms_bucket{le="100.0"} 4' in text
+        assert 'repro_query_latency_ms_bucket{le="+Inf"} 5' in text
+        assert "repro_query_latency_ms_count 5" in text
+        assert "repro_query_latency_ms_sum" in text
+
+    def test_every_line_is_prometheus_legal(self):
+        """Each non-comment line: <name>[{labels}] <number>."""
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        registry.gauge("c.d").set(-2.5)
+        registry.histogram("e.f", (1, 2)).observe(1.5)
+        line_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9.+eEinfNa]+$'
+        )
+        for line in render_openmetrics(registry.to_dict()).splitlines():
+            if line.startswith("#"):
+                continue
+            assert line_re.match(line), line
+
+
+class TestMetricsDelta:
+    def test_counter_delta_and_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc(3)
+        before = a.to_dict()
+        a.counter("x").inc(4)
+        a.counter("y").inc(1)
+        delta = metrics_delta(before, a.to_dict())
+        assert delta["x"]["value"] == 4
+        assert delta["y"]["value"] == 1
+        b.counter("x").inc(100)
+        merge_metrics(b, delta)
+        assert b.counter("x").value == 104
+        assert b.counter("y").value == 1
+
+    def test_unchanged_metrics_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(3)
+        registry.histogram("h", (1,)).observe(0.5)
+        snapshot = registry.to_dict()
+        assert metrics_delta(snapshot, snapshot) == {}
+
+    def test_histogram_delta_round_trip(self):
+        a = MetricsRegistry()
+        h = a.histogram("h", (1, 10))
+        h.observe(0.5)
+        before = a.to_dict()
+        h.observe(5)
+        h.observe(50)
+        delta = metrics_delta(before, a.to_dict())
+        assert delta["h"]["counts"] == [0, 1, 1]
+        assert delta["h"]["count"] == 2
+        b = MetricsRegistry()
+        merge_metrics(b, delta)
+        merged = b.histogram("h", (1, 10))
+        assert merged.count == 2
+        assert merged.counts == [0, 1, 1]
+
+    def test_gauge_takes_latest(self):
+        a = MetricsRegistry()
+        a.gauge("g").set(1)
+        before = a.to_dict()
+        a.gauge("g").set(9)
+        delta = metrics_delta(before, a.to_dict())
+        assert delta["g"]["value"] == 9
+        unchanged = metrics_delta(a.to_dict(), a.to_dict())
+        assert "g" not in unchanged
+
+    def test_obs_delta_captures_only_new_work(self):
+        OBS.enable()
+        OBS.metrics.counter("pre.existing").inc(5)
+        with OBS.span("old.root"):
+            pass
+        snapshot = ObsDelta.capture(OBS)
+        OBS.metrics.counter("pre.existing").inc(2)
+        with OBS.span("new.root"):
+            pass
+        payload = snapshot.finish(OBS)
+        OBS.disable()
+        assert payload["metrics"]["pre.existing"]["value"] == 2
+        assert [s["name"] for s in payload["spans"]] == ["new.root"]
+        # Merging into a fresh singleton reproduces just the delta.
+        OBS.reset()
+        merge_obs_delta(OBS, payload)
+        assert OBS.metrics.counter("pre.existing").value == 2
+        assert [s.name for s in OBS.tracer.finished] == ["new.root"]
+
+
+class TestFlightRecorder:
+    def test_ring_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=3, slow_ms=None)
+        for i in range(5):
+            recorder.record(make_record("query", engine="a", duration_ms=i))
+        recent = recorder.recent()
+        assert len(recent) == 3
+        assert [r["seq"] for r in recent] == [3, 4, 5]
+        assert recorder.total_recorded == 5
+
+    def test_slow_queries_survive_ring_eviction(self):
+        recorder = FlightRecorder(capacity=2, slow_ms=100.0)
+        recorder.record(make_record("query", engine="a", duration_ms=500.0))
+        for _ in range(10):
+            recorder.record(make_record("query", engine="a", duration_ms=1.0))
+        assert all(r["seq"] != 1 for r in recorder.recent())  # evicted from ring
+        slow = recorder.slow()
+        assert len(slow) == 1 and slow[0]["seq"] == 1 and slow[0]["slow"]
+
+    def test_slow_threshold_disabled(self):
+        recorder = FlightRecorder(capacity=4, slow_ms=None)
+        recorder.record(make_record("query", duration_ms=10_000))
+        assert recorder.slow() == []
+        assert recorder.recent()[0]["slow"] is False
+
+    def test_dump_jsonl_includes_evicted_slow_records_once(self, tmp_path):
+        recorder = FlightRecorder(capacity=2, slow_ms=100.0)
+        recorder.record(make_record("query", duration_ms=500.0))
+        for _ in range(4):
+            recorder.record(make_record("query", duration_ms=1.0))
+        path = tmp_path / "fr.jsonl"
+        n = recorder.dump_jsonl(str(path))
+        records = load_events(str(path))
+        assert n == len(records) == 3  # 2 ring + 1 evicted-but-pinned
+        assert sorted(r["seq"] for r in records) == [1, 4, 5]
+        assert len({r["seq"] for r in records}) == 3
+
+    def test_clear_keeps_sequence(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record(make_record("query"))
+        recorder.clear()
+        assert len(recorder) == 0
+        record = recorder.record(make_record("query"))
+        assert record["seq"] == 2
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_render_records_table(self):
+        records = [
+            make_record("query", engine="algorithm_a", k=2, m=20,
+                        duration_ms=1.5, occurrences=3),
+            make_record("batch", engine="stree", duration_ms=900.0),
+        ]
+        records[0]["seq"], records[1]["seq"] = 1, 2
+        records[1]["slow"] = True
+        text = render_records(records)
+        assert "algorithm_a" in text and "SLOW" in text
+        assert render_records(records, slow_only=True).count("stree") == 1
+        assert render_records([]) == "(no records)"
+
+
+class TestEventLog:
+    def test_emit_appends_json_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path))
+        log.emit({"event": "query", "k": 1})
+        log.emit({"event": "batch", "items": 3})
+        log.close()
+        records = load_events(str(path))
+        assert [r["event"] for r in records] == ["query", "batch"]
+        assert log.lines_written == 2
+        log.emit({"event": "late"})  # no-op after close
+        assert len(load_events(str(path))) == 2
+
+    def test_obs_record_query_feeds_recorder_and_log(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        OBS.open_event_log(str(path))
+        OBS.record_query(engine="algorithm_a", k=2, m=8, duration_ms=3.0,
+                         occurrences=1)
+        OBS.close_event_log()
+        assert len(OBS.recorder.recent()) == 1
+        records = load_events(str(path))
+        assert records[0]["engine"] == "algorithm_a"
+        assert records[0]["event"] == "query"
+
+    def test_search_records_into_flight_recorder(self):
+        OBS.enable()
+        index = KMismatchIndex("acagacaacagacagtacagaca")
+        index.search("tcaca", k=2)
+        OBS.disable()
+        records = OBS.recorder.recent()
+        assert len(records) == 1
+        record = records[0]
+        assert record["event"] == "query"
+        assert record["engine"] == "algorithm_a"
+        assert record["k"] == 2 and record["m"] == 5
+        assert record["stats"]["leaves"] > 0
+        assert record["spans"]["name"] == "kmismatch.search"
+
+
+class TestServer:
+    @pytest.fixture
+    def server(self):
+        server = MetricsServer(port=0).start()
+        yield server
+        server.stop()
+
+    def _get(self, server, path):
+        with urllib.request.urlopen(server.url + path, timeout=5) as response:
+            return response.status, response.headers.get("Content-Type"), \
+                response.read().decode()
+
+    def test_metrics_endpoint_serves_openmetrics(self, server):
+        OBS.enable()
+        index = KMismatchIndex("acagacaacagacagtacagaca")
+        index.search("tcaca", k=2)
+        OBS.disable()
+        status, content_type, body = self._get(server, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "repro_query_count_total 1" in body
+        assert "repro_rank_rankall_occ_probes_total" in body
+        assert body.endswith("# EOF\n")
+
+    def test_healthz(self, server):
+        status, content_type, body = self._get(server, "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert "uptime_s" in payload and "n_metrics" in payload
+
+    def test_debug_queries_serves_flight_recorder(self, server):
+        OBS.enable()
+        index = KMismatchIndex("acagacaacagacagtacagaca")
+        index.search("tcaca", k=1)
+        OBS.disable()
+        status, _, body = self._get(server, "/debug/queries")
+        assert status == 200
+        payload = json.loads(body)
+        assert len(payload["recent"]) == 1
+        assert payload["recent"][0]["engine"] == "algorithm_a"
+        assert "slow" in payload
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._get(server, "/nope")
+        assert info.value.code == 404
+        assert "endpoints" in json.loads(info.value.read().decode())

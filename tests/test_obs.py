@@ -15,6 +15,8 @@ from repro.obs import (
     MetricError,
     MetricsRegistry,
     OBS,
+    Observability,
+    TRACE_VERSION,
     Tracer,
     load_trace,
     render_trace,
@@ -298,3 +300,131 @@ class TestSearchStatsMerge:
         from dataclasses import fields
 
         assert set(payload) == {f.name for f in fields(SearchStats)}
+
+    def test_extra_with_fully_disjoint_keys(self):
+        a = SearchStats(extra={"alpha": 1})
+        b = SearchStats(extra={"beta": 2, "gamma": 0.5})
+        a.merge(b)
+        assert a.extra == {"alpha": 1, "beta": 2, "gamma": 0.5}
+        # The donor is untouched.
+        assert b.extra == {"beta": 2, "gamma": 0.5}
+
+    def test_merge_into_empty_extra(self):
+        a = SearchStats()
+        b = SearchStats(extra={"probes": 7})
+        a.merge(b)
+        assert a.extra == {"probes": 7}
+        assert a.extra is not b.extra  # merged copy, not aliased
+
+    def test_shared_reuse_hits_accumulate_across_merges(self):
+        total = SearchStats()
+        for hits in (0, 3, 5):
+            total.merge(SearchStats(shared_reuse_hits=hits, reuse_hits=hits + 1))
+        assert total.shared_reuse_hits == 8
+        assert total.reuse_hits == 11
+
+    def test_merge_returns_self_for_chaining(self):
+        a = SearchStats(leaves=1)
+        result = a.merge(SearchStats(leaves=2)).merge(SearchStats(leaves=4))
+        assert result is a
+        assert a.leaves == 7
+
+
+class TestHistogramBoundaries:
+    """Percentile math exactly at bucket boundaries (satellite 3)."""
+
+    def test_percentile_at_exact_cumulative_rank(self):
+        h = Histogram("h", (1, 2))
+        for _ in range(4):
+            h.observe(0.5)  # bucket <=1
+        for _ in range(4):
+            h.observe(1.5)  # bucket <=2
+        # rank == running total of the first bucket: still the first bucket.
+        assert h.percentile(50) == 1
+        # One observation past the boundary crosses into the next bucket.
+        assert h.percentile(50.001) == 2
+        assert h.percentile(100) == 2
+
+    def test_percentile_overflow_bucket_reports_max(self):
+        h = Histogram("h", (1, 2))
+        h.observe(0.5)
+        h.observe(999)
+        assert h.percentile(50) == 1
+        assert h.percentile(100) == 999
+
+    def test_percentile_single_observation(self):
+        h = Histogram("h", (1, 10))
+        h.observe(5)
+        for p in (0.001, 50, 100):
+            assert h.percentile(p) == 10
+
+    def test_percentile_domain_validation(self):
+        h = Histogram("h", (1,))
+        h.observe(0.5)
+        with pytest.raises(MetricError):
+            h.percentile(0)
+        with pytest.raises(MetricError):
+            h.percentile(100.5)
+
+    def test_observation_on_bucket_bound_is_inclusive(self):
+        h = Histogram("h", (1, 2))
+        h.observe(1)  # upper bounds are inclusive: lands in <=1
+        h.observe(2)
+        assert h.counts == [1, 1, 0]
+        assert h.percentile(50) == 1
+
+
+class TestTraceValidation:
+    """load_trace / Observability.load reject foreign documents (satellite 2)."""
+
+    def _write(self, tmp_path, payload) -> str:
+        path = tmp_path / "trace.json"
+        path.write_text(payload if isinstance(payload, str) else json.dumps(payload))
+        return str(path)
+
+    def test_invalid_json_raises_metric_error(self, tmp_path):
+        path = self._write(tmp_path, "{not json")
+        with pytest.raises(MetricError, match="not valid JSON"):
+            load_trace(path)
+
+    def test_non_object_top_level_rejected(self, tmp_path):
+        path = self._write(tmp_path, [1, 2, 3])
+        with pytest.raises(MetricError, match="top level is list"):
+            load_trace(path)
+
+    def test_foreign_format_names_found_value(self, tmp_path):
+        path = self._write(tmp_path, {"format": "repro-bench", "version": 1})
+        with pytest.raises(MetricError, match="format='repro-bench'"):
+            load_trace(path)
+
+    def test_missing_format_rejected(self, tmp_path):
+        path = self._write(tmp_path, {"version": 1})
+        with pytest.raises(MetricError, match="format=None"):
+            load_trace(path)
+
+    def test_future_version_names_found_and_supported(self, tmp_path):
+        future = TRACE_VERSION + 5
+        path = self._write(
+            tmp_path, {"format": "repro-trace", "version": future}
+        )
+        with pytest.raises(
+            MetricError,
+            match=f"version {future}.*versions <= {TRACE_VERSION}",
+        ):
+            load_trace(path)
+
+    def test_non_integer_version_rejected(self, tmp_path):
+        path = self._write(tmp_path, {"format": "repro-trace", "version": "1"})
+        with pytest.raises(MetricError, match="version '1'"):
+            load_trace(path)
+
+    def test_observability_load_is_the_validated_loader(self, tmp_path):
+        assert Observability.load is load_trace
+        OBS.enable()
+        with OBS.span("root"):
+            pass
+        document = OBS.write_trace(str(tmp_path / "ok.json"))
+        OBS.disable()
+        loaded = OBS.load(str(tmp_path / "ok.json"))
+        assert loaded["version"] == document["version"] == TRACE_VERSION
+        assert render_trace(loaded)
