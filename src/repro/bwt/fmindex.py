@@ -147,7 +147,13 @@ class FMIndex:
 
     @property
     def bwt(self) -> str:
-        """The BWT string ``L`` (sentinel included)."""
+        """The BWT string ``L`` (sentinel included).
+
+        Indexes loaded from the binary format keep only the packed codes;
+        the string form is decoded lazily on first access and cached.
+        """
+        if self._bwt is None:
+            self._bwt = self._alphabet.decode(self._rank.iter_codes())
         return self._bwt
 
     @property
@@ -285,7 +291,7 @@ class FMIndex:
             "magic": self._MAGIC,
             "version": self._VERSION,
             "alphabet": "".join(self._alphabet.symbols),
-            "bwt": self._bwt,
+            "bwt": self.bwt,
             "occ_sample_rate": self._rank.sample_rate or DEFAULT_SAMPLE_RATE,
             "sa_sample_rate": self._sa_sample_rate,
             "rank_backend": self._rank_backend,
@@ -331,4 +337,69 @@ class FMIndex:
         """Invert the BWT back into the indexed text (validation helper)."""
         from .transform import inverse_bwt
 
-        return inverse_bwt(self._bwt)
+        return inverse_bwt(self.bwt)
+
+    # -- binary format (repro.io.binfmt) --------------------------------------
+
+    @classmethod
+    def _from_parts(
+        cls,
+        alphabet: Alphabet,
+        text_len: int,
+        sa_sample_rate: int,
+        rank,
+        sampled_sa,
+        rank_backend: str = "rankall",
+    ) -> "FMIndex":
+        """Assemble an index around pre-built components (no scans, no copies).
+
+        The zero-copy deserialization entry point: ``rank`` is a
+        :class:`~repro.bwt.rankall.RankAll` wrapping mmap-backed buffers
+        and ``sampled_sa`` any mapping-like row → position view.  The
+        C-array is the only thing derived here — O(alphabet) work.
+        """
+        instance = cls.__new__(cls)
+        instance._alphabet = alphabet
+        instance._text_len = text_len
+        instance._sa_sample_rate = sa_sample_rate
+        instance._rank_backend = rank_backend
+        instance._rank = rank
+        instance._bwt = None
+        c_array = [0] * (alphabet.size + 1)
+        for code in range(alphabet.size):
+            c_array[code + 1] = c_array[code] + rank.total(code)
+        instance._c_array = c_array
+        instance._sampled_sa = sampled_sa
+        return instance
+
+    def to_binary(self) -> bytes:
+        """The index as one binary blob (see ``docs/INDEX_FORMAT.md``)."""
+        from ..io.binfmt import dump_fmindex
+
+        return dump_fmindex(self)
+
+    @classmethod
+    def from_binary(cls, buffer, verify_checksums: bool = False) -> "FMIndex":
+        """Load from a :meth:`to_binary` blob, wrapping (not copying) it."""
+        from ..io.binfmt import load_fmindex
+
+        return load_fmindex(buffer, verify_checksums=verify_checksums)
+
+    def save(self, path) -> int:
+        """Write the binary index format to ``path``; returns bytes written."""
+        from ..io.binfmt import save_fmindex
+
+        return save_fmindex(self, path)
+
+    @classmethod
+    def load(cls, path, mmap: bool = True, verify_checksums: bool = False) -> "FMIndex":
+        """Load a binary index file.
+
+        ``mmap=True`` maps the file and wraps its sections with zero
+        copies — O(header) work regardless of index size; ``mmap=False``
+        reads the file into one ``bytes`` object and wraps that instead
+        (still no per-section copies, but the read itself is O(file)).
+        """
+        from ..io.binfmt import open_fmindex
+
+        return open_fmindex(path, mmap=mmap, verify_checksums=verify_checksums)

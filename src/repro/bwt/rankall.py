@@ -38,6 +38,24 @@ from ..sequence import PackedSequence, bits_needed
 DEFAULT_SAMPLE_RATE = 4
 
 
+def _scan_counter(buf):
+    """A ``bytes.count``-compatible tail scanner for buffers without it.
+
+    ``memoryview`` (the zero-copy load path wraps mmap sections in one)
+    has no ``count``; the tail between two checkpoints is at most
+    ``sample_rate - 1`` elements, so a Python loop is fine there.
+    """
+
+    def count(code: int, lo: int, hi: int) -> int:
+        n = 0
+        for j in range(lo, hi):
+            if buf[j] == code:
+                n += 1
+        return n
+
+    return count
+
+
 class RankAll:
     """Checkpoint-sampled per-character cumulative counts over a BWT array.
 
@@ -69,6 +87,7 @@ class RankAll:
         "_flat",
         "_length",
         "_totals",
+        "_tail_count",
     )
 
     def __init__(self, bwt: str, alphabet: Alphabet, sample_rate: int = DEFAULT_SAMPLE_RATE):
@@ -99,6 +118,44 @@ class RankAll:
                     running[codes[i]] += 1
             self._flat = flat
             self._totals = running
+            self._tail_count = self._codes_bytes.count
+
+    @classmethod
+    def from_parts(
+        cls,
+        alphabet: Alphabet,
+        sample_rate: int,
+        length: int,
+        packed: PackedSequence,
+        codes,
+        checkpoints,
+        totals: List[int],
+    ) -> "RankAll":
+        """Wrap pre-built buffers without re-deriving anything.
+
+        This is the zero-copy deserialization path: ``packed`` wraps the
+        2-bit BWT words, ``codes`` the byte shadow (``bytes`` or a
+        ``memoryview`` over an mmap section), ``checkpoints`` the flat
+        int32 row-major checkpoint table and ``totals`` the per-code
+        grand totals.  No buffer is copied or scanned.
+        """
+        if sample_rate < 1:
+            raise IndexCorruptionError("sample_rate must be >= 1")
+        if alphabet.size > 256:
+            raise IndexCorruptionError("alphabets larger than 256 symbols are not supported")
+        instance = cls.__new__(cls)
+        instance._alphabet = alphabet
+        instance._size = alphabet.size
+        instance._sample_rate = sample_rate
+        instance._length = length
+        instance._packed = packed
+        instance._codes_bytes = codes
+        instance._flat = checkpoints
+        instance._totals = list(totals)
+        instance._tail_count = (
+            codes.count if isinstance(codes, (bytes, bytearray)) else _scan_counter(codes)
+        )
+        return instance
 
     # -- primitives ---------------------------------------------------------
 
@@ -123,7 +180,7 @@ class RankAll:
         block_start = i - i % self._sample_rate
         count = self._flat[(i // self._sample_rate) * self._size + code]
         if i > block_start:
-            count += self._codes_bytes.count(code, block_start, i)
+            count += self._tail_count(code, block_start, i)
         return count
 
     def counts_at(self, i: int) -> List[int]:
@@ -162,6 +219,33 @@ class RankAll:
         row_lo = self.counts_at(lo)
         row_hi = self.counts_at(hi)
         return [code for code in range(self._size) if row_hi[code] > row_lo[code]]
+
+    # -- raw buffers (binary serialization) -----------------------------------
+
+    @property
+    def packed(self) -> PackedSequence:
+        """The bit-packed BWT (the paper's 2-bit representation)."""
+        return self._packed
+
+    @property
+    def codes_buffer(self):
+        """The one-byte-per-code BWT shadow (``bytes`` or memoryview)."""
+        return self._codes_bytes
+
+    @property
+    def checkpoints(self):
+        """The flat row-major int32 checkpoint table (``array('i')`` or
+        memoryview); ``checkpoints[block * alphabet.size + code]``."""
+        return self._flat
+
+    @property
+    def totals_list(self) -> List[int]:
+        """Per-code totals over the whole BWT (a copy)."""
+        return list(self._totals)
+
+    def iter_codes(self):
+        """Iterate the BWT's integer codes front to back."""
+        return iter(self._codes_bytes)
 
     def nbytes(self) -> int:
         """Payload size of the paper's representation.

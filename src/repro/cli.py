@@ -2,11 +2,13 @@
 
 Subcommands
 -----------
-``index``          Build a BWT index for a FASTA/plain-text target and save it.
+``index``          Build a BWT index for a FASTA/plain-text target and save it
+                   (``--format bin`` writes the zero-copy binary format).
 ``search``         Query a target (or saved index) for a pattern with k mismatches.
 ``simulate``       Generate a synthetic genome and/or simulated reads.
 ``map``            Map reads to a target, SAM-like output (``--workers N`` fans
-                   the batch out over a thread or process pool).
+                   the batch out over a thread or process pool;
+                   ``--index-file`` maps against a prebuilt index).
 ``compare``        Run the paper's methods over a read batch and print a table.
 ``engines``        List every registered search engine and its capabilities.
 ``stats``          Render a saved ``--stats-json`` trace file as text.
@@ -14,7 +16,8 @@ Subcommands
                    optionally driving a read workload to populate them.
 ``flightrecorder`` Render a dumped flight-recorder / event-log JSONL file.
 ``bench``          Run the fixed CI workload; with ``--check-regression``,
-                   gate against a committed baseline JSON.
+                   gate against a committed baseline JSON;
+                   ``--update-baseline`` rewrites that baseline in one step.
 
 Method names on ``search`` and ``compare`` are resolved through the
 engine registry (``repro.engine.REGISTRY``) — any registered mismatch
@@ -79,15 +82,18 @@ def _cmd_index(args: argparse.Namespace) -> int:
         index = KMismatchIndex(
             text, occ_sample_rate=args.occ_sample, sa_sample_rate=args.sa_sample
         )
-    Path(args.output).write_text(index.dumps())
+    if args.format == "bin":
+        index.save(args.output)
+    else:
+        Path(args.output).write_text(index.dumps())
     print(f"indexed {len(text)} bp in {format_seconds(timer.seconds)} -> {args.output} "
-          f"({index.nbytes()} payload bytes)")
+          f"({index.nbytes()} payload bytes, {args.format} format)")
     return 0
 
 
 def _load_index(args: argparse.Namespace) -> KMismatchIndex:
     if getattr(args, "index", False):
-        return KMismatchIndex.loads(Path(args.target).read_text())
+        return KMismatchIndex.open(args.target)
     return KMismatchIndex(read_sequence(Path(args.target)))
 
 
@@ -140,8 +146,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_map(args: argparse.Namespace) -> int:
     from .io import parse_fastq, write_sam
 
-    text = read_sequence(Path(args.target))
-    index = KMismatchIndex(text)
+    if args.index_file:
+        index = KMismatchIndex.open(args.index_file)
+        text_length = index.fm_index.text_length
+    elif not args.target:
+        print("error: map needs a TARGET file or --index-file PATH", file=sys.stderr)
+        return 2
+    else:
+        text = read_sequence(Path(args.target))
+        index = KMismatchIndex(text)
+        text_length = len(text)
     reads_text = Path(args.reads).read_text()
     if reads_text.lstrip().startswith("@") and "\n+" in reads_text:
         records = [(r.name, r.sequence) for r in parse_fastq(reads_text)]
@@ -168,7 +182,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
                 (name, sequence, reference, hits)
                 for (name, sequence), hits in zip(records, hit_lists)
             )
-            written = write_sam(out, [(reference, len(text))], alignments)
+            written = write_sam(out, [(reference, text_length)], alignments)
     finally:
         if out is not sys.stdout:
             out.close()
@@ -297,6 +311,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.json_out:
         write_bench_json(document, args.json_out)
         print(f"# benchmark JSON written to {args.json_out}", file=sys.stderr)
+    if args.update_baseline:
+        target = args.baseline or "benchmarks/results/baseline_ci.json"
+        write_bench_json(document, target)
+        print(f"# baseline refreshed -> {target}", file=sys.stderr)
+        return 0
     baseline = None
     findings = []
     if args.check_regression or args.baseline:
@@ -342,6 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_index = sub.add_parser("index", help="build and save a BWT index")
     p_index.add_argument("target", help="FASTA or plain-text target file")
     p_index.add_argument("-o", "--output", default="target.fmidx", help="output index path")
+    p_index.add_argument("--format", choices=("json", "bin"), default="json",
+                         help="index serialization: portable JSON (default) or the "
+                              "zero-copy binary format (docs/INDEX_FORMAT.md)")
     p_index.add_argument("--occ-sample", type=int, default=4, help="rankall checkpoint spacing")
     p_index.add_argument("--sa-sample", type=int, default=8, help="suffix-array sampling distance")
     _add_obs_flags(p_index)
@@ -375,8 +397,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_map = sub.add_parser("map", help="map reads to a target, SAM-like output")
-    p_map.add_argument("target", help="FASTA or plain-text target file")
+    p_map.add_argument("target", nargs="?", default="",
+                       help="FASTA or plain-text target file (omit with --index-file)")
     p_map.add_argument("reads", help="FASTQ file or one read per line")
+    p_map.add_argument("--index-file", default="", metavar="PATH",
+                       help="map against a prebuilt index (from `repro-cli index`; "
+                            "binary indexes load zero-copy) instead of building "
+                            "one from TARGET")
     p_map.add_argument("-k", type=int, default=4, help="mismatch bound")
     p_map.add_argument("-o", "--output", default="-", help="output path ('-' = stdout)")
     p_map.add_argument("--reference-name", default="target", help="@SQ record name")
@@ -457,6 +484,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="committed baseline JSON to compare against")
     p_bench.add_argument("--check-regression", action="store_true",
                          help="exit 3 when any metric regresses past its threshold")
+    p_bench.add_argument("--update-baseline", action="store_true",
+                         help="rewrite the baseline JSON (--baseline PATH, default "
+                              "benchmarks/results/baseline_ci.json) with this run")
     p_bench.add_argument("--latency-threshold", type=float, default=25.0,
                          help="allowed avg-latency growth over baseline (percent)")
     p_bench.add_argument("--probe-threshold", type=float, default=25.0,

@@ -95,7 +95,14 @@ class KMismatchIndex:
 
     @property
     def text(self) -> str:
-        """The indexed target string."""
+        """The indexed target string.
+
+        Indexes loaded from the binary format do not store the text —
+        it is recovered from the BWT on first access and cached (the
+        index-backed engines never need it; only the scan baselines do).
+        """
+        if self._text is None:
+            self._text = self._fm.reconstruct_text()[::-1]
         return self._text
 
     @property
@@ -238,7 +245,7 @@ class KMismatchIndex:
         if not pattern:
             raise PatternError("pattern must be non-empty")
         self._alphabet.validate(pattern)
-        n, m = len(self._text), len(pattern)
+        n, m = self._fm.text_length, len(pattern)
         return sorted(n - p - m for p in self._fm.locate(pattern[::-1]))
 
     def best_match(self, pattern: str, k_max: int, method: str = "algorithm_a") -> List[Occurrence]:
@@ -384,7 +391,7 @@ class KMismatchIndex:
         from ..suffix import suffix_array
 
         self._fm._rank.verify()
-        reversed_text = self._text[::-1]
+        reversed_text = self.text[::-1]
         if self._fm.reconstruct_text() != reversed_text:
             raise IndexCorruptionError("BWT does not invert to the indexed text")
         sa = suffix_array(reversed_text, self._alphabet)
@@ -427,3 +434,56 @@ class KMismatchIndex:
         except Exception:
             raise SerializationError("payload BWT does not invert to a valid text") from None
         return instance
+
+    # -- binary persistence (repro.io.binfmt; see docs/INDEX_FORMAT.md) ---------
+
+    @classmethod
+    def _wrap_fm(cls, fm: FMIndex) -> "KMismatchIndex":
+        """A facade around an already-loaded FM-index (text stays lazy)."""
+        instance = cls.__new__(cls)
+        instance._fm = fm
+        instance._alphabet = fm.alphabet
+        instance._text = None
+        instance._engines = {}
+        instance.last_mtree = None
+        return instance
+
+    def to_binary(self) -> bytes:
+        """The index as one zero-copy-loadable binary blob."""
+        return self._fm.to_binary()
+
+    @classmethod
+    def from_binary(cls, buffer, verify_checksums: bool = False) -> "KMismatchIndex":
+        """Wrap a :meth:`to_binary` blob (or a shared-memory view of one).
+
+        O(header): no section is copied or scanned, so process-pool
+        workers attaching a shared-memory segment re-hydrate in constant
+        time regardless of genome size.
+        """
+        return cls._wrap_fm(FMIndex.from_binary(buffer, verify_checksums=verify_checksums))
+
+    def save(self, path) -> int:
+        """Write the binary index format to ``path``; returns bytes written."""
+        return self._fm.save(path)
+
+    @classmethod
+    def load(cls, path, mmap: bool = True, verify_checksums: bool = False) -> "KMismatchIndex":
+        """Load a binary index file (memory-mapped by default)."""
+        return cls._wrap_fm(
+            FMIndex.load(path, mmap=mmap, verify_checksums=verify_checksums)
+        )
+
+    @classmethod
+    def open(cls, path, mmap: bool = True) -> "KMismatchIndex":
+        """Load a saved index of either format, sniffing the file's magic.
+
+        Binary files (``repro-cli index --format bin``) load zero-copy
+        via :meth:`load`; anything else is treated as the JSON
+        compatibility format and parsed through :meth:`loads`.
+        """
+        from ..io import binfmt
+
+        if binfmt.sniff(path):
+            return cls.load(path, mmap=mmap)
+        with open(path) as handle:
+            return cls.loads(handle.read())

@@ -11,24 +11,34 @@ and runs them
 * on a **thread pool**, one shallow index clone per chunk — the clones
   share the FM-index payload but own their engine instances, because
   engines are stateful and not thread-safe;
-* on a **process pool**, shipping the serialized index payload once per
-  worker (initializer) and rebuilding it there — true CPU parallelism
-  for workloads big enough to amortise the fork.
+* on a **process pool**, placing the zero-copy binary index blob
+  (:mod:`repro.io.binfmt`) in :mod:`multiprocessing.shared_memory` once
+  and letting every worker re-hydrate from it in O(header) — true CPU
+  parallelism without per-worker deserialization cost.  Indexes the
+  binary format cannot hold (non-rankall rank backends) fall back to the
+  JSON payload, still shipped through the one shared segment.
 
-Results are always returned in input order regardless of scheduling, and
-per-chunk :class:`~repro.core.types.SearchStats` are merged in chunk
-order, so parallel runs are byte-identical to sequential ones.
+Process workers pull ``(chunk_id, chunk)`` tasks from a shared queue
+(dynamic scheduling: a worker that finishes early takes the next chunk
+instead of idling behind a static partition).  Results are always
+returned in input order regardless of scheduling, and per-chunk
+:class:`~repro.core.types.SearchStats` are merged in chunk order, so
+parallel runs are byte-identical to sequential ones.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import gc as _gc
+import multiprocessing as _mp
+import queue as _queue
+import traceback as _traceback
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.types import Occurrence, SearchStats
-from ..errors import PatternError
+from ..errors import PatternError, SerializationError
 from ..obs import OBS, ObsDelta, merge_obs_delta
 
 #: Execution modes accepted by :class:`BatchExecutor`.
@@ -51,7 +61,9 @@ class BatchResult:
     n_chunks: int = 1
     workers: int = 1
     mode: str = "serial"
-    extra: Dict[str, float] = field(default_factory=dict)
+    #: Mode-specific detail (process mode: transfer kind, shm size,
+    #: per-worker hydration timings).
+    extra: Dict[str, object] = field(default_factory=dict)
 
 
 class BatchExecutor:
@@ -64,9 +76,10 @@ class BatchExecutor:
         engine); larger values fan chunks out over a pool.
     mode:
         ``"thread"`` (default; shares the in-memory index) or
-        ``"process"`` (rebuilds the index per worker from its serialized
-        payload — needs a picklable workload, pays a startup cost, and in
-        exchange escapes the GIL).
+        ``"process"`` (hydrates the index per worker from one
+        shared-memory binary blob in O(header), pulls chunks from a
+        dynamic task queue — needs a picklable workload, pays a process
+        startup cost, and in exchange escapes the GIL).
     chunk_size:
         Items per chunk; default splits the batch into
         ``workers * 4`` chunks.
@@ -152,8 +165,9 @@ class BatchExecutor:
     ) -> BatchResult:
         size = self.chunk_size or max(1, -(-len(items) // (workers * _CHUNKS_PER_WORKER)))
         chunks = [items[i : i + size] for i in range(0, len(items), size)]
+        extra: Dict[str, object] = {}
         if self.mode == "process":
-            chunk_results = self._map_process(index, kind, chunks, k, method)
+            chunk_results = self._map_process(index, kind, chunks, k, method, extra)
         else:
             chunk_results = self._map_thread(index, kind, chunks, k, method)
         results: List[object] = []
@@ -162,7 +176,8 @@ class BatchExecutor:
             results.extend(chunk_out)
             stats.merge(chunk_stats)
         return BatchResult(
-            results, stats, n_chunks=len(chunks), workers=workers, mode=self.mode
+            results, stats, n_chunks=len(chunks), workers=workers, mode=self.mode,
+            extra=extra,
         )
 
     def _map_thread(self, index, kind, chunks, k, method):
@@ -174,27 +189,106 @@ class BatchExecutor:
             ]
             return [future.result() for future in futures]
 
-    def _map_process(self, index, kind, chunks, k, method):
-        payload = index.dumps()
+    def _map_process(self, index, kind, chunks, k, method, extra):
+        try:
+            blob = index.to_binary()
+            transfer = "shm-bin"
+        except SerializationError:
+            blob = index.dumps().encode("utf-8")
+            transfer = "shm-json"
         workers = min(self.workers, len(chunks))
         observe = OBS.enabled
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_process_init, initargs=(payload, observe)
-        ) as pool:
-            futures = [
-                pool.submit(_process_chunk, kind, chunk, k, method, observe)
-                for chunk in chunks
-            ]
-            outcomes = [future.result() for future in futures]
+        ctx = _mp.get_context()
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+        procs: List[_mp.process.BaseProcess] = []
+        try:
+            shm.buf[: len(blob)] = blob
+            task_q = ctx.Queue()
+            result_q = ctx.Queue()
+            # Everything is enqueued up front (queues are unbounded), so
+            # workers can drain tasks and exit on a sentinel with no
+            # further coordination from the parent.
+            for chunk_id, chunk in enumerate(chunks):
+                task_q.put((chunk_id, chunk))
+            for _ in range(workers):
+                task_q.put(None)
+            for _ in range(workers):
+                proc = ctx.Process(
+                    target=_pool_worker,
+                    args=(
+                        shm.name, len(blob), transfer, observe,
+                        kind, k, method, task_q, result_q,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+            outcomes, hydrations = self._collect(result_q, procs, len(chunks), workers)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                proc.join()
+            shm.close()
+            shm.unlink()
+        extra["transfer"] = transfer
+        extra["shm_nbytes"] = len(blob)
+        extra["worker_hydrate_ms"] = sorted(hydrations.values())
+        if observe:
+            OBS.metrics.gauge("engine.shm.nbytes").set(len(blob))
+            hist = OBS.metrics.histogram("engine.worker.hydrate_ms")
+            for hydrate_ms in hydrations.values():
+                OBS.metrics.counter("engine.worker.hydrations").inc()
+                hist.observe(hydrate_ms)
         # Fold each worker chunk's telemetry back into this process, in
         # chunk order — `map --mode process` reports the same counter
         # totals a sequential run would.
         results = []
-        for chunk_out, chunk_stats, obs_payload in outcomes:
-            if observe:
+        for chunk_id in range(len(chunks)):
+            chunk_out, chunk_stats, obs_payload = outcomes[chunk_id]
+            if observe and obs_payload is not None:
                 merge_obs_delta(OBS, obs_payload)
             results.append((chunk_out, chunk_stats))
         return results
+
+    @staticmethod
+    def _collect(result_q, procs, n_chunks, workers):
+        """Drain the result queue: one hydration report per worker plus one
+        outcome per chunk, with a liveness check so a crashed worker turns
+        into an exception instead of a hang."""
+        outcomes: Dict[int, tuple] = {}
+        hydrations: Dict[int, float] = {}
+        while len(outcomes) < n_chunks or len(hydrations) < workers:
+            try:
+                message = result_q.get(timeout=1.0)
+            except _queue.Empty:
+                dead = [p for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
+                if dead:
+                    raise RuntimeError(
+                        f"batch worker died with exit code {dead[0].exitcode} "
+                        f"before completing its chunks"
+                    )
+                if all(not p.is_alive() for p in procs):
+                    raise RuntimeError(
+                        "all batch workers exited but "
+                        f"{n_chunks - len(outcomes)} chunk results are missing"
+                    )
+                continue
+            tag = message[0]
+            if tag == "hydrated":
+                _, worker_id, hydrate_ms = message
+                hydrations[worker_id] = hydrate_ms
+            elif tag == "ok":
+                _, chunk_id, out, stats, obs_payload = message
+                outcomes[chunk_id] = (out, stats, obs_payload)
+            else:  # "error"
+                _, chunk_id, exc_repr, tb_text = message
+                raise RuntimeError(
+                    f"batch chunk {chunk_id} failed in worker: {exc_repr}\n{tb_text}"
+                )
+        return outcomes, hydrations
 
 
 # -- chunk workers -------------------------------------------------------------
@@ -232,19 +326,35 @@ def _run_worker_chunk(index, kind, chunk, k, method):
     return _run_chunk(index, kind, chunk, k, method, cached=False)
 
 
-#: Per-process rebuilt index (set by :func:`_process_init` in pool workers).
-_WORKER_INDEX = None
+def _pool_worker(
+    shm_name: str,
+    blob_size: int,
+    transfer: str,
+    observe: bool,
+    kind: str,
+    k: int,
+    method: str,
+    task_q,
+    result_q,
+) -> None:
+    """Process-pool worker: hydrate once from shared memory, then pull
+    ``(chunk_id, chunk)`` tasks until the ``None`` sentinel.
 
-
-def _process_init(payload: str, observe: bool = False) -> None:
-    """Process-pool initializer: rebuild the index once per worker.
-
-    ``observe`` mirrors the parent's ``OBS.enabled`` at submit time, so
+    ``observe`` mirrors the parent's ``OBS.enabled`` at launch, so
     worker-side instrumentation runs exactly when the parent's does
     (under ``spawn`` the child starts with a fresh, disabled singleton;
-    under ``fork`` it inherits whatever the parent had).
+    under ``fork`` it inherits whatever the parent had).  Hydration
+    happens *before* the first chunk's telemetry snapshot, so its own
+    counters and spans never leak into per-chunk deltas; the cost is
+    reported separately through one ``("hydrated", ...)`` message.
+
+    Per-chunk telemetry deltas are taken against a snapshot at chunk
+    entry (see :class:`repro.obs.ObsDelta`), so counters inherited
+    across ``fork`` are not double-reported and a worker serving many
+    chunks ships each chunk's increments exactly once.
     """
-    global _WORKER_INDEX
+    from multiprocessing import shared_memory
+
     from ..core.matcher import KMismatchIndex
 
     if observe:
@@ -252,22 +362,41 @@ def _process_init(payload: str, observe: bool = False) -> None:
         # Under fork the worker inherits the parent's open engine.batch
         # span; drop it so worker spans finish as roots and get shipped.
         OBS.tracer.clear_stack()
-    _WORKER_INDEX = KMismatchIndex.loads(payload)
-
-
-def _process_chunk(kind: str, chunk: Sequence[str], k: int, method: str, observe: bool = False):
-    """Process-pool entry: run one chunk against the per-worker index.
-
-    Returns ``(results, stats, obs_payload)`` — the third element is the
-    chunk's serialized telemetry delta (metric increments plus finished
-    span trees, see :class:`repro.obs.ObsDelta`), or ``None`` when the
-    parent was not observing.  Deltas are taken against a snapshot at
-    chunk entry, so index-rebuild work from the initializer and counters
-    inherited across ``fork`` are not double-reported, and a worker
-    serving many chunks ships each chunk's increments exactly once.
-    """
-    if not observe:
-        return (*_run_chunk(_WORKER_INDEX, kind, chunk, k, method, cached=True), None)
-    snapshot = ObsDelta.capture(OBS)
-    out, stats = _run_chunk(_WORKER_INDEX, kind, chunk, k, method, cached=True)
-    return out, stats, snapshot.finish(OBS)
+    start = perf_counter()
+    shm = shared_memory.SharedMemory(name=shm_name)
+    # The binary path wraps `shm.buf` zero-copy — the index holds
+    # memoryviews into the segment until the worker drops it; the parent
+    # owns the unlink.
+    if transfer == "shm-json":
+        index = KMismatchIndex.loads(bytes(shm.buf[:blob_size]).decode("utf-8"))
+    else:
+        index = KMismatchIndex.from_binary(shm.buf)
+    hydrate_ms = (perf_counter() - start) * 1e3
+    result_q.put(("hydrated", _mp.current_process().pid, hydrate_ms))
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                break
+            chunk_id, chunk = task
+            try:
+                if observe:
+                    snapshot = ObsDelta.capture(OBS)
+                    out, stats = _run_chunk(index, kind, chunk, k, method, cached=True)
+                    obs_payload = snapshot.finish(OBS)
+                else:
+                    out, stats = _run_chunk(index, kind, chunk, k, method, cached=True)
+                    obs_payload = None
+                result_q.put(("ok", chunk_id, out, stats, obs_payload))
+            except BaseException as exc:  # ship the failure; never hang the parent
+                result_q.put(("error", chunk_id, repr(exc), _traceback.format_exc()))
+                break
+    finally:
+        # Drop every zero-copy view into the segment before detaching,
+        # else close() raises BufferError ("exported pointers exist").
+        del index
+        _gc.collect()
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a view outlived the index
+            pass

@@ -14,8 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, TextIO, Tuple
 
-from .core.matcher import ReadHit
-from .errors import PatternError
+from ..core.matcher import ReadHit
+from ..errors import PatternError
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,463 @@
+"""Versioned zero-copy binary index format (``.fmbin``).
+
+The JSON serialization (:meth:`~repro.bwt.fmindex.FMIndex.dumps`) is a
+compatibility path: loading it re-encodes the BWT, rebuilds every rank
+checkpoint and re-hydrates the sampled suffix array — O(index) parsing
+that dominates wall-clock when a process pool ships one index to every
+worker.  This module stores the index the way the paper's space
+accounting already thinks about it: flat, packed, aligned buffers that
+serialize verbatim from the underlying ``array``/``bytes`` payloads and
+deserialize by *wrapping* an ``mmap``/``memoryview`` — no per-section
+copies, O(header) work on load.
+
+Layout (all integers little-endian; see ``docs/INDEX_FORMAT.md``)::
+
+    0   8s   magic                b"REPROIDX"
+    8   u32  format version       1
+    12  u32  endianness stamp     0x01020304 (readers reject other values)
+    16  u32  header size          32 + 32 * n_sections
+    20  u32  n_sections
+    24  u64  total file size
+    32  section table, one 32-byte entry per section:
+          4s tag, 4x pad, u64 offset, u64 length, u32 crc32, 4x pad
+    ..  section payloads, each 8-byte aligned, zero-padded between
+
+Sections of format version 1 (every one required):
+
+=======  ==================================================================
+``META``  JSON: alphabet, lengths, sample rates, rank totals
+``BWTW``  the 2-bit-packed BWT, 64-bit words (:class:`PackedSequence`)
+``BWTC``  one-byte-per-code BWT shadow (the C-speed scan path)
+``RANK``  int32 row-major rankall checkpoint table
+``SARO``  uint32 sampled suffix-array rows, ascending
+``SAPO``  uint32 sampled suffix-array positions, aligned with ``SARO``
+=======  ==================================================================
+
+Corruption — bad magic, foreign endianness, version skew, truncated
+files, section-table overruns, section-length mismatches against
+``META``, checksum drift — raises
+:class:`~repro.errors.IndexCorruptionError` naming the offending field;
+a corrupt file must never produce a silently wrong answer.  CRC32s are
+stored per section but verified only on request (``verify_checksums=True``)
+because checksumming is O(file) and would defeat the zero-copy load.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap as _mmap
+import struct
+import sys
+import zlib
+from array import array
+from bisect import bisect_left
+from typing import Dict, Iterator, Tuple
+
+from ..alphabet import Alphabet
+from ..errors import IndexCorruptionError, SerializationError
+from ..obs import OBS
+from ..sequence import PackedSequence, bits_needed
+from ..bwt.rankall import RankAll
+
+#: First 8 bytes of every binary index file.
+MAGIC = b"REPROIDX"
+
+#: Format version written by this build (readers accept <= this).
+FORMAT_VERSION = 1
+
+#: Endianness stamp: reads back as 0x01020304 only on little-endian hosts.
+ENDIAN_STAMP = 0x01020304
+
+_HEADER = struct.Struct("<8sIIIIQ")
+_SECTION = struct.Struct("<4s4xQQI4x")
+_ALIGN = 8
+
+#: Section tags of format version 1, in file order.
+SECTION_TAGS = (b"META", b"BWTW", b"BWTC", b"RANK", b"SARO", b"SAPO")
+
+
+def _pad(n: int) -> int:
+    """``n`` rounded up to the section alignment."""
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SampledSAView:
+    """Read-only dict-like over the ``SARO``/``SAPO`` sections.
+
+    Presents the mapping interface :class:`~repro.bwt.fmindex.FMIndex`
+    expects of its sampled suffix array (``row in sa``, ``sa[row]``,
+    ``len``, ``items``) on top of two uint32 memoryviews — O(header)
+    to construct, O(log n) per probe via binary search on the sorted
+    row column.
+    """
+
+    __slots__ = ("_rows", "_positions")
+
+    def __init__(self, rows, positions):
+        self._rows = rows
+        self._positions = positions
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def _index_of(self, row: int) -> int:
+        i = bisect_left(self._rows, row)
+        if i < len(self._rows) and self._rows[i] == row:
+            return i
+        return -1
+
+    def __contains__(self, row: int) -> bool:
+        return self._index_of(row) >= 0
+
+    def __getitem__(self, row: int) -> int:
+        i = self._index_of(row)
+        if i < 0:
+            raise KeyError(row)
+        return self._positions[i]
+
+    def get(self, row: int, default=None):
+        i = self._index_of(row)
+        return self._positions[i] if i >= 0 else default
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return zip(self._rows, self._positions)
+
+    def keys(self) -> Iterator[int]:
+        return iter(self._rows)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._rows)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (SampledSAView, dict)):
+            return dict(self.items()) == dict(
+                other.items() if not isinstance(other, dict) else other.items()
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SampledSAView({len(self)} entries)"
+
+
+# -- writing ---------------------------------------------------------------------
+
+
+def _require_little_endian() -> None:
+    if sys.byteorder != "little":  # pragma: no cover - exotic hosts
+        raise SerializationError(
+            "the binary index format is little-endian; this host is "
+            f"{sys.byteorder}-endian — use the JSON serialization instead"
+        )
+
+
+def _as_byte_view(buffer) -> memoryview:
+    """A flat unsigned-byte view over any buffer-protocol object."""
+    view = memoryview(buffer)
+    if view.format != "B":
+        view = view.cast("B")
+    return view
+
+
+def dump_fmindex(fm) -> bytes:
+    """Serialize ``fm`` to one binary blob, straight from its buffers."""
+    _require_little_endian()
+    if getattr(fm, "_rank_backend", "rankall") != "rankall":
+        raise SerializationError(
+            "the binary index format stores the rankall backend only "
+            f"(index uses {fm._rank_backend!r}); use the JSON serialization"
+        )
+    rank = fm._rank
+    packed = rank.packed
+    checkpoints = rank.checkpoints
+    if getattr(checkpoints, "itemsize", 4) != 4:  # pragma: no cover - exotic ABIs
+        checkpoints = array("i", checkpoints)
+    if fm.text_length >= 2**32:  # pragma: no cover - >4 Gbp targets
+        raise SerializationError(
+            "binary index format v1 stores 32-bit suffix positions; "
+            f"target of {fm.text_length} bp does not fit"
+        )
+    sampled = sorted(fm._sampled_sa.items())
+    rows = array("I", (row for row, _ in sampled))
+    positions = array("I", (pos for _, pos in sampled))
+    meta = {
+        "alphabet": "".join(fm.alphabet.symbols),
+        "text_len": fm.text_length,
+        "bwt_len": len(rank),
+        "packed_width": packed.width,
+        "occ_sample_rate": rank.sample_rate,
+        "sa_sample_rate": fm.sa_sample_rate,
+        "rank_backend": "rankall",
+        "totals": rank.totals_list,
+        "n_sampled": len(sampled),
+    }
+    payloads = {
+        b"META": json.dumps(meta, sort_keys=True).encode("utf-8"),
+        b"BWTW": _as_byte_view(packed.raw_words),
+        b"BWTC": _as_byte_view(rank.codes_buffer),
+        b"RANK": _as_byte_view(checkpoints),
+        b"SARO": _as_byte_view(rows),
+        b"SAPO": _as_byte_view(positions),
+    }
+    header_size = _HEADER.size + _SECTION.size * len(SECTION_TAGS)
+    offset = _pad(header_size)
+    entries = []
+    for tag in SECTION_TAGS:
+        payload = payloads[tag]
+        entries.append((tag, offset, len(payload), zlib.crc32(payload) & 0xFFFFFFFF))
+        offset = _pad(offset + len(payload))
+    total_size = offset
+    blob = bytearray(total_size)
+    _HEADER.pack_into(
+        blob, 0, MAGIC, FORMAT_VERSION, ENDIAN_STAMP, header_size,
+        len(SECTION_TAGS), total_size,
+    )
+    for i, (tag, off, length, crc) in enumerate(entries):
+        _SECTION.pack_into(blob, _HEADER.size + i * _SECTION.size, tag, off, length, crc)
+        blob[off:off + length] = payloads[tag]
+    return bytes(blob)
+
+
+def save_fmindex(fm, path) -> int:
+    """Write :func:`dump_fmindex` output to ``path``; returns bytes written."""
+    blob = dump_fmindex(fm)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    if OBS.enabled:
+        OBS.metrics.counter("index.saves").inc()
+        OBS.metrics.gauge("index.file_nbytes").set(len(blob))
+    return len(blob)
+
+
+# -- reading ---------------------------------------------------------------------
+
+
+def _corrupt(source: str, field: str, detail: str) -> IndexCorruptionError:
+    return IndexCorruptionError(f"{source}: {field}: {detail}")
+
+
+def parse_sections(buffer, source: str = "<buffer>") -> Tuple[dict, Dict[bytes, memoryview]]:
+    """Validate the container and return ``(header_info, tag -> section view)``.
+
+    Accepts any buffer-protocol object (``mmap``, ``bytes``, a shared
+    memory block).  The buffer may extend past the recorded file size —
+    shared-memory segments round up to page granularity — but must not
+    fall short of it.  Every returned view aliases ``buffer``.
+    """
+    view = _as_byte_view(buffer)
+    if len(view) < _HEADER.size:
+        raise _corrupt(source, "header", f"file is {len(view)} bytes, header needs {_HEADER.size}")
+    magic, version, endian, header_size, n_sections, file_size = _HEADER.unpack_from(view, 0)
+    if magic != MAGIC:
+        raise _corrupt(source, "magic", f"expected {MAGIC!r}, found {bytes(magic)!r}")
+    if endian != ENDIAN_STAMP:
+        raise _corrupt(
+            source, "endianness stamp",
+            f"expected {ENDIAN_STAMP:#010x}, found {endian:#010x} (foreign byte order?)",
+        )
+    if not 1 <= version <= FORMAT_VERSION:
+        raise _corrupt(
+            source, "version",
+            f"found {version}, this build reads versions 1..{FORMAT_VERSION}",
+        )
+    expected_header = _HEADER.size + _SECTION.size * n_sections
+    if header_size != expected_header:
+        raise _corrupt(
+            source, "header size",
+            f"header claims {header_size} bytes for {n_sections} section(s), "
+            f"expected {expected_header}",
+        )
+    if file_size < header_size:
+        raise _corrupt(source, "file size", f"{file_size} is smaller than the header ({header_size})")
+    if len(view) < file_size:
+        raise _corrupt(
+            source, "file size",
+            f"header records {file_size} bytes but only {len(view)} are present (truncated?)",
+        )
+    sections: Dict[bytes, memoryview] = {}
+    crcs: Dict[bytes, int] = {}
+    for i in range(n_sections):
+        tag, offset, length, crc = _SECTION.unpack_from(view, _HEADER.size + i * _SECTION.size)
+        if offset < header_size or offset + length > file_size:
+            raise _corrupt(
+                source, f"section {tag.decode('ascii', 'replace')}",
+                f"range [{offset}, {offset + length}) falls outside the file "
+                f"(header size {header_size}, file size {file_size})",
+            )
+        sections[tag] = view[offset:offset + length]
+        crcs[tag] = crc
+    for tag in SECTION_TAGS:
+        if tag not in sections:
+            raise _corrupt(source, f"section {tag.decode('ascii')}", "missing from section table")
+    info = {
+        "version": version,
+        "header_size": header_size,
+        "n_sections": n_sections,
+        "file_size": file_size,
+        "crcs": crcs,
+    }
+    return info, sections
+
+
+def verify_section_checksums(info: dict, sections: Dict[bytes, memoryview],
+                             source: str = "<buffer>") -> None:
+    """Recompute every section CRC32 against the table (O(file) work)."""
+    for tag, section in sections.items():
+        found = zlib.crc32(section) & 0xFFFFFFFF
+        expected = info["crcs"].get(tag, 0)
+        if found != expected:
+            raise _corrupt(
+                source, f"section {tag.decode('ascii', 'replace')} checksum",
+                f"stored {expected:#010x}, computed {found:#010x}",
+            )
+
+
+def _meta_int(meta: dict, field: str, source: str, minimum: int = 0) -> int:
+    value = meta.get(field)
+    if not isinstance(value, int) or value < minimum:
+        raise _corrupt(source, f"META.{field}", f"expected integer >= {minimum}, found {value!r}")
+    return value
+
+
+def load_fmindex(buffer, verify_checksums: bool = False, source: str = "<buffer>"):
+    """Rebuild an :class:`~repro.bwt.fmindex.FMIndex` around ``buffer``.
+
+    O(header) + O(alphabet): sections are wrapped in memoryviews, never
+    copied, so the returned index keeps ``buffer`` alive and shares its
+    storage (with every other process that mapped the same file or
+    shared-memory block).
+    """
+    from ..bwt.fmindex import FMIndex
+
+    _require_little_endian()
+    with OBS.span("binfmt.load", source=source, verify=verify_checksums):
+        info, sections = parse_sections(buffer, source=source)
+        if verify_checksums:
+            verify_section_checksums(info, sections, source=source)
+        try:
+            meta = json.loads(bytes(sections[b"META"]).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _corrupt(source, "section META", f"not valid JSON ({exc})") from None
+        if not isinstance(meta, dict):
+            raise _corrupt(source, "section META", "top level is not an object")
+        symbols = meta.get("alphabet")
+        if not isinstance(symbols, str) or not symbols:
+            raise _corrupt(source, "META.alphabet", f"expected non-empty string, found {symbols!r}")
+        try:
+            alphabet = Alphabet(symbols)
+        except Exception as exc:
+            raise _corrupt(source, "META.alphabet", str(exc)) from None
+        if meta.get("rank_backend", "rankall") != "rankall":
+            raise _corrupt(
+                source, "META.rank_backend",
+                f"expected 'rankall', found {meta.get('rank_backend')!r}",
+            )
+        text_len = _meta_int(meta, "text_len", source)
+        bwt_len = _meta_int(meta, "bwt_len", source, minimum=1)
+        if bwt_len != text_len + 1:
+            raise _corrupt(
+                source, "META.bwt_len",
+                f"{bwt_len} does not equal text_len + 1 ({text_len + 1})",
+            )
+        width = _meta_int(meta, "packed_width", source, minimum=1)
+        if width != bits_needed(alphabet.size):
+            raise _corrupt(
+                source, "META.packed_width",
+                f"{width} does not match alphabet of {alphabet.size} codes "
+                f"(expected {bits_needed(alphabet.size)})",
+            )
+        occ_rate = _meta_int(meta, "occ_sample_rate", source, minimum=1)
+        sa_rate = _meta_int(meta, "sa_sample_rate", source, minimum=1)
+        n_sampled = _meta_int(meta, "n_sampled", source)
+        totals = meta.get("totals")
+        if (
+            not isinstance(totals, list)
+            or len(totals) != alphabet.size
+            or not all(isinstance(t, int) and t >= 0 for t in totals)
+        ):
+            raise _corrupt(
+                source, "META.totals",
+                f"expected {alphabet.size} non-negative integers, found {totals!r}",
+            )
+        if sum(totals) != bwt_len:
+            raise _corrupt(
+                source, "META.totals",
+                f"totals sum to {sum(totals)}, BWT length is {bwt_len}",
+            )
+
+        def _section_exact(tag: bytes, expected: int, what: str) -> memoryview:
+            section = sections[tag]
+            if len(section) != expected:
+                raise _corrupt(
+                    source, f"section {tag.decode('ascii')} length",
+                    f"{what} needs {expected} bytes, section holds {len(section)}",
+                )
+            return section
+
+        n_words = (bwt_len * width + 63) // 64
+        n_blocks = bwt_len // occ_rate + 1
+        words = _section_exact(b"BWTW", n_words * 8, f"{bwt_len} x {width}-bit BWT").cast("Q")
+        codes = _section_exact(b"BWTC", bwt_len, "BWT code shadow")
+        flat = _section_exact(
+            b"RANK", n_blocks * alphabet.size * 4,
+            f"{n_blocks} checkpoint rows x {alphabet.size} codes",
+        ).cast("i")
+        rows = _section_exact(b"SARO", n_sampled * 4, f"{n_sampled} sampled SA rows").cast("I")
+        positions = _section_exact(
+            b"SAPO", n_sampled * 4, f"{n_sampled} sampled SA positions"
+        ).cast("I")
+
+        packed = PackedSequence.from_words(width, bwt_len, words)
+        rank = RankAll.from_parts(alphabet, occ_rate, bwt_len, packed, codes, flat, totals)
+        fm = FMIndex._from_parts(
+            alphabet, text_len, sa_rate, rank, SampledSAView(rows, positions)
+        )
+    if OBS.enabled:
+        OBS.metrics.counter("index.loads").inc()
+        OBS.metrics.gauge("index.nbytes").set(fm.nbytes())
+    return fm
+
+
+def open_fmindex(path, mmap: bool = True, verify_checksums: bool = False):
+    """Load a binary index file, memory-mapped by default.
+
+    With ``mmap=True`` the OS page cache backs the index: load cost is
+    O(header) and every process mapping the same file shares one copy of
+    the payload.  The mapping (and file handle) live as long as the
+    returned index's buffers do.
+    """
+    path = str(path)
+    if mmap:
+        with open(path, "rb") as handle:
+            try:
+                mapped = _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
+            except ValueError as exc:  # zero-length file
+                raise _corrupt(path, "header", f"cannot mmap ({exc})") from None
+        return load_fmindex(mapped, verify_checksums=verify_checksums, source=path)
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    return load_fmindex(blob, verify_checksums=verify_checksums, source=path)
+
+
+def sniff(path) -> bool:
+    """True when ``path`` starts with the binary index magic."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "ENDIAN_STAMP",
+    "SECTION_TAGS",
+    "SampledSAView",
+    "dump_fmindex",
+    "save_fmindex",
+    "load_fmindex",
+    "open_fmindex",
+    "parse_sections",
+    "verify_section_checksums",
+    "sniff",
+]

@@ -63,6 +63,7 @@ from .recorder import (
     FlightRecorder,
     load_events,
     make_record,
+    prune_span_tree,
     render_records,
 )
 
@@ -307,6 +308,7 @@ __all__ = [
     "EventLog",
     "DEFAULT_SLOW_MS",
     "make_record",
+    "prune_span_tree",
     "load_events",
     "render_records",
 ]

@@ -19,12 +19,13 @@ Two concerns live here, both pure functions over the JSON form of
   and :func:`merge_metrics` folds such a delta back into the parent's
   registry.  :class:`ObsDelta` bundles the metric delta with the span
   trees the chunk finished, which is exactly the payload
-  ``repro.engine.executor._process_chunk`` ships home.
+  ``repro.engine.executor._pool_worker`` ships home.
 """
 
 from __future__ import annotations
 
 import re
+from time import perf_counter_ns, time_ns
 from typing import Any, Dict, List, Optional
 
 from .metrics import Histogram, MetricsRegistry
@@ -188,20 +189,38 @@ class ObsDelta:
         return snap
 
     def finish(self, obs) -> dict:
-        """The delta accumulated on ``obs`` since :meth:`capture`."""
+        """The delta accumulated on ``obs`` since :meth:`capture`.
+
+        ``clock_ns`` anchors this process's monotonic span timestamps to
+        the wall clock (wall time at the monotonic clock's zero), so the
+        receiving process can rebase them onto *its* monotonic timeline
+        and interleave worker spans with its own chronologically.
+        """
         spans = [span.to_dict() for span in obs.tracer.finished[self._before_roots :]]
         self.payload = {
             "metrics": metrics_delta(self._before_metrics, obs.metrics.to_dict()),
             "spans": spans,
+            "clock_ns": time_ns() - perf_counter_ns(),
         }
         return self.payload
 
 
 def merge_obs_delta(obs, payload: Optional[dict]) -> None:
-    """Merge one worker chunk's :class:`ObsDelta` payload into ``obs``."""
+    """Merge one worker chunk's :class:`ObsDelta` payload into ``obs``.
+
+    When the payload carries the sender's ``clock_ns`` wall anchor, the
+    difference against the local anchor rebases adopted span start times
+    onto the local monotonic clock (the anchors share the wall-clock
+    reference, so their difference is exactly the monotonic offset
+    between the two processes).
+    """
     if not payload:
         return
     merge_metrics(obs.metrics, payload.get("metrics") or {})
     spans = payload.get("spans") or []
     if spans:
-        obs.tracer.adopt(spans)
+        offset_ns = 0
+        clock_ns = payload.get("clock_ns")
+        if clock_ns is not None:
+            offset_ns = int(clock_ns) - (time_ns() - perf_counter_ns())
+        obs.tracer.adopt(spans, offset_ns)

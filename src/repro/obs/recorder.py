@@ -39,6 +39,42 @@ DEFAULT_SLOW_CAPACITY = 64
 DEFAULT_SLOW_MS = float(os.environ.get("REPRO_SLOW_QUERY_MS", "250"))
 
 
+def prune_span_tree(span: Dict[str, Any], max_depth: int = 0, max_attrs: int = 0) -> Dict[str, Any]:
+    """A bounded copy of one span-tree dict for flight-recorder storage.
+
+    Deep engine traces (the S-tree expansion alone can nest dozens of
+    levels with per-node attributes) make each record arbitrarily heavy;
+    the recorder keeps hundreds of them.  ``max_depth`` keeps that many
+    levels (1 = root only), ``max_attrs`` that many attributes per span
+    (insertion order, i.e. the ones set at span entry); 0 means
+    unlimited.  Whatever is cut is *marked*, not silently gone: a span
+    whose subtree was dropped gains ``children_dropped`` (the number of
+    descendants removed), one with trimmed attributes gains
+    ``attrs_dropped``.  The input is never mutated.
+    """
+
+    def count_spans(node: Dict[str, Any]) -> int:
+        return 1 + sum(count_spans(child) for child in node.get("children") or [])
+
+    def walk(node: Dict[str, Any], depth_left: int) -> Dict[str, Any]:
+        pruned = dict(node)
+        attrs = node.get("attrs") or {}
+        if max_attrs and len(attrs) > max_attrs:
+            pruned["attrs"] = dict(list(attrs.items())[:max_attrs])
+            pruned["attrs_dropped"] = len(attrs) - max_attrs
+        children = node.get("children") or []
+        if depth_left == 1 and children:
+            pruned["children"] = []
+            pruned["children_dropped"] = sum(count_spans(child) for child in children)
+        else:
+            pruned["children"] = [
+                walk(child, depth_left - 1 if depth_left else 0) for child in children
+            ]
+        return pruned
+
+    return walk(span, max_depth)
+
+
 def make_record(
     event: str,
     *,
@@ -57,6 +93,11 @@ def make_record(
     executor runs; ``spans`` is the query's span tree
     (:meth:`~repro.obs.tracing.Span.to_dict`) or ``None`` when tracing
     was off.
+
+    Recorded span trees are bounded by ``REPRO_FLIGHT_SPAN_DEPTH`` /
+    ``REPRO_FLIGHT_SPAN_ATTRS`` (see :func:`prune_span_tree`; 0 or unset
+    = unlimited), so one deep trace cannot make every retained record
+    heavyweight.
     """
     record: Dict[str, Any] = {
         "event": event,
@@ -70,6 +111,10 @@ def make_record(
     if stats is not None:
         record["stats"] = stats
     if spans is not None:
+        max_depth = int(os.environ.get("REPRO_FLIGHT_SPAN_DEPTH", "0") or 0)
+        max_attrs = int(os.environ.get("REPRO_FLIGHT_SPAN_ATTRS", "0") or 0)
+        if max_depth or max_attrs:
+            spans = prune_span_tree(spans, max_depth, max_attrs)
         record["spans"] = spans
     record.update(extra)
     return record

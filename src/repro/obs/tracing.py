@@ -93,9 +93,15 @@ class Span:
         return self.duration_ns / 1e9
 
     def to_dict(self) -> dict:
-        """JSON-compatible representation (children nested)."""
+        """JSON-compatible representation (children nested).
+
+        ``start_ns`` is this process's :func:`time.perf_counter_ns`
+        reading — only meaningful relative to other spans from the same
+        process unless rebased (see :meth:`from_dict`'s ``offset_ns``).
+        """
         return {
             "name": self.name,
+            "start_ns": self.start_ns,
             "duration_ns": self.duration_ns,
             "attrs": dict(self.attrs),
             "children": [child.to_dict() for child in self.children],
@@ -108,17 +114,23 @@ class Span:
             yield from child.iter_spans()
 
     @classmethod
-    def from_dict(cls, payload: dict, tracer: Optional["Tracer"] = None) -> "Span":
+    def from_dict(
+        cls, payload: dict, tracer: Optional["Tracer"] = None, offset_ns: int = 0
+    ) -> "Span":
         """Rebuild a span tree from :meth:`to_dict` output.
 
-        Reconstructed spans carry only relative timing (``start_ns`` is
-        0, ``end_ns`` the recorded duration) — enough for rendering and
-        aggregation, which is all adopted cross-process spans are for.
+        ``offset_ns`` rebases the recorded ``start_ns`` onto another
+        process's monotonic timeline: pass the difference between the
+        recording process's wall-clock anchor and the local one (see
+        :func:`repro.obs.export.merge_obs_delta`) and adopted worker
+        spans interleave chronologically with locally recorded ones —
+        that is what ``/debug/queries`` sorts on.
         """
         span = cls(str(payload.get("name", "?")), dict(payload.get("attrs") or {}), tracer)
-        span.end_ns = int(payload.get("duration_ns", 0))
+        span.start_ns = int(payload.get("start_ns", 0)) + offset_ns
+        span.end_ns = span.start_ns + int(payload.get("duration_ns", 0))
         span.children = [
-            cls.from_dict(child, tracer) for child in payload.get("children") or []
+            cls.from_dict(child, tracer, offset_ns) for child in payload.get("children") or []
         ]
         return span
 
@@ -148,7 +160,7 @@ class _NullSpan:
     duration_s = 0.0
 
     def to_dict(self) -> dict:
-        return {"name": "", "duration_ns": 0, "attrs": {}, "children": []}
+        return {"name": "", "start_ns": 0, "duration_ns": 0, "attrs": {}, "children": []}
 
 
 #: The singleton no-op span (safe to share: it holds no state).
@@ -265,15 +277,17 @@ class Tracer:
         """
         self._local = threading.local()
 
-    def adopt(self, payloads: List[dict]) -> None:
+    def adopt(self, payloads: List[dict], offset_ns: int = 0) -> None:
         """Append span trees recorded elsewhere (worker processes).
 
         ``payloads`` is :meth:`to_dicts` output from another tracer; the
         reconstructed roots join ``finished`` under the same
-        :data:`max_roots` bound as locally recorded spans.
+        :data:`max_roots` bound as locally recorded spans.  ``offset_ns``
+        rebases their ``start_ns`` onto this process's monotonic clock
+        (see :meth:`Span.from_dict`).
         """
         for payload in payloads:
-            self.finished.append(Span.from_dict(payload, self))
+            self.finished.append(Span.from_dict(payload, self, offset_ns))
         if len(self.finished) > self.max_roots:
             del self.finished[: len(self.finished) - self.max_roots]
 

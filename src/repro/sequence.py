@@ -64,6 +64,33 @@ class PackedSequence:
         """Pack ``text`` using ``alphabet`` codes."""
         return cls(bits_needed(alphabet.size), alphabet.encode(text))
 
+    @classmethod
+    def from_words(cls, width: int, length: int, words) -> "PackedSequence":
+        """Wrap an existing 64-bit word buffer without copying it.
+
+        ``words`` is anything indexable as unsigned 64-bit values — an
+        ``array('Q')`` or a ``memoryview`` cast to ``'Q'`` over an
+        ``mmap``-ed index file.  The buffer must hold at least
+        ``ceil(length * width / 64)`` words.  Buffer-backed sequences are
+        read-only: :meth:`append` fails on them.
+        """
+        if not 1 <= width <= _WORD_BITS:
+            raise ReproError(f"element width must be in 1..{_WORD_BITS}, got {width}")
+        if length < 0:
+            raise ReproError(f"sequence length must be non-negative, got {length}")
+        needed = (length * width + _WORD_BITS - 1) // _WORD_BITS
+        if len(words) < needed:
+            raise ReproError(
+                f"word buffer too small: {len(words)} words for "
+                f"{length} x {width}-bit values (need {needed})"
+            )
+        instance = cls.__new__(cls)
+        instance._width = width
+        instance._mask = (1 << width) - 1
+        instance._length = length
+        instance._words = words
+        return instance
+
     def append(self, value: int) -> None:
         """Append one value."""
         if value < 0 or value > self._mask:
@@ -129,8 +156,17 @@ class PackedSequence:
         return hash((self._width, tuple(self)))
 
     def nbytes(self) -> int:
-        """Approximate memory footprint of the payload in bytes."""
+        """Exact payload size in bytes (the 64-bit word buffer)."""
         return len(self._words) * 8
+
+    @property
+    def raw_words(self):
+        """The underlying 64-bit word buffer (``array('Q')`` or memoryview).
+
+        This is what the binary index format serializes verbatim; treat
+        it as read-only.
+        """
+        return self._words
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PackedSequence(width={self._width}, len={self._length})"

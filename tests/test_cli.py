@@ -232,3 +232,56 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "A()" in out and "BWT" in out
+
+
+class TestBinaryIndexCli:
+    def test_index_format_bin_and_search(self, genome_file, tmp_path, capsys):
+        out_path = tmp_path / "idx.fmbin"
+        rc = main(["index", str(genome_file), "-o", str(out_path), "--format", "bin"])
+        assert rc == 0
+        assert out_path.read_bytes()[:8] == b"REPROIDX"
+        assert "bin format" in capsys.readouterr().out
+        rc = main(["search", str(out_path), "--index", "aca", "-k", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        starts = [line.split("\t")[0] for line in out.splitlines() if line]
+        assert starts == ["0", "4"]
+
+    def test_map_index_file(self, genome_file, tmp_path, capsys):
+        idx_path = tmp_path / "idx.fmbin"
+        assert main(["index", str(genome_file), "-o", str(idx_path),
+                     "--format", "bin"]) == 0
+        reads = tmp_path / "reads.txt"
+        reads.write_text("acag\ngaca\n")
+        sam_from_index = tmp_path / "a.sam"
+        sam_from_target = tmp_path / "b.sam"
+        capsys.readouterr()
+        rc = main(["map", "--index-file", str(idx_path), str(reads),
+                   "-k", "1", "-o", str(sam_from_index)])
+        assert rc == 0
+        rc = main(["map", str(genome_file), str(reads),
+                   "-k", "1", "-o", str(sam_from_target)])
+        assert rc == 0
+        assert sam_from_index.read_text() == sam_from_target.read_text()
+
+    def test_map_requires_target_or_index_file(self, tmp_path, capsys):
+        reads = tmp_path / "reads.txt"
+        reads.write_text("acag\n")
+        rc = main(["map", str(reads)])
+        assert rc == 2
+        assert "--index-file" in capsys.readouterr().err
+
+    def test_bench_update_baseline(self, tmp_path, capsys, monkeypatch):
+        baseline = tmp_path / "baseline.json"
+        rc = main(["bench", "--scale", "2000", "--reads", "3",
+                   "--update-baseline", "--baseline", str(baseline)])
+        assert rc == 0
+        assert "baseline refreshed" in capsys.readouterr().err
+        import json as _json
+
+        document = _json.loads(baseline.read_text())
+        assert document["methods"]
+        # The refreshed file immediately passes its own regression gate.
+        rc = main(["bench", "--scale", "2000", "--reads", "3",
+                   "--baseline", str(baseline), "--check-regression"])
+        assert rc in (0, 3)  # 3 only if this machine jittered past thresholds

@@ -428,3 +428,153 @@ class TestTraceValidation:
         loaded = OBS.load(str(tmp_path / "ok.json"))
         assert loaded["version"] == document["version"] == TRACE_VERSION
         assert render_trace(loaded)
+
+
+class TestFlightSpanPruning:
+    """REPRO_FLIGHT_SPAN_DEPTH / _ATTRS bound recorded span trees."""
+
+    def _tree(self):
+        from repro.obs import prune_span_tree  # noqa: F401 - availability
+
+        return {
+            "name": "root", "start_ns": 0, "duration_ns": 30,
+            "attrs": {"a": 1, "b": 2, "c": 3},
+            "children": [
+                {"name": "mid", "start_ns": 5, "duration_ns": 20, "attrs": {},
+                 "children": [
+                     {"name": "leaf1", "start_ns": 6, "duration_ns": 1,
+                      "attrs": {}, "children": []},
+                     {"name": "leaf2", "start_ns": 8, "duration_ns": 1,
+                      "attrs": {}, "children": []},
+                 ]},
+            ],
+        }
+
+    def test_depth_cap_marks_dropped_descendants(self):
+        from repro.obs import prune_span_tree
+
+        pruned = prune_span_tree(self._tree(), max_depth=2)
+        assert pruned["name"] == "root"
+        mid = pruned["children"][0]
+        assert mid["children"] == []
+        assert mid["children_dropped"] == 2
+        assert "children_dropped" not in pruned
+
+    def test_attr_cap_marks_dropped_attrs(self):
+        from repro.obs import prune_span_tree
+
+        pruned = prune_span_tree(self._tree(), max_attrs=1)
+        assert pruned["attrs"] == {"a": 1}
+        assert pruned["attrs_dropped"] == 2
+        # Depth untouched: the full tree survives.
+        assert pruned["children"][0]["children"][1]["name"] == "leaf2"
+
+    def test_unlimited_leaves_tree_untouched(self):
+        from repro.obs import prune_span_tree
+
+        tree = self._tree()
+        assert prune_span_tree(tree) == tree
+        assert tree["children"][0]["children"], "input must not be mutated"
+
+    def test_make_record_reads_env_knobs(self, monkeypatch):
+        from repro.obs import make_record
+
+        monkeypatch.setenv("REPRO_FLIGHT_SPAN_DEPTH", "1")
+        monkeypatch.setenv("REPRO_FLIGHT_SPAN_ATTRS", "1")
+        record = make_record("query", spans=self._tree())
+        assert record["spans"]["children"] == []
+        assert record["spans"]["children_dropped"] == 3
+        assert record["spans"]["attrs_dropped"] == 2
+
+    def test_make_record_unlimited_by_default(self, monkeypatch):
+        from repro.obs import make_record
+
+        monkeypatch.delenv("REPRO_FLIGHT_SPAN_DEPTH", raising=False)
+        monkeypatch.delenv("REPRO_FLIGHT_SPAN_ATTRS", raising=False)
+        record = make_record("query", spans=self._tree())
+        assert record["spans"] == self._tree()
+
+
+class TestCrossProcessClockAlignment:
+    """Worker span trees rebase onto the parent's monotonic timeline."""
+
+    def test_span_dict_carries_start_ns(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            pass
+        payload = tracer.to_dicts()[0]
+        assert payload["start_ns"] > 0
+        assert payload["duration_ns"] >= 0
+
+    def test_from_dict_applies_offset_recursively(self):
+        from repro.obs import Span
+
+        payload = {
+            "name": "root", "start_ns": 1000, "duration_ns": 500, "attrs": {},
+            "children": [{"name": "child", "start_ns": 1100, "duration_ns": 100,
+                          "attrs": {}, "children": []}],
+        }
+        span = Span.from_dict(payload, offset_ns=25)
+        assert span.start_ns == 1025
+        assert span.end_ns == 1525
+        assert span.children[0].start_ns == 1125
+
+    def test_obs_delta_ships_clock_anchor(self):
+        from repro.obs import ObsDelta
+
+        OBS.enable()
+        snapshot = ObsDelta.capture(OBS)
+        with OBS.span("work"):
+            pass
+        payload = snapshot.finish(OBS)
+        anchor = time.time_ns() - time.perf_counter_ns()
+        # Same process: the shipped anchor matches the local one to well
+        # under a millisecond.
+        assert abs(payload["clock_ns"] - anchor) < 1_000_000
+
+    def test_merge_rebases_adopted_spans(self):
+        from repro.obs import merge_obs_delta
+
+        OBS.enable()
+        # Simulate a worker whose monotonic clock runs 5 ms behind the
+        # parent's: its anchor (wall at monotonic zero) is 5 ms larger.
+        local_anchor = time.time_ns() - time.perf_counter_ns()
+        skew_ns = 5_000_000
+        payload = {
+            "metrics": {},
+            "spans": [{"name": "worker.chunk", "start_ns": 1_000,
+                       "duration_ns": 2_000, "attrs": {}, "children": []}],
+            "clock_ns": local_anchor + skew_ns,
+        }
+        merge_obs_delta(OBS, payload)
+        adopted = OBS.tracer.finished[-1]
+        assert adopted.name == "worker.chunk"
+        # Rebased start = worker start + (worker anchor - local anchor),
+        # up to the nanoseconds the two anchor computations drift apart.
+        assert abs(adopted.start_ns - (1_000 + skew_ns)) < 1_000_000
+        assert adopted.duration_ns == 2_000
+
+    def test_merge_without_anchor_keeps_raw_times(self):
+        from repro.obs import merge_obs_delta
+
+        OBS.enable()
+        payload = {"metrics": {}, "spans": [
+            {"name": "legacy", "start_ns": 42, "duration_ns": 7, "attrs": {},
+             "children": []}]}
+        merge_obs_delta(OBS, payload)
+        assert OBS.tracer.finished[-1].start_ns == 42
+
+    def test_process_batch_spans_are_ordered_with_parent_spans(self):
+        """End to end: adopted worker spans carry comparable start_ns."""
+        index = KMismatchIndex("acagacagattacagacagatta" * 20)
+        reads = [index.text[i : i + 12] for i in range(0, 60, 6)]
+        from repro.engine.executor import BatchExecutor
+
+        OBS.enable()
+        before_ns = time.perf_counter_ns()
+        BatchExecutor(workers=2, mode="process", chunk_size=3).run_map(index, reads, 1)
+        after_ns = time.perf_counter_ns()
+        adopted = [s for s in OBS.tracer.finished if s.name == "kmismatch.map_read"]
+        assert adopted, "worker chunks should ship per-read spans"
+        for span in adopted:
+            assert before_ns < span.start_ns < after_ns
