@@ -137,6 +137,12 @@ class MethodSuite:
             span.set(seconds=round(elapsed, 6), occurrences=n_occurrences)
         if OBS.enabled:
             OBS.metrics.histogram(f"suite.{method}.latency_ms").merge(latency_hist)
+            # Dimensional twin of the name-mangled series: one family,
+            # per-engine/per-k children — the cut the paper's Fig. 11(a)
+            # plots, reproducible straight from a /metrics scrape.
+            OBS.metrics.histogram(
+                "suite.latency_ms", engine=REGISTRY.canonical_name(method), k=k
+            ).merge(latency_hist)
         return MethodResult(
             method=method,
             total_seconds=elapsed,

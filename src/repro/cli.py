@@ -11,9 +11,14 @@ Subcommands
                    ``--index-file`` maps against a prebuilt index).
 ``compare``        Run the paper's methods over a read batch and print a table.
 ``engines``        List every registered search engine and its capabilities.
-``stats``          Render a saved ``--stats-json`` trace file as text.
+``stats``          Render a saved ``--stats-json`` trace file as text;
+                   ``--by engine,k`` regroups labelled series into
+                   dimensional tables, ``--url`` replays a live
+                   ``/debug/metrics`` endpoint instead of a file.
 ``serve-metrics``  Expose /metrics, /healthz and /debug/queries over HTTP,
                    optionally driving a read workload to populate them.
+``metrics-lint``   Strictly validate an OpenMetrics exposition (file or
+                   live URL) — the CI scrape-and-lint step.
 ``flightrecorder`` Render a dumped flight-recorder / event-log JSONL file.
 ``bench``          Run the fixed CI workload; with ``--check-regression``,
                    gate against a committed baseline JSON;
@@ -231,11 +236,35 @@ def _cmd_engines(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    try:
-        document = load_trace(args.trace_file)
-    except MetricError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    if args.url:
+        from urllib.request import urlopen
+
+        url = args.url.rstrip("/") + "/debug/metrics"
+        try:
+            with urlopen(url, timeout=10.0) as response:
+                document = {"metrics": json.load(response)}
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"error: cannot fetch {url}: {exc}", file=sys.stderr)
+            return 2
+    elif args.trace_file:
+        try:
+            document = load_trace(args.trace_file)
+        except MetricError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        print("error: stats needs a TRACE file or --url URL", file=sys.stderr)
         return 2
+    if args.by:
+        from .obs.breakdown import parse_by, render_breakdown
+
+        dimensions = parse_by(args.by)
+        if not dimensions:
+            print("error: --by needs at least one label name", file=sys.stderr)
+            return 2
+        print(render_breakdown(document.get("metrics") or {}, dimensions,
+                               families=args.family or None))
+        return 0
     print(render_trace(document))
     return 0
 
@@ -280,6 +309,27 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics_lint(args: argparse.Namespace) -> int:
+    from .obs.promlint import fetch_exposition, lint_openmetrics
+
+    try:
+        text = fetch_exposition(args.source)
+    except OSError as exc:
+        print(f"error: cannot read {args.source}: {exc}", file=sys.stderr)
+        return 2
+    problems = lint_openmetrics(text)
+    for problem in problems:
+        print(problem)
+    n_samples = sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+    if problems:
+        print(f"FAIL: {len(problems)} problem(s) in {n_samples} sample line(s)")
+        return 1
+    print(f"OK: {n_samples} sample line(s) clean")
+    return 0
+
+
 def _cmd_flightrecorder(args: argparse.Namespace) -> int:
     try:
         records = load_events(args.records_file)
@@ -300,14 +350,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench_json,
     )
 
-    document = run_ci_workload(
-        methods=args.methods,
-        k=args.k,
-        scale=args.scale,
-        n_reads=args.reads,
-        read_length=args.read_length,
-        seed=args.seed,
-    )
+    try:
+        document = run_ci_workload(
+            methods=args.methods,
+            k=args.k,
+            scale=args.scale,
+            n_reads=args.reads,
+            read_length=args.read_length,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+    except RegressionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json_out:
         write_bench_json(document, args.json_out)
         print(f"# benchmark JSON written to {args.json_out}", file=sys.stderr)
@@ -324,11 +379,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
         try:
             baseline = load_bench_json(args.baseline)
+            ratio_threshold = (
+                args.ratio_threshold / 100.0
+                if args.ratio_threshold is not None
+                else None
+            )
             findings = compare_runs(
                 document,
                 baseline,
                 latency_threshold=args.latency_threshold / 100.0,
                 probe_threshold=args.probe_threshold / 100.0,
+                ratio_threshold=ratio_threshold,
             )
         except RegressionError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -432,8 +493,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_eng.set_defaults(func=_cmd_engines)
 
     p_stats = sub.add_parser("stats", help="render a saved --stats-json trace file")
-    p_stats.add_argument("trace_file", metavar="TRACE",
-                         help="trace file written by --stats-json")
+    p_stats.add_argument("trace_file", metavar="TRACE", nargs="?", default="",
+                         help="trace file written by --stats-json (omit with --url)")
+    p_stats.add_argument("--url", default="", metavar="URL",
+                         help="replay a live endpoint's /debug/metrics instead "
+                              "of a trace file (e.g. http://127.0.0.1:9109)")
+    p_stats.add_argument("--by", default="", metavar="LABELS",
+                         help="comma-separated label dimensions (e.g. engine,k): "
+                              "print labelled series regrouped per family")
+    p_stats.add_argument("--family", action="append", default=[], metavar="NAME",
+                         help="with --by, restrict to this metric family "
+                              "(repeatable)")
     p_stats.set_defaults(func=_cmd_stats)
 
     p_serve = sub.add_parser(
@@ -455,6 +525,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="pin queries at or above this latency (ms) in the "
                               "flight recorder")
     p_serve.set_defaults(func=_cmd_serve_metrics)
+
+    p_lint = sub.add_parser(
+        "metrics-lint",
+        help="strictly validate an OpenMetrics exposition (file or live URL)")
+    p_lint.add_argument("source", metavar="FILE_OR_URL",
+                        help="exposition file, or an http(s) URL "
+                             "(/metrics appended when missing)")
+    p_lint.set_defaults(func=_cmd_metrics_lint)
 
     p_flight = sub.add_parser(
         "flightrecorder",
@@ -491,6 +569,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="allowed avg-latency growth over baseline (percent)")
     p_bench.add_argument("--probe-threshold", type=float, default=25.0,
                          help="allowed probe-count growth over baseline (percent)")
+    p_bench.add_argument("--repeats", type=int, default=1,
+                         help="run the workload N times and report per-method "
+                              "median latencies (N >= 3 steadies the gate)")
+    p_bench.add_argument("--ratio-threshold", type=float, default=None,
+                         help="also gate the A()/BWT avg-latency ratio against "
+                              "the baseline's ratio (percent growth allowed; "
+                              "machine speed divides out)")
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 

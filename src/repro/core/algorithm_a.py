@@ -237,7 +237,7 @@ class AlgorithmASearcher:
                 occurrences=len(self._occurrences),
             )
         if OBS.enabled:
-            record_search_metrics(self.engine_name, stats, len(self._occurrences))
+            record_search_metrics(self.engine_name, stats, len(self._occurrences), k)
             metrics = OBS.metrics
             metrics.counter("search.algorithm_a.reuse_hits").inc(stats.reuse_hits)
             metrics.counter("search.algorithm_a.shared_reuse_hits").inc(

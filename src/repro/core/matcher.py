@@ -15,7 +15,7 @@ from time import perf_counter_ns
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..alphabet import DNA, Alphabet, infer_alphabet
-from ..obs import OBS
+from ..obs import OBS, new_trace_id
 from ..bwt.fmindex import DEFAULT_SA_SAMPLE, FMIndex
 from ..bwt.rankall import DEFAULT_SAMPLE_RATE
 from ..dna import reverse_complement
@@ -145,26 +145,46 @@ class KMismatchIndex:
         method: str = "algorithm_a",
         record_mtree: bool = False,
     ) -> Tuple[List[Occurrence], SearchStats]:
-        """Like :meth:`search`, also returning the search statistics."""
+        """Like :meth:`search`, also returning the search statistics.
+
+        When observability is on, each query reports both the flat
+        totals (``query.latency_ms``, ``query.count``, ...) and the
+        dimensional series the paper's evaluation plots —
+        ``query.search_ms{engine,k}`` and labelled ``query.count`` /
+        ``query.occurrences`` children — plus a flight-recorder record
+        sharing the latency observation's exemplar ``trace_id``.  Engine
+        labels use the registry's canonical name, so ``"A()"`` and
+        ``"algorithm_a"`` land in one series.
+        """
         self._alphabet.validate(pattern)
         if not OBS.enabled:
             return self._dispatch(pattern, k, method, record_mtree)
+        engine_name = REGISTRY.canonical_name(method)
+        trace_id = new_trace_id()
         start_ns = perf_counter_ns()
-        with OBS.span("kmismatch.search", method=method, m=len(pattern), k=k) as span:
+        with OBS.span("kmismatch.search", method=engine_name, m=len(pattern), k=k) as span:
             occurrences, stats = self._dispatch(pattern, k, method, record_mtree)
             span.set(occurrences=len(occurrences))
         duration_ms = (perf_counter_ns() - start_ns) / 1e6
         OBS.metrics.histogram("query.latency_ms").observe(duration_ms)
+        OBS.metrics.histogram(
+            "query.search_ms", engine=engine_name, k=k
+        ).observe(duration_ms, trace_id)
         OBS.metrics.counter("query.count").inc()
+        OBS.metrics.counter("query.count", engine=engine_name, k=k).inc()
         OBS.metrics.counter("query.occurrences").inc(len(occurrences))
+        OBS.metrics.counter(
+            "query.occurrences", engine=engine_name, k=k
+        ).inc(len(occurrences))
         OBS.record_query(
-            engine=method,
+            engine=engine_name,
             k=k,
             m=len(pattern),
             duration_ms=duration_ms,
             occurrences=len(occurrences),
             stats=stats,
             spans=span.to_dict() if OBS.tracer.enabled else None,
+            trace_id=trace_id,
         )
         return occurrences, stats
 

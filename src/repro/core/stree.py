@@ -29,12 +29,18 @@ from ..obs import COUNT_BUCKETS, OBS
 from .types import Occurrence, SearchStats
 
 
-def record_search_metrics(engine: str, stats: SearchStats, n_occurrences: int) -> None:
+def record_search_metrics(
+    engine: str, stats: SearchStats, n_occurrences: int, k: int = 0
+) -> None:
     """Fold one search's :class:`SearchStats` into the metrics registry.
 
     Shared by every tree searcher so the per-query distributions (the
     paper's n' leaf counts, node totals) accumulate under uniform names:
-    ``search.<engine>.leaves`` etc.  No-op while tracing is disabled.
+    the historical per-engine flat series ``search.<engine>.leaves`` etc.
+    plus the dimensional families ``search.leaves{engine,k}`` /
+    ``search.queries{engine,k}`` / ``search.rank_queries{engine,k}`` that
+    let a dashboard reproduce the paper's per-k cuts (Fig. 11(a)) from
+    one scrape.  No-op while tracing is disabled.
     """
     metrics = OBS.metrics
     metrics.histogram(f"search.{engine}.leaves", COUNT_BUCKETS).observe(stats.leaves)
@@ -44,6 +50,11 @@ def record_search_metrics(engine: str, stats: SearchStats, n_occurrences: int) -
     metrics.histogram(f"search.{engine}.occurrences", COUNT_BUCKETS).observe(n_occurrences)
     metrics.counter(f"search.{engine}.queries").inc()
     metrics.counter(f"search.{engine}.rank_queries").inc(stats.rank_queries)
+    metrics.histogram("search.leaves", COUNT_BUCKETS, engine=engine, k=k).observe(
+        stats.leaves
+    )
+    metrics.counter("search.queries", engine=engine, k=k).inc()
+    metrics.counter("search.rank_queries", engine=engine, k=k).inc(stats.rank_queries)
 
 
 def compute_phi(fm_reverse: FMIndex, pattern_codes: Sequence[int]) -> List[int]:
@@ -151,7 +162,7 @@ class STreeSearcher:
             self._expand(fm.full_range(), 0, 0)
             span.set(leaves=stats.leaves, occurrences=len(self._occurrences))
         if OBS.enabled:
-            record_search_metrics(self.engine_name, stats, len(self._occurrences))
+            record_search_metrics(self.engine_name, stats, len(self._occurrences), k)
         return sorted(self._occurrences), stats
 
     # -- internals -----------------------------------------------------------

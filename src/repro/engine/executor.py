@@ -143,11 +143,13 @@ class BatchExecutor:
                 batch = self._run_parallel(index, kind, items, k, method, workers)
             span.set(chunks=batch.n_chunks)
         if OBS.enabled:
+            from .registry import REGISTRY
+
             OBS.metrics.counter("engine.batch.items").inc(len(items))
             OBS.metrics.counter("engine.batch.chunks").inc(batch.n_chunks)
             OBS.record_event(
                 "batch",
-                engine=method,
+                engine=REGISTRY.canonical_name(method),
                 k=k,
                 duration_ms=(perf_counter() - start) * 1e3,
                 occurrences=sum(len(r) for r in batch.results),
@@ -214,11 +216,11 @@ class BatchExecutor:
                 task_q.put((chunk_id, chunk))
             for _ in range(workers):
                 task_q.put(None)
-            for _ in range(workers):
+            for worker_id in range(workers):
                 proc = ctx.Process(
                     target=_pool_worker,
                     args=(
-                        shm.name, len(blob), transfer, observe,
+                        worker_id, shm.name, len(blob), transfer, observe,
                         kind, k, method, task_q, result_q,
                     ),
                     daemon=True,
@@ -239,9 +241,19 @@ class BatchExecutor:
         if observe:
             OBS.metrics.gauge("engine.shm.nbytes").set(len(blob))
             hist = OBS.metrics.histogram("engine.worker.hydrate_ms")
-            for hydrate_ms in hydrations.values():
+            for worker_id, hydrate_ms in sorted(hydrations.items()):
                 OBS.metrics.counter("engine.worker.hydrations").inc()
                 hist.observe(hydrate_ms)
+                # Dimensional series: which worker hydrated how fast, and
+                # over which transfer (shm-bin vs the JSON fallback) —
+                # worker ids are pool slots (0..workers-1), bounded
+                # cardinality by construction.
+                OBS.metrics.counter(
+                    "engine.worker.hydrations", worker=worker_id, transfer=transfer
+                ).inc()
+                OBS.metrics.histogram(
+                    "engine.worker.hydrate_ms", worker=worker_id, transfer=transfer
+                ).observe(hydrate_ms)
         # Fold each worker chunk's telemetry back into this process, in
         # chunk order — `map --mode process` reports the same counter
         # totals a sequential run would.
@@ -327,6 +339,7 @@ def _run_worker_chunk(index, kind, chunk, k, method):
 
 
 def _pool_worker(
+    worker_id: int,
     shm_name: str,
     blob_size: int,
     transfer: str,
@@ -340,6 +353,10 @@ def _pool_worker(
     """Process-pool worker: hydrate once from shared memory, then pull
     ``(chunk_id, chunk)`` tasks until the ``None`` sentinel.
 
+    ``worker_id`` is the pool slot (0..workers-1) — the stable,
+    low-cardinality value worker telemetry is labelled with (pids churn
+    per batch and would blow through the label cap).
+
     ``observe`` mirrors the parent's ``OBS.enabled`` at launch, so
     worker-side instrumentation runs exactly when the parent's does
     (under ``spawn`` the child starts with a fresh, disabled singleton;
@@ -351,7 +368,8 @@ def _pool_worker(
     Per-chunk telemetry deltas are taken against a snapshot at chunk
     entry (see :class:`repro.obs.ObsDelta`), so counters inherited
     across ``fork`` are not double-reported and a worker serving many
-    chunks ships each chunk's increments exactly once.
+    chunks ships each chunk's increments exactly once — labelled series
+    and flight-recorder records included.
     """
     from multiprocessing import shared_memory
 
@@ -362,6 +380,11 @@ def _pool_worker(
         # Under fork the worker inherits the parent's open engine.batch
         # span; drop it so worker spans finish as roots and get shipped.
         OBS.tracer.clear_stack()
+        # A fork-inherited event log would double-write every worker
+        # query to the parent's JSONL file (records already reach the
+        # parent through the ObsDelta payload and are re-recorded there).
+        # Detach without closing: the file handle belongs to the parent.
+        OBS.event_log = None
     start = perf_counter()
     shm = shared_memory.SharedMemory(name=shm_name)
     # The binary path wraps `shm.buf` zero-copy — the index holds
@@ -372,7 +395,7 @@ def _pool_worker(
     else:
         index = KMismatchIndex.from_binary(shm.buf)
     hydrate_ms = (perf_counter() - start) * 1e3
-    result_q.put(("hydrated", _mp.current_process().pid, hydrate_ms))
+    result_q.put(("hydrated", worker_id, hydrate_ms))
     try:
         while True:
             task = task_q.get()
@@ -382,6 +405,9 @@ def _pool_worker(
             try:
                 if observe:
                     snapshot = ObsDelta.capture(OBS)
+                    OBS.metrics.counter(
+                        "engine.worker.chunks", worker=worker_id, transfer=transfer
+                    ).inc()
                     out, stats = _run_chunk(index, kind, chunk, k, method, cached=True)
                     obs_payload = snapshot.finish(OBS)
                 else:

@@ -131,6 +131,18 @@ class EngineRegistry:
         """Instantiate the engine ``name`` for ``index``."""
         return self.resolve(name).factory(index, **knobs)
 
+    def canonical_name(self, name: str) -> str:
+        """The canonical spec name for ``name`` (aliases resolved);
+        unknown names come back unchanged.
+
+        Telemetry label values go through here so one engine is one
+        series: ``A()`` and ``algorithm_a`` must not split the
+        ``{engine=...}`` dimension just because callers spelled the
+        method differently.
+        """
+        canonical = self._aliases.get(name, name)
+        return canonical if canonical in self._specs else name
+
     def names(
         self, capability: Optional[str] = None, kind: Optional[str] = None
     ) -> Tuple[str, ...]:

@@ -40,11 +40,17 @@ from typing import Any
 from .metrics import (
     COUNT_BUCKETS,
     Counter,
+    DEFAULT_MAX_LABEL_SETS,
     Gauge,
     Histogram,
+    LABELS_DROPPED_METRIC,
     LATENCY_BUCKETS_MS,
     MetricError,
+    MetricFamily,
     MetricsRegistry,
+    family_payload,
+    freeze_labels,
+    iter_series,
     render_metrics,
 )
 from .tracing import NULL_SPAN, Span, Timer, Tracer, render_span_tree
@@ -63,13 +69,16 @@ from .recorder import (
     FlightRecorder,
     load_events,
     make_record,
+    new_trace_id,
     prune_span_tree,
     render_records,
 )
 
 #: Identifier written into every exported trace document.
 TRACE_FORMAT = "repro-trace"
-TRACE_VERSION = 1
+#: Version 2 adds labelled metric families (schema v2 payloads with
+#: ``series`` lists) and histogram exemplars; v1 documents still load.
+TRACE_VERSION = 2
 
 
 class Observability:
@@ -126,15 +135,21 @@ class Observability:
         """An always-on stopwatch that is also a span when enabled."""
         return Timer(self.span(name, **attrs))
 
-    def observe(self, name: str, value: float, buckets=LATENCY_BUCKETS_MS) -> None:
-        """Record a histogram observation iff enabled."""
-        if self.enabled:
-            self.metrics.histogram(name, buckets).observe(value)
+    def observe(self, name: str, value: float, buckets=LATENCY_BUCKETS_MS,
+                trace_id=None, **labels: Any) -> None:
+        """Record a histogram observation iff enabled.
 
-    def count(self, name: str, n: int = 1) -> None:
-        """Increment a counter iff enabled."""
+        Label keywords select the child series (``OBS.observe("query.search_ms",
+        ms, engine="stree", k=2)``); ``trace_id`` attaches an exemplar to
+        the observation's bucket.
+        """
         if self.enabled:
-            self.metrics.counter(name).inc(n)
+            self.metrics.histogram(name, buckets, **labels).observe(value, trace_id)
+
+    def count(self, name: str, n: int = 1, **labels: Any) -> None:
+        """Increment a counter iff enabled (labels select the child series)."""
+        if self.enabled:
+            self.metrics.counter(name, **labels).inc(n)
 
     # -- flight recorder / event log ------------------------------------------
 
@@ -176,8 +191,14 @@ class Observability:
         occurrences: int,
         stats=None,
         spans=None,
+        trace_id=None,
     ) -> dict:
-        """One per-query record (the facade's per-search call)."""
+        """One per-query record (the facade's per-search call).
+
+        ``trace_id`` is the correlation handle shared with the query's
+        histogram exemplar — ``/debug/queries?trace_id=...`` finds this
+        record from a ``/metrics`` bucket annotation.
+        """
         return self.record_event(
             "query",
             engine=engine,
@@ -187,6 +208,7 @@ class Observability:
             occurrences=occurrences,
             stats=stats.to_dict() if stats is not None else None,
             spans=spans,
+            trace_id=trace_id,
         )
 
     # -- export ---------------------------------------------------------------
@@ -283,12 +305,18 @@ __all__ = [
     "Timer",
     "NULL_SPAN",
     "MetricsRegistry",
+    "MetricFamily",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricError",
     "LATENCY_BUCKETS_MS",
     "COUNT_BUCKETS",
+    "DEFAULT_MAX_LABEL_SETS",
+    "LABELS_DROPPED_METRIC",
+    "freeze_labels",
+    "iter_series",
+    "family_payload",
     "TRACE_FORMAT",
     "TRACE_VERSION",
     "load_trace",
@@ -308,6 +336,7 @@ __all__ = [
     "EventLog",
     "DEFAULT_SLOW_MS",
     "make_record",
+    "new_trace_id",
     "prune_span_tree",
     "load_events",
     "render_records",

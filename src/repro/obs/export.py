@@ -1,15 +1,21 @@
 """Metric export formats and cross-process snapshot aggregation.
 
 Two concerns live here, both pure functions over the JSON form of
-:meth:`~repro.obs.metrics.MetricsRegistry.to_dict`:
+:meth:`~repro.obs.metrics.MetricsRegistry.to_dict` (schema v2 — v1 flat
+payloads parse identically, see :func:`~repro.obs.metrics.iter_series`):
 
 * **OpenMetrics rendering** — :func:`render_openmetrics` turns the
   registry payload into the Prometheus/OpenMetrics text exposition
   format served by :mod:`repro.obs.server` on ``/metrics``.  Dotted
   metric names become underscore-separated (``rank.rankall.occ_probes``
   → ``rank_rankall_occ_probes``), counters gain the conventional
-  ``_total`` suffix, and histograms expand into cumulative
-  ``_bucket{le="..."}`` series plus ``_sum`` / ``_count``.
+  ``_total`` suffix, histograms expand into cumulative
+  ``_bucket{le="..."}`` series plus ``_sum`` / ``_count``, labelled
+  children render as ``{label="value"}`` series under one ``# TYPE``
+  header, and histogram buckets carrying an exemplar append the
+  OpenMetrics ``# {trace_id="..."} value`` clause — the pointer a
+  dashboard follows from a latency bucket to the flight-recorder record
+  (``/debug/queries?trace_id=...``) holding that query's span tree.
 
 * **Snapshot deltas and merging** — process-pool batch workers each
   accumulate into their *own* ``OBS`` singleton (a forked or spawned
@@ -17,24 +23,36 @@ Two concerns live here, both pure functions over the JSON form of
   down.  :func:`metrics_delta` computes what one chunk added on top of a
   baseline snapshot (fork-safe: inherited pre-fork totals subtract out),
   and :func:`merge_metrics` folds such a delta back into the parent's
-  registry.  :class:`ObsDelta` bundles the metric delta with the span
-  trees the chunk finished, which is exactly the payload
+  registry.  Both operate per *series*, so labelled children survive the
+  hop with their label sets intact.  :class:`ObsDelta` bundles the
+  metric delta with the span trees and flight-recorder records the chunk
+  finished, which is exactly the payload
   ``repro.engine.executor._pool_worker`` ships home.
 """
 
 from __future__ import annotations
 
+import math
 import re
 from time import perf_counter_ns, time_ns
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from .metrics import Histogram, MetricsRegistry
+from .metrics import (
+    LabelTuple,
+    MetricsRegistry,
+    family_payload,
+    histogram_from_payload,
+    iter_series,
+)
 
 #: Content type the ``/metrics`` endpoint serves (Prometheus text format).
 OPENMETRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _NAME_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 _NAME_LEADING = re.compile(r"^[^a-zA-Z_:]")
+
+_LABEL_NAME_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+_LABEL_NAME_LEADING = re.compile(r"^[^a-zA-Z_]")
 
 
 def sanitize_metric_name(name: str) -> str:
@@ -49,15 +67,50 @@ def sanitize_metric_name(name: str) -> str:
     return _NAME_LEADING.sub("_", cleaned[:1]) + cleaned[1:] if cleaned else "_"
 
 
+def sanitize_label_name(name: str) -> str:
+    """A Prometheus-legal label name (no colons, unlike metric names)."""
+    cleaned = _LABEL_NAME_INVALID.sub("_", name)
+    return _LABEL_NAME_LEADING.sub("_", cleaned[:1]) + cleaned[1:] if cleaned else "_"
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition grammar (\\\\, \\", \\n)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _format_value(value: Any) -> str:
-    """A Prometheus-style number: integers bare, floats via repr."""
+    """A Prometheus-style number: integers bare, floats via repr,
+    non-finite values as the exposition-format spellings ``+Inf`` /
+    ``-Inf`` / ``NaN`` (Python's ``inf``/``nan`` are not legal there)."""
     if value is None:
         return "NaN"
     if isinstance(value, bool):
         return "1" if value else "0"
     if isinstance(value, int):
         return str(value)
-    return repr(float(value))
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _render_labels(labels: LabelTuple, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    """``{name="value",...}`` for a frozen label tuple ('' when empty)."""
+    pairs = [
+        f'{sanitize_label_name(key)}="{escape_label_value(value)}"'
+        for key, value in tuple(labels) + tuple(extra)
+    ]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _render_exemplar(exemplar: Optional[dict]) -> str:
+    """The ``# {trace_id="..."} value`` clause for one bucket ('' if none)."""
+    if not exemplar or not exemplar.get("trace_id"):
+        return ""
+    trace_id = escape_label_value(str(exemplar["trace_id"]))
+    return f' # {{trace_id="{trace_id}"}} {_format_value(exemplar.get("value", 0.0))}'
 
 
 def render_openmetrics(metrics: Dict[str, dict], prefix: str = "repro_") -> str:
@@ -68,30 +121,52 @@ def render_openmetrics(metrics: Dict[str, dict], prefix: str = "repro_") -> str:
     rendered cumulatively with inclusive ``le`` bounds and a final
     ``+Inf`` bucket, matching the storage convention of
     :class:`~repro.obs.metrics.Histogram` (per-bucket, non-cumulative).
+    Labelled children of one family share a single ``# TYPE`` header;
+    the unlabelled child renders first as the bare-name series.
     """
     lines: List[str] = []
     for name in sorted(metrics):
         payload = metrics[name]
         kind = payload.get("type")
         base = prefix + sanitize_metric_name(name)
+        series = iter_series(payload)
+        if not series:
+            continue
         if kind == "counter":
             lines.append(f"# TYPE {base}_total counter")
-            lines.append(f"{base}_total {_format_value(payload.get('value', 0))}")
+            for labels, child in series:
+                lines.append(
+                    f"{base}_total{_render_labels(labels)} "
+                    f"{_format_value(child.get('value', 0))}"
+                )
         elif kind == "gauge":
             lines.append(f"# TYPE {base} gauge")
-            lines.append(f"{base} {_format_value(payload.get('value', 0))}")
+            for labels, child in series:
+                lines.append(
+                    f"{base}{_render_labels(labels)} "
+                    f"{_format_value(child.get('value', 0))}"
+                )
         elif kind == "histogram":
             lines.append(f"# TYPE {base} histogram")
-            buckets = payload.get("buckets", [])
-            counts = payload.get("counts", [])
-            running = 0
-            for bound, count in zip(buckets, counts):
-                running += count
-                lines.append(f'{base}_bucket{{le="{_format_value(float(bound))}"}} {running}')
-            running += counts[len(buckets)] if len(counts) > len(buckets) else 0
-            lines.append(f'{base}_bucket{{le="+Inf"}} {running}')
-            lines.append(f"{base}_sum {_format_value(payload.get('sum', 0.0))}")
-            lines.append(f"{base}_count {_format_value(payload.get('count', 0))}")
+            for labels, child in series:
+                buckets = child.get("buckets", [])
+                counts = child.get("counts", [])
+                exemplars = child.get("exemplars") or {}
+                running = 0
+                for i, (bound, count) in enumerate(zip(buckets, counts)):
+                    running += count
+                    label_str = _render_labels(
+                        labels, (("le", _format_value(float(bound))),)
+                    )
+                    exemplar = _render_exemplar(exemplars.get(str(i)))
+                    lines.append(f"{base}_bucket{label_str} {running}{exemplar}")
+                running += counts[len(buckets)] if len(counts) > len(buckets) else 0
+                inf_labels = _render_labels(labels, (("le", "+Inf"),))
+                exemplar = _render_exemplar(exemplars.get(str(len(buckets))))
+                lines.append(f"{base}_bucket{inf_labels} {running}{exemplar}")
+                plain = _render_labels(labels)
+                lines.append(f"{base}_sum{plain} {_format_value(child.get('sum', 0.0))}")
+                lines.append(f"{base}_count{plain} {_format_value(child.get('count', 0))}")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
@@ -103,41 +178,53 @@ def metrics_delta(before: Dict[str, dict], after: Dict[str, dict]) -> Dict[str, 
     """What ``after`` added on top of ``before`` (both ``to_dict`` payloads).
 
     Counters and histogram counts subtract element-wise; gauges are
-    last-write-wins so the ``after`` value is taken verbatim.  Metrics
-    with nothing new are omitted, so an idle chunk ships an empty dict.
-    Histogram ``min``/``max`` in a delta are the ``after`` values — a
-    bucket-resolution approximation, consistent with everything else a
-    fixed-bucket histogram reports.
+    last-write-wins so the ``after`` value is taken verbatim.  The
+    subtraction is per *series*: a labelled child subtracts against the
+    same label set in ``before``, so worker deltas keep their dimensions.
+    Series with nothing new are omitted, so an idle chunk ships an empty
+    dict.  Histogram ``min``/``max`` in a delta are the ``after`` values
+    — a bucket-resolution approximation, consistent with everything else
+    a fixed-bucket histogram reports.
     """
     delta: Dict[str, dict] = {}
     for name, payload in after.items():
         kind = payload.get("type")
-        prior = before.get(name)
-        if prior is not None and prior.get("type") != kind:
-            prior = None  # kind changed (registry reset mid-run): treat as new
-        if kind == "counter":
-            value = payload.get("value", 0) - (prior.get("value", 0) if prior else 0)
-            if value:
-                delta[name] = {"type": "counter", "name": name, "value": value}
-        elif kind == "gauge":
-            if prior is None or payload.get("value") != prior.get("value"):
-                delta[name] = dict(payload)
-        elif kind == "histogram":
-            if prior is None:
-                if payload.get("count", 0):
-                    delta[name] = dict(payload)
-                continue
-            if payload.get("buckets") != prior.get("buckets"):
-                delta[name] = dict(payload)  # buckets changed: ship whole thing
-                continue
-            counts = [c - p for c, p in zip(payload.get("counts", []), prior.get("counts", []))]
-            count = payload.get("count", 0) - prior.get("count", 0)
-            if count <= 0 and not any(counts):
-                continue
-            entry = dict(payload)
-            entry["counts"] = counts
-            entry["count"] = count
-            entry["sum"] = payload.get("sum", 0.0) - prior.get("sum", 0.0)
+        prior_payload = before.get(name)
+        if prior_payload is not None and prior_payload.get("type") != kind:
+            prior_payload = None  # kind changed (registry reset mid-run): treat as new
+        prior_series: Dict[LabelTuple, dict] = (
+            dict(iter_series(prior_payload)) if prior_payload else {}
+        )
+        changed: Dict[LabelTuple, dict] = {}
+        for labels, child in iter_series(payload):
+            prior = prior_series.get(labels)
+            if kind == "counter":
+                value = child.get("value", 0) - (prior.get("value", 0) if prior else 0)
+                if value:
+                    changed[labels] = {"type": "counter", "name": name, "value": value}
+            elif kind == "gauge":
+                if prior is None or child.get("value") != prior.get("value"):
+                    changed[labels] = {k: v for k, v in child.items() if k != "labels"}
+            elif kind == "histogram":
+                if prior is None:
+                    if child.get("count", 0):
+                        changed[labels] = {k: v for k, v in child.items() if k != "labels"}
+                    continue
+                if child.get("buckets") != prior.get("buckets"):
+                    # buckets changed: ship whole thing
+                    changed[labels] = {k: v for k, v in child.items() if k != "labels"}
+                    continue
+                counts = [c - p for c, p in zip(child.get("counts", []), prior.get("counts", []))]
+                count = child.get("count", 0) - prior.get("count", 0)
+                if count <= 0 and not any(counts):
+                    continue
+                entry = {k: v for k, v in child.items() if k != "labels"}
+                entry["counts"] = counts
+                entry["count"] = count
+                entry["sum"] = child.get("sum", 0.0) - prior.get("sum", 0.0)
+                changed[labels] = entry
+        entry = family_payload(kind or "?", name, changed)
+        if entry is not None:
             delta[name] = entry
     return delta
 
@@ -148,36 +235,43 @@ def merge_metrics(registry: MetricsRegistry, payload: Dict[str, dict]) -> None:
     Counters increment, gauges set, histograms merge element-wise
     (buckets must agree with any existing instrument of the same name —
     the registry raises on mismatch, same as two live call sites would).
+    Every series folds into the child with the same label set, so
+    per-label totals survive the process hop losslessly.
     """
     for name in sorted(payload):
         entry = payload[name]
         kind = entry.get("type")
-        if kind == "counter":
-            registry.counter(name).inc(entry.get("value", 0))
-        elif kind == "gauge":
-            registry.gauge(name).set(entry.get("value", 0))
-        elif kind == "histogram":
-            incoming = Histogram(name, entry.get("buckets") or (1,))
-            incoming.counts = list(entry.get("counts", incoming.counts))
-            incoming.count = entry.get("count", 0)
-            incoming.total = entry.get("sum", 0.0)
-            incoming.min = entry.get("min")
-            incoming.max = entry.get("max")
-            registry.histogram(name, incoming.buckets).merge(incoming)
+        for labels, child in iter_series(entry):
+            label_dict = dict(labels)
+            if kind == "counter":
+                registry.series("counter", name, label_dict).inc(child.get("value", 0))
+            elif kind == "gauge":
+                registry.series("gauge", name, label_dict).set(child.get("value", 0))
+            elif kind == "histogram":
+                incoming = histogram_from_payload(dict(child, name=name))
+                registry.series(
+                    "histogram", name, label_dict, buckets=incoming.buckets
+                ).merge(incoming)
 
 
 class ObsDelta:
-    """One chunk's observability payload: metric deltas plus span trees.
+    """One chunk's observability payload: metric deltas, span trees, and
+    freshly appended flight-recorder records.
 
     Built worker-side by :meth:`capture`/:meth:`finish`, shipped as a
     plain dict (picklable), merged parent-side by :func:`merge_obs_delta`.
+    Shipping the records (not just the metrics) is what keeps histogram
+    exemplars resolvable: a worker query's ``trace_id`` lands in the
+    parent recorder, so ``/debug/queries?trace_id=...`` finds it no
+    matter which process ran the search.
     """
 
-    __slots__ = ("_before_metrics", "_before_roots", "payload")
+    __slots__ = ("_before_metrics", "_before_roots", "_before_records", "payload")
 
     def __init__(self):
         self._before_metrics: Dict[str, dict] = {}
         self._before_roots = 0
+        self._before_records = 0
         self.payload: Optional[dict] = None
 
     @classmethod
@@ -186,6 +280,8 @@ class ObsDelta:
         snap = cls()
         snap._before_metrics = obs.metrics.to_dict()
         snap._before_roots = len(obs.tracer.finished)
+        recorder = getattr(obs, "recorder", None)
+        snap._before_records = recorder.total_recorded if recorder is not None else 0
         return snap
 
     def finish(self, obs) -> dict:
@@ -195,11 +291,25 @@ class ObsDelta:
         the wall clock (wall time at the monotonic clock's zero), so the
         receiving process can rebase them onto *its* monotonic timeline
         and interleave worker spans with its own chronologically.
+        ``records`` are the flight-recorder entries appended since
+        capture (identified by their ``seq``; a fork-inherited ring's
+        pre-existing records subtract out the same way metrics do).
         """
         spans = [span.to_dict() for span in obs.tracer.finished[self._before_roots :]]
+        records: List[dict] = []
+        recorder = getattr(obs, "recorder", None)
+        if recorder is not None:
+            seen = set()
+            for record in recorder.recent() + recorder.slow():
+                seq = record.get("seq", 0)
+                if seq > self._before_records and seq not in seen:
+                    seen.add(seq)
+                    records.append(record)
+            records.sort(key=lambda r: r.get("seq", 0))
         self.payload = {
             "metrics": metrics_delta(self._before_metrics, obs.metrics.to_dict()),
             "spans": spans,
+            "records": records,
             "clock_ns": time_ns() - perf_counter_ns(),
         }
         return self.payload
@@ -212,7 +322,10 @@ def merge_obs_delta(obs, payload: Optional[dict]) -> None:
     difference against the local anchor rebases adopted span start times
     onto the local monotonic clock (the anchors share the wall-clock
     reference, so their difference is exactly the monotonic offset
-    between the two processes).
+    between the two processes).  Shipped flight-recorder records are
+    re-recorded locally: they get fresh ``seq`` numbers on the local
+    ring (their worker-side ordering is preserved) and re-run the local
+    slow-query pinning.
     """
     if not payload:
         return
@@ -224,3 +337,8 @@ def merge_obs_delta(obs, payload: Optional[dict]) -> None:
         if clock_ns is not None:
             offset_ns = int(clock_ns) - (time_ns() - perf_counter_ns())
         obs.tracer.adopt(spans, offset_ns)
+    recorder = getattr(obs, "recorder", None)
+    if recorder is not None:
+        for record in payload.get("records") or []:
+            adopted = {k: v for k, v in record.items() if k not in ("seq", "slow")}
+            recorder.record(adopted)

@@ -1,0 +1,290 @@
+"""Strict linter for the Prometheus/OpenMetrics text exposition.
+
+CI scrapes a live ``repro-cli serve-metrics`` endpoint and runs every
+line through this module (the ``metrics-lint`` job / CLI subcommand), so
+a malformed series — an illegal character repr leaking into a value, a
+histogram whose cumulative buckets go backwards, a label value with an
+unescaped quote — fails the build instead of failing the first real
+Prometheus scrape in production.  Stdlib-only, like everything else in
+``repro.obs``: the point is validating our *own* exposition without
+trusting the code that produced it, so the grammar here is written from
+the exposition-format spec, not imported from :mod:`repro.obs.export`.
+
+Checked per exposition (:func:`lint_openmetrics`):
+
+* every line is a comment (``# TYPE``/``# HELP``/``# EOF``) or matches
+  the sample grammar ``name{label="value",...} value [# {...} value]``
+  (exemplars are accepted on histogram ``_bucket`` samples only);
+* metric and label names are legal, label values properly escaped,
+  no label name repeated within one series;
+* values parse as Prometheus numbers (``+Inf``/``-Inf``/``NaN``
+  spellings — Python's ``inf``/``nan`` reprs are rejected);
+* ``# TYPE`` appears at most once per family, before its samples, and
+  every sample belongs to a declared family (suffix rules applied:
+  counters expose ``_total``, histograms ``_bucket``/``_sum``/``_count``);
+* no duplicate series (same name + label set twice);
+* per histogram series: bucket counts are cumulative and monotone
+  non-decreasing, an ``le="+Inf"`` bucket is present and equals the
+  series' ``_count`` sample;
+* the exposition ends with ``# EOF``.
+
+:func:`lint_openmetrics` returns the problems as strings (empty list =
+clean) so both the CLI and the tests can assert on substance; the
+module is also runnable — ``python -m repro.obs.promlint <file|url>``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: Metric name / label name grammar (exposition-format spec).
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Prometheus number: integer/float with optional exponent, or the
+#: canonical non-finite spellings.  (``inf``/``nan`` — Python reprs —
+#: deliberately do NOT match.)
+VALUE_RE = re.compile(r"^(?:[+-]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?|\+Inf|-Inf|NaN)$")
+
+_TYPE_LINE = re.compile(r"^# TYPE (?P<name>\S+) (?P<kind>counter|gauge|histogram|summary|untyped)$")
+_HELP_LINE = re.compile(r"^# HELP (?P<name>\S+) .*$")
+
+#: One sample line: name, optional label block, value, optional exemplar.
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[^\s{]+)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: # \{(?P<exemplar>[^}]*)\} (?P<exvalue>\S+))?$"
+)
+
+#: One label pair inside a label block (value escapes: \\ \" \n).
+_LABEL_PAIR = re.compile(r'(?P<name>[^=,]+)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+_KNOWN_SUFFIXES = ("_total", "_bucket", "_sum", "_count")
+
+
+def _parse_labels(raw: str, line_no: int, problems: List[str]) -> Optional[Tuple[Tuple[str, str], ...]]:
+    """The sorted label tuple of one ``{...}`` block, or None on bad grammar."""
+    if raw == "":
+        return ()
+    pairs: List[Tuple[str, str]] = []
+    rest = raw
+    while rest:
+        match = _LABEL_PAIR.match(rest)
+        if match is None:
+            problems.append(f"line {line_no}: malformed label block {{{raw}}}")
+            return None
+        name = match.group("name")
+        if not LABEL_NAME_RE.match(name):
+            problems.append(f"line {line_no}: illegal label name {name!r}")
+            return None
+        pairs.append((name, match.group("value")))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            problems.append(f"line {line_no}: malformed label block {{{raw}}}")
+            return None
+    names = [name for name, _ in pairs]
+    if len(set(names)) != len(names):
+        problems.append(f"line {line_no}: repeated label name in {{{raw}}}")
+        return None
+    return tuple(sorted(pairs))
+
+
+def _family_of(sample_name: str, declared: Dict[str, str]) -> Optional[Tuple[str, str]]:
+    """The (family, kind) a sample name belongs to, or None when undeclared.
+
+    A counter family ``f`` owns ``f_total``; a histogram family ``f``
+    owns ``f_bucket``/``f_sum``/``f_count``; gauges own their bare name.
+    Longest match wins so a gauge literally named ``x_count`` is not
+    claimed by a histogram named ``x``.
+    """
+    if sample_name in declared:
+        return sample_name, declared[sample_name]
+    for suffix in _KNOWN_SUFFIXES:
+        if sample_name.endswith(suffix):
+            family = sample_name[: -len(suffix)]
+            kind = declared.get(family)
+            if kind == "counter" and suffix == "_total":
+                return family, kind
+            if kind == "histogram" and suffix in ("_bucket", "_sum", "_count"):
+                return family, kind
+            if kind == "summary" and suffix in ("_sum", "_count"):
+                return family, kind
+    return None
+
+
+def _value_of(raw: str) -> float:
+    """The float behind a VALUE_RE-legal sample value."""
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    return float(raw)
+
+
+def lint_openmetrics(text: str) -> List[str]:
+    """Every problem found in one text exposition (empty list = clean)."""
+    problems: List[str] = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    else:
+        problems.append("exposition does not end with a newline")
+    if not lines or lines[-1] != "# EOF":
+        problems.append("exposition does not end with '# EOF'")
+
+    declared: Dict[str, str] = {}
+    #: (sample_name, labels) -> value, for duplicate detection.
+    seen_series: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    #: histogram family -> labels-sans-le -> [(le, cumulative count)].
+    hist_buckets: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], List[Tuple[str, float]]] = {}
+    #: histogram family -> labels -> _count value.
+    hist_counts: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+
+    for line_no, line in enumerate(lines, start=1):
+        if line == "# EOF":
+            if line_no != len(lines):
+                problems.append(f"line {line_no}: '# EOF' before end of exposition")
+            continue
+        if line.startswith("#"):
+            type_match = _TYPE_LINE.match(line)
+            if type_match:
+                name = type_match.group("name")
+                if not METRIC_NAME_RE.match(name):
+                    problems.append(f"line {line_no}: illegal metric name {name!r}")
+                elif name in declared:
+                    problems.append(f"line {line_no}: duplicate # TYPE for {name}")
+                else:
+                    declared[name] = type_match.group("kind")
+                continue
+            if _HELP_LINE.match(line):
+                continue
+            problems.append(f"line {line_no}: unrecognised comment line {line!r}")
+            continue
+        if not line.strip():
+            problems.append(f"line {line_no}: blank line inside exposition")
+            continue
+
+        sample = _SAMPLE_LINE.match(line)
+        if sample is None:
+            problems.append(f"line {line_no}: does not match sample grammar: {line!r}")
+            continue
+        name = sample.group("name")
+        if not METRIC_NAME_RE.match(name):
+            problems.append(f"line {line_no}: illegal metric name {name!r}")
+            continue
+        if not VALUE_RE.match(sample.group("value")):
+            problems.append(
+                f"line {line_no}: illegal sample value {sample.group('value')!r}"
+            )
+            continue
+        labels = _parse_labels(sample.group("labels") or "", line_no, problems)
+        if labels is None:
+            continue
+
+        owner = _family_of(name, declared)
+        if owner is None:
+            problems.append(f"line {line_no}: sample {name!r} has no preceding # TYPE")
+            continue
+        family, kind = owner
+
+        exemplar = sample.group("exemplar")
+        if exemplar is not None:
+            if not (kind == "histogram" and name.endswith("_bucket")):
+                problems.append(
+                    f"line {line_no}: exemplar on non-bucket sample {name!r}"
+                )
+            elif _parse_labels(exemplar, line_no, problems) is None:
+                pass  # problem already recorded
+            elif not VALUE_RE.match(sample.group("exvalue") or ""):
+                problems.append(
+                    f"line {line_no}: illegal exemplar value {sample.group('exvalue')!r}"
+                )
+
+        series_key = (name, labels)
+        if series_key in seen_series:
+            problems.append(f"line {line_no}: duplicate series {name}{dict(labels)}")
+            continue
+        value = _value_of(sample.group("value"))
+        seen_series[series_key] = value
+
+        if kind == "counter" and not (value >= 0):
+            problems.append(f"line {line_no}: counter {name} has negative value {value}")
+        if kind == "histogram":
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    problems.append(f"line {line_no}: bucket sample missing 'le' label")
+                    continue
+                if not VALUE_RE.match(le):
+                    problems.append(f"line {line_no}: illegal 'le' bound {le!r}")
+                    continue
+                base = tuple(pair for pair in labels if pair[0] != "le")
+                hist_buckets.setdefault((family, base), []).append((le, value))
+            elif name.endswith("_count"):
+                hist_counts[(family, labels)] = value
+
+    for (family, base_labels), buckets in hist_buckets.items():
+        where = f"{family}{dict(base_labels)}" if base_labels else family
+        bounds = [le for le, _ in buckets]
+        if "+Inf" not in bounds:
+            problems.append(f"histogram {where}: no le=\"+Inf\" bucket")
+        ordered = sorted(buckets, key=lambda pair: _value_of(pair[0]))
+        counts = [count for _, count in ordered]
+        if counts != sorted(counts):
+            problems.append(
+                f"histogram {where}: bucket counts are not cumulative/monotone: {counts}"
+            )
+        count_value = hist_counts.get((family, base_labels))
+        if count_value is None:
+            problems.append(f"histogram {where}: missing _count sample")
+        elif "+Inf" in bounds and dict(buckets)["+Inf"] != count_value:
+            problems.append(
+                f"histogram {where}: le=\"+Inf\" bucket ({dict(buckets)['+Inf']}) "
+                f"!= _count ({count_value})"
+            )
+    return problems
+
+
+def fetch_exposition(source: str, timeout: float = 10.0) -> str:
+    """The exposition text behind ``source`` — an ``http(s)://`` URL
+    (``/metrics`` appended when the path has no endpoint) or a file path."""
+    if source.startswith(("http://", "https://")):
+        from urllib.request import urlopen
+
+        url = source if "/metrics" in source else source.rstrip("/") + "/metrics"
+        with urlopen(url, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+    with open(source) as handle:
+        return handle.read()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.promlint <file|url>`` — 0 clean, 1 problems."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 1:
+        print("usage: python -m repro.obs.promlint <exposition-file-or-url>",
+              file=sys.stderr)
+        return 2
+    text = fetch_exposition(args[0])
+    problems = lint_openmetrics(text)
+    for problem in problems:
+        print(problem)
+    n_samples = sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+    if problems:
+        print(f"FAIL: {len(problems)} problem(s) in {n_samples} sample line(s)")
+        return 1
+    print(f"OK: {n_samples} sample line(s) clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

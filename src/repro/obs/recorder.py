@@ -26,6 +26,7 @@ import json
 import os
 import threading
 import time
+import uuid
 from collections import deque
 from typing import Any, Dict, IO, List, Optional, Union
 
@@ -37,6 +38,19 @@ DEFAULT_SLOW_CAPACITY = 64
 
 #: Slow-query threshold in milliseconds — override via REPRO_SLOW_QUERY_MS.
 DEFAULT_SLOW_MS = float(os.environ.get("REPRO_SLOW_QUERY_MS", "250"))
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char correlation id.
+
+    One id per recorded query, shared between the flight-recorder record
+    and the histogram exemplar the query's latency observation attaches
+    (see :class:`~repro.obs.metrics.Histogram`), so a ``/metrics`` bucket
+    annotation resolves to the record via ``/debug/queries?trace_id=...``.
+    Random rather than sequential: ids stay unique across the processes
+    of a pool batch without coordination.
+    """
+    return uuid.uuid4().hex[:16]
 
 
 def prune_span_tree(span: Dict[str, Any], max_depth: int = 0, max_attrs: int = 0) -> Dict[str, Any]:
@@ -85,6 +99,7 @@ def make_record(
     occurrences: int = 0,
     stats: Optional[dict] = None,
     spans: Optional[dict] = None,
+    trace_id: Optional[str] = None,
     **extra: Any,
 ) -> Dict[str, Any]:
     """One flight-recorder/event-log record (plain JSON-compatible dict).
@@ -92,7 +107,9 @@ def make_record(
     ``event`` is ``"query"`` for single searches and ``"batch"`` for
     executor runs; ``spans`` is the query's span tree
     (:meth:`~repro.obs.tracing.Span.to_dict`) or ``None`` when tracing
-    was off.
+    was off; ``trace_id`` (see :func:`new_trace_id`) is the correlation
+    id histogram exemplars point at — omitted from the record when the
+    producer did not mint one.
 
     Recorded span trees are bounded by ``REPRO_FLIGHT_SPAN_DEPTH`` /
     ``REPRO_FLIGHT_SPAN_ATTRS`` (see :func:`prune_span_tree`; 0 or unset
@@ -108,6 +125,8 @@ def make_record(
         "duration_ms": round(float(duration_ms), 6),
         "occurrences": occurrences,
     }
+    if trace_id:
+        record["trace_id"] = trace_id
     if stats is not None:
         record["stats"] = stats
     if spans is not None:
@@ -192,6 +211,18 @@ class FlightRecorder:
         with self._lock:
             self._recent.clear()
             self._slow.clear()
+
+    def find_trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Every retained record carrying ``trace_id`` (ring + pinned,
+        deduplicated by ``seq``, oldest first) — the lookup behind
+        ``/debug/queries?trace_id=...``, i.e. how a ``/metrics`` exemplar
+        resolves to its full record."""
+        matches: Dict[Any, Dict[str, Any]] = {}
+        with self._lock:
+            for record in list(self._recent) + list(self._slow):
+                if record.get("trace_id") == trace_id:
+                    matches[record.get("seq")] = record
+        return [matches[seq] for seq in sorted(matches, key=lambda s: s or 0)]
 
     def to_dict(self) -> dict:
         """JSON document served by ``/debug/queries`` and the CLI dump."""

@@ -4,11 +4,17 @@ A :class:`ThreadingHTTPServer` exposing the process-wide ``OBS``
 singleton:
 
 * ``GET /metrics``       — Prometheus/OpenMetrics text exposition of the
-  metrics registry (what a Prometheus scrape job points at);
+  metrics registry (what a Prometheus scrape job points at), labelled
+  series and histogram exemplars included;
 * ``GET /healthz``       — liveness JSON (uptime, instrumentation state,
   metric/record counts);
 * ``GET /debug/queries`` — the flight recorder as JSON: recent query
-  records plus the pinned slow list.
+  records plus the pinned slow list.  ``?trace_id=<id>`` narrows the
+  response to the records carrying that correlation id — the resolution
+  step for a ``/metrics`` exemplar annotation;
+* ``GET /debug/metrics`` — the raw registry ``to_dict`` JSON (schema
+  v2, labelled series nested under their family) — what
+  ``repro-cli stats --by ... --url ...`` consumes.
 
 Start it with :func:`start_server` (daemon thread, ephemeral port
 supported for tests), via ``repro-cli serve-metrics``, or by setting
@@ -27,7 +33,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
-from urllib.parse import urlparse
+from urllib.parse import parse_qs, urlparse
 
 from .export import OPENMETRICS_CONTENT_TYPE, render_openmetrics
 
@@ -51,7 +57,8 @@ class _ObsRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         from . import OBS
 
-        path = urlparse(self.path).path
+        parsed = urlparse(self.path)
+        path = parsed.path
         if path == "/metrics":
             self._respond(
                 200, OPENMETRICS_CONTENT_TYPE, render_openmetrics(OBS.metrics.to_dict())
@@ -66,15 +73,27 @@ class _ObsRequestHandler(BaseHTTPRequestHandler):
             }
             self._respond(200, "application/json", json.dumps(body) + "\n")
         elif path == "/debug/queries":
+            query = parse_qs(parsed.query)
+            trace_ids = query.get("trace_id")
+            if trace_ids:
+                body = {
+                    "trace_id": trace_ids[0],
+                    "records": OBS.recorder.find_trace(trace_ids[0]),
+                }
+            else:
+                body = OBS.recorder.to_dict()
+            self._respond(200, "application/json", json.dumps(body) + "\n")
+        elif path == "/debug/metrics":
             self._respond(
-                200, "application/json", json.dumps(OBS.recorder.to_dict()) + "\n"
+                200, "application/json", json.dumps(OBS.metrics.to_dict()) + "\n"
             )
         else:
             self._respond(
                 404,
                 "application/json",
                 json.dumps({"error": "not found",
-                            "endpoints": ["/metrics", "/healthz", "/debug/queries"]}) + "\n",
+                            "endpoints": ["/metrics", "/healthz",
+                                          "/debug/queries", "/debug/metrics"]}) + "\n",
             )
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002

@@ -220,3 +220,109 @@ class TestCiWorkload:
         document = load_bench_json(str(path))
         assert set(document["methods"]) == {"A()", "BWT"}
         assert document["workload"]["seed"] == 7
+
+
+class TestRatioGate:
+    """The A()-over-BWT relative latency gate: runner speed divides out,
+    so it holds a tight bound where the absolute gate must stay loose."""
+
+    @staticmethod
+    def two_method_document(a_ms, bwt_ms):
+        document = make_document(avg_ms=a_ms)
+        document["methods"]["BWT"] = {
+            "method": "BWT",
+            "avg_ms": bwt_ms,
+            "stats": {"rank_queries": 2500, "nodes_expanded": 600,
+                      "leaves": 150},
+        }
+        return document
+
+    def test_uniform_machine_slowdown_passes(self):
+        baseline = self.two_method_document(4.0, 8.0)
+        current = self.two_method_document(8.0, 16.0)  # 2x slower runner
+        findings = compare_runs(current, baseline, latency_threshold=10.0,
+                                ratio_threshold=0.10)
+        assert findings == []
+
+    def test_relative_regression_fails(self):
+        baseline = self.two_method_document(4.0, 8.0)  # ratio 0.50
+        current = self.two_method_document(7.0, 8.0)   # ratio 0.875
+        findings = compare_runs(current, baseline, latency_threshold=10.0,
+                                ratio_threshold=0.25)
+        assert [f.metric for f in findings] == ["avg_ms_ratio"]
+        assert findings[0].method == "A()/BWT"
+        assert findings[0].baseline == pytest.approx(0.5)
+        assert findings[0].current == pytest.approx(0.875)
+
+    def test_ratio_improvement_passes(self):
+        baseline = self.two_method_document(7.0, 8.0)
+        current = self.two_method_document(4.0, 8.0)
+        assert compare_runs(current, baseline, latency_threshold=10.0,
+                            ratio_threshold=0.01) == []
+
+    def test_skipped_when_a_method_is_absent(self):
+        # make_document only carries A(): no denominator, no ratio check.
+        assert compare_runs(make_document(), make_document(),
+                            ratio_threshold=0.01) == []
+
+    def test_off_by_default(self):
+        baseline = self.two_method_document(4.0, 8.0)
+        current = self.two_method_document(7.0, 8.0)
+        findings = compare_runs(current, baseline, latency_threshold=10.0)
+        assert findings == []
+
+
+class TestRepeats:
+    SMALL = ["--scale", "4000", "--reads", "3", "--read-length", "40"]
+
+    def test_median_run_keeps_probe_counters_and_workload_key(self):
+        single = run_ci_workload(methods=("BWT",), scale=4000, n_reads=3,
+                                 read_length=40)
+        tripled = run_ci_workload(methods=("BWT",), scale=4000, n_reads=3,
+                                  read_length=40, repeats=3)
+        # Probe counts are deterministic, so repeats must not move them.
+        assert (tripled["methods"]["BWT"]["stats"]
+                == single["methods"]["BWT"]["stats"])
+        assert tripled["workload"]["repeats"] == 3
+        assert tripled["methods"]["BWT"]["avg_ms"] > 0
+        # repeats is not part of the baseline compatibility key: a
+        # repeats=1 baseline still compares against a median-of-3 run.
+        findings = compare_runs(tripled, single, latency_threshold=100.0,
+                                probe_threshold=0.0)
+        assert [f for f in findings if f.metric.startswith("stats.")] == []
+
+    def test_non_positive_repeats_rejected(self):
+        with pytest.raises(RegressionError):
+            run_ci_workload(repeats=0)
+
+    def test_cli_repeats_and_ratio_flags(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", *self.SMALL, "--repeats", "2",
+                     "--json-out", str(baseline)]) == 0
+        code = main(["bench", *self.SMALL, "--repeats", "2",
+                     "--baseline", str(baseline), "--check-regression",
+                     "--latency-threshold", "900",
+                     "--ratio-threshold", "400"])
+        assert code == 0
+        assert "regression gate passed" in capsys.readouterr().out
+
+    def test_cli_ratio_gate_fails_on_doctored_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", *self.SMALL,
+                     "--json-out", str(baseline)]) == 0
+        document = json.loads(baseline.read_text())
+        # A 100x faster baseline BWT makes the current A()/BWT ratio look
+        # like a huge relative regression while every absolute latency
+        # *improved* or stayed put — only the ratio gate can catch it.
+        document["methods"]["BWT"]["avg_ms"] *= 100
+        baseline.write_text(json.dumps(document))
+        code = main(["bench", *self.SMALL,
+                     "--baseline", str(baseline), "--check-regression",
+                     "--latency-threshold", "900",
+                     "--ratio-threshold", "50"])
+        assert code == 3
+        assert "avg_ms_ratio" in capsys.readouterr().out
+
+    def test_cli_rejects_bad_repeats(self, capsys):
+        assert main(["bench", *self.SMALL, "--repeats", "0"]) == 2
+        assert "repeats" in capsys.readouterr().err

@@ -285,3 +285,99 @@ class TestBinaryIndexCli:
         rc = main(["bench", "--scale", "2000", "--reads", "3",
                    "--baseline", str(baseline), "--check-regression"])
         assert rc in (0, 3)  # 3 only if this machine jittered past thresholds
+
+
+class TestStatsBreakdown:
+    """repro-cli stats --by: dimensional tables over schema-v2 payloads."""
+
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        genome = tmp_path / "genome.fa"
+        genome.write_text(">toy\n" + "acagacaacagacagtacagaca" * 10 + "\n")
+        trace = tmp_path / "trace.json"
+        for method, k in (("algorithm_a", 1), ("stree", 2)):
+            assert main(["search", str(genome), "acaga", "-k", str(k),
+                         "--method", method, "--stats-json", str(trace)]) == 0
+        return trace  # last run: BWT at k=2
+
+    def test_by_engine_and_k(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["stats", str(trace_file), "--by", "engine,k"]) == 0
+        out = capsys.readouterr().out
+        assert "by engine,k" in out
+        assert "stree" in out
+
+    def test_family_filter(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["stats", str(trace_file), "--by", "engine",
+                     "--family", "search.queries"]) == 0
+        out = capsys.readouterr().out
+        assert "search.queries (counter) by engine" in out
+        assert "search.leaves" not in out
+
+    def test_no_matching_labels(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["stats", str(trace_file), "--by", "nosuchlabel"]) == 0
+        assert "no labelled series" in capsys.readouterr().out
+
+    def test_plain_render_still_accepts_v2(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["stats", str(trace_file)]) == 0
+        assert "metrics" in capsys.readouterr().out
+
+    def test_stats_requires_source(self, capsys):
+        assert main(["stats", "--by", "engine"]) == 2
+        assert "--url" in capsys.readouterr().err
+
+    def test_live_url_replay(self, capsys):
+        from repro import KMismatchIndex
+        from repro.obs import OBS
+        from repro.obs.server import MetricsServer
+
+        OBS.reset().enable()
+        try:
+            index = KMismatchIndex("acagacaacagacagtacagaca" * 10)
+            index.search_with_stats("acaga", 2, method="BWT")
+            server = MetricsServer(port=0)
+            server.start()
+            try:
+                url = f"http://{server.address[0]}:{server.address[1]}"
+                capsys.readouterr()
+                assert main(["stats", "--url", url, "--by", "engine,k"]) == 0
+                out = capsys.readouterr().out
+                assert "query.search_ms (histogram) by engine,k" in out
+                assert "stree" in out
+            finally:
+                server.stop()
+        finally:
+            OBS.disable()
+            OBS.reset()
+
+    def test_unreachable_url(self, capsys):
+        assert main(["stats", "--url", "http://127.0.0.1:1", "--by", "k"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestMetricsLint:
+    def test_clean_exposition_file(self, tmp_path, capsys):
+        from repro.obs.export import render_openmetrics
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("q", engine="stree", k=1).inc(2)
+        registry.histogram("lat", (1, 10), engine="stree").observe(
+            0.5, trace_id="abcd")
+        path = tmp_path / "expo.txt"
+        path.write_text(render_openmetrics(registry.to_dict()))
+        assert main(["metrics-lint", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_dirty_exposition_file(self, tmp_path, capsys):
+        path = tmp_path / "expo.txt"
+        path.write_text("# TYPE g gauge\ng inf\n# EOF\n")
+        assert main(["metrics-lint", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["metrics-lint", str(tmp_path / "nope.txt")]) == 2
+        assert "error" in capsys.readouterr().err

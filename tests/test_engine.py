@@ -372,6 +372,57 @@ class TestProcessPoolObsParity:
         assert process == serial
         assert process_spans == serial_spans > 0
 
+    def test_process_mode_preserves_labelled_series(self, workload):
+        """Labelled children must cross the process boundary losslessly:
+        the per-(engine, k) query series a worker accumulates merge into
+        the parent with the same label sets and totals a sequential run
+        produces (tentpole: dimensional telemetry over pools)."""
+        from repro.obs import OBS, iter_series
+
+        text, reads = workload
+        index = KMismatchIndex(text)
+
+        def labelled_series(**batch_kwargs):
+            OBS.reset()
+            OBS.enable()
+            try:
+                index.search_batch(reads, 2, method="stree", **batch_kwargs)
+            finally:
+                OBS.disable()
+            payload = OBS.metrics.to_dict()
+            OBS.reset()
+            return {
+                name: {
+                    labels: child["value"]
+                    for labels, child in iter_series(payload[name])
+                    if labels
+                }
+                for name in ("query.count", "search.rank_queries")
+            }, payload
+
+        serial, _ = labelled_series()
+        process, payload = labelled_series(workers=2, mode="process",
+                                           chunk_size=5)
+        assert serial["query.count"] == {
+            (("engine", "stree"), ("k", "2")): len(reads)
+        }
+        assert process == serial
+        # Worker-side telemetry is labelled by pool slot + transfer kind
+        # (bounded cardinality: slot index, not pid).
+        chunks = {
+            dict(labels)["worker"]: child["value"]
+            for labels, child in iter_series(payload["engine.worker.chunks"])
+            if labels
+        }
+        assert set(chunks) == {"0", "1"}
+        assert sum(chunks.values()) == 4  # 20 reads / chunk_size 5
+        transfers = {
+            dict(labels)["transfer"]
+            for labels, child in iter_series(payload["engine.worker.chunks"])
+            if labels
+        }
+        assert transfers <= {"shm-bin", "shm-json"}
+
     def test_chunk_count_reflects_split(self, workload):
         from repro.obs import OBS
 

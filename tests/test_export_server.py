@@ -301,3 +301,112 @@ class TestServer:
             self._get(server, "/nope")
         assert info.value.code == 404
         assert "endpoints" in json.loads(info.value.read().decode())
+
+
+class TestNonFiniteValues:
+    """Satellite: non-finite floats must render the OpenMetrics
+    spellings (+Inf / -Inf / NaN), never Python's inf / nan reprs."""
+
+    def test_gauge_infinities_and_nan(self):
+        registry = MetricsRegistry()
+        registry.gauge("pos").set(float("inf"))
+        registry.gauge("neg").set(float("-inf"))
+        registry.gauge("nan").set(float("nan"))
+        text = render_openmetrics(registry.to_dict())
+        assert "repro_pos +Inf" in text
+        assert "repro_neg -Inf" in text
+        assert "repro_nan NaN" in text
+        assert "inf\n" not in text  # the Python repr never leaks
+
+    def test_histogram_observation_of_inf(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1, 10)).observe(float("inf"))
+        text = render_openmetrics(registry.to_dict())
+        assert "repro_h_sum +Inf" in text
+
+
+class TestLabelledOpenMetrics:
+    def test_labelled_counter_series(self):
+        registry = MetricsRegistry()
+        registry.counter("query.count", engine="algorithm_a", k=2).inc(3)
+        registry.counter("query.count", engine="stree", k=2).inc(5)
+        registry.counter("query.count").inc(8)
+        text = render_openmetrics(registry.to_dict())
+        assert text.count("# TYPE repro_query_count_total counter") == 1
+        assert "repro_query_count_total 8" in text
+        assert 'repro_query_count_total{engine="algorithm_a",k="2"} 3' in text
+        assert 'repro_query_count_total{engine="stree",k="2"} 5' in text
+
+    def test_labelled_histogram_merges_le_into_labels(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", (1, 10), engine="a", k=0)
+        h.observe(0.5)
+        h.observe(5)
+        text = render_openmetrics(registry.to_dict())
+        assert 'repro_lat_bucket{engine="a",k="0",le="1.0"} 1' in text
+        assert 'repro_lat_bucket{engine="a",k="0",le="+Inf"} 2' in text
+        assert 'repro_lat_count{engine="a",k="0"} 2' in text
+
+    def test_exemplar_rendering(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", (1, 10))
+        h.observe(5, trace_id="deadbeef")
+        text = render_openmetrics(registry.to_dict())
+        matched = [line for line in text.splitlines()
+                   if '# {trace_id="deadbeef"} 5' in line]
+        assert matched and matched[0].startswith('repro_lat_bucket{le="10.0"} 1')
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a"b\\c\nd').inc()
+        text = render_openmetrics(registry.to_dict())
+        assert 'repro_c_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+
+class TestLabelledDelta:
+    def test_labelled_counter_delta_and_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("q", engine="x").inc(3)
+        a.counter("q", engine="y").inc(1)
+        before = a.to_dict()
+        a.counter("q", engine="x").inc(4)
+        a.counter("q", engine="z").inc(2)
+        delta = metrics_delta(before, a.to_dict())
+        b.counter("q", engine="x").inc(100)
+        merge_metrics(b, delta)
+        assert b.counter("q", engine="x").value == 104
+        assert b.counter("q", engine="z").value == 2
+        # engine=y did not move, so the delta must not touch it.
+        assert b.counter("q", engine="y").value == 0
+
+    def test_labelled_histogram_delta_round_trip(self):
+        a = MetricsRegistry()
+        h = a.histogram("h", (1, 10), k=1)
+        h.observe(0.5)
+        before = a.to_dict()
+        h.observe(5, trace_id="abcd")
+        delta = metrics_delta(before, a.to_dict())
+        b = MetricsRegistry()
+        merge_metrics(b, delta)
+        merged = b.histogram("h", (1, 10), k=1)
+        # The delta is the new work only: one observation, its exemplar.
+        assert merged.count == 1
+        assert merged.counts == [0, 1, 0]
+        assert merged.exemplars[1]["trace_id"] == "abcd"
+
+    def test_obs_delta_ships_flight_records(self):
+        OBS.enable()
+        OBS.record_query(engine="stree", k=1, m=5, duration_ms=0.4,
+                         occurrences=0, trace_id="aaaa1111")
+        snapshot = ObsDelta.capture(OBS)
+        OBS.record_query(engine="stree", k=2, m=5, duration_ms=0.6,
+                         occurrences=3, trace_id="bbbb2222")
+        payload = snapshot.finish(OBS)
+        OBS.disable()
+        OBS.reset()
+        assert [r["trace_id"] for r in payload["records"]] == ["bbbb2222"]
+        OBS.enable()
+        merge_obs_delta(OBS, payload)
+        OBS.disable()
+        assert OBS.recorder.find_trace("bbbb2222")
+        assert not OBS.recorder.find_trace("aaaa1111")

@@ -12,12 +12,16 @@ from repro.core.types import SearchStats
 from repro.obs import (
     COUNT_BUCKETS,
     Histogram,
+    LABELS_DROPPED_METRIC,
     MetricError,
     MetricsRegistry,
     OBS,
     Observability,
     TRACE_VERSION,
     Tracer,
+    family_payload,
+    freeze_labels,
+    iter_series,
     load_trace,
     render_trace,
 )
@@ -179,6 +183,131 @@ class TestRegistry:
         # JSONL appends across runs.
         registry.write_jsonl(str(path))
         assert len(path.read_text().splitlines()) == 4
+
+
+class TestLabelledMetrics:
+    """Dimensional families: label children, the cap, schema v2."""
+
+    def test_freeze_labels_sorts_and_stringifies(self):
+        assert freeze_labels({"k": 2, "engine": "stree"}) == (
+            ("engine", "stree"), ("k", "2"),
+        )
+        assert freeze_labels({}) == ()
+
+    def test_children_are_independent_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("q", engine="a", k=1)
+        b = registry.counter("q", engine="b", k=1)
+        a.inc(3)
+        b.inc(2)
+        registry.counter("q").inc(7)
+        assert registry.counter("q", engine="a", k=1) is a
+        assert (a.value, b.value) == (3, 2)
+        # The unlabelled child is its own series, not a roll-up.
+        assert registry.get("q").value == 7
+
+    def test_label_order_does_not_split_series(self):
+        registry = MetricsRegistry()
+        registry.counter("q", engine="a", k=1).inc()
+        registry.counter("q", k=1, engine="a").inc()
+        assert registry.counter("q", engine="a", k=1).value == 2
+
+    def test_kind_conflict_across_label_sets_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("q", engine="a")
+        with pytest.raises(MetricError):
+            registry.gauge("q", engine="b")
+        registry.histogram("h", (1, 2), k=0)
+        with pytest.raises(MetricError):
+            registry.histogram("h", (3, 4), k=1)
+
+    def test_cardinality_cap_routes_overflow(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        registry.counter("q", k=0).inc()
+        registry.counter("q", k=1).inc()
+        sink_a = registry.counter("q", k=2)
+        sink_b = registry.counter("q", k=3)
+        assert sink_a is sink_b  # one detached sink per family
+        sink_a.inc(5)
+        assert registry.get(LABELS_DROPPED_METRIC).value == 2
+        # Known label sets keep resolving to their real children.
+        registry.counter("q", k=0).inc()
+        assert registry.counter("q", k=0).value == 2
+        # The sink never exports: only the admitted sets serialize.
+        labels = [dict(key) for key, _ in iter_series(registry.to_dict()["q"])]
+        assert labels == [{"k": "0"}, {"k": "1"}]
+
+    def test_unlabelled_family_serializes_as_v1(self):
+        registry = MetricsRegistry()
+        registry.counter("q").inc(4)
+        payload = registry.to_dict()["q"]
+        assert "series" not in payload
+        assert payload["value"] == 4
+        assert iter_series(payload) == [((), payload)]
+
+    def test_schema_v2_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("q").inc(4)
+        registry.counter("q", engine="a", k=1).inc(2)
+        payload = registry.to_dict()["q"]
+        assert payload["value"] == 4  # v1 anchor intact next to the series
+        series = dict(iter_series(payload))
+        assert series[()]["value"] == 4
+        assert series[(("engine", "a"), ("k", "1"))]["value"] == 2
+        rebuilt = family_payload("counter", "q", series)
+        assert dict(iter_series(rebuilt)) == series
+
+    def test_histogram_exemplar_capture_and_merge(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", (1, 10), engine="a")
+        h.observe(0.5, trace_id="aaaa")
+        h.observe(5, trace_id="bbbb")
+        h.observe(0.7, trace_id="cccc")  # same bucket: last wins
+        assert h.exemplars[0]["trace_id"] == "cccc"
+        assert h.exemplars[1]["trace_id"] == "bbbb"
+        payload = h.to_dict()
+        assert payload["exemplars"]["0"]["trace_id"] == "cccc"
+        other = Histogram("lat", (1, 10))
+        other.observe(500, trace_id="dddd")
+        h.merge(other)
+        assert h.exemplars[2]["trace_id"] == "dddd"
+
+    def test_search_tags_query_metrics_with_engine_and_k(self):
+        OBS.enable()
+        index = KMismatchIndex("acagacaacagacagtacagaca")
+        index.search_with_stats("tcaca", 2, method="A()")
+        index.search_with_stats("tcaca", 1, method="BWT")
+        OBS.disable()
+        payload = OBS.metrics.to_dict()
+        counts = {
+            dict(labels).get("engine"): child["value"]
+            for labels, child in iter_series(payload["query.count"])
+            if labels
+        }
+        # Aliases resolve to canonical engine names — "A()" never
+        # appears as a label value, so one engine is one series.
+        assert counts == {"algorithm_a": 1, "stree": 1}
+        ks = {
+            dict(labels)["k"]
+            for labels, _ in iter_series(payload["query.search_ms"])
+            if labels
+        }
+        assert ks == {"1", "2"}
+        # The unlabelled anchors still total across engines.
+        assert payload["query.count"]["value"] == 2
+
+    def test_search_exemplar_resolves_to_flight_record(self):
+        OBS.enable()
+        index = KMismatchIndex("acagacaacagacagtacagaca")
+        index.search_with_stats("tcaca", 2, method="BWT")
+        OBS.disable()
+        family = OBS.metrics.family("query.search_ms")
+        (child,) = family.labelled()
+        (exemplar,) = child.exemplars.values()
+        records = OBS.recorder.find_trace(exemplar["trace_id"])
+        assert len(records) == 1
+        assert records[0]["k"] == 2
+        assert records[0]["engine"] == "stree"
 
 
 class TestEngineIntegration:
