@@ -123,7 +123,7 @@ class MethodSuite:
         runner = self._runner_for(method, k)
         last_stats: Optional[SearchStats] = None
         n_occurrences = 0
-        latency_hist = Histogram(f"suite.{method}.latency_ms", LATENCY_BUCKETS_MS)
+        latency_hist = Histogram("suite.latency_ms", LATENCY_BUCKETS_MS)
         with OBS.span("suite.run", method=method, k=k, n_reads=len(reads)) as span:
             start = time.perf_counter()
             for read in reads:
@@ -136,10 +136,10 @@ class MethodSuite:
             elapsed = time.perf_counter() - start
             span.set(seconds=round(elapsed, 6), occurrences=n_occurrences)
         if OBS.enabled:
-            OBS.metrics.histogram(f"suite.{method}.latency_ms").merge(latency_hist)
-            # Dimensional twin of the name-mangled series: one family,
-            # per-engine/per-k children — the cut the paper's Fig. 11(a)
-            # plots, reproducible straight from a /metrics scrape.
+            # One dimensional family, per-engine/per-k children — the cut
+            # the paper's Fig. 11(a) plots, reproducible straight from a
+            # /metrics scrape.  (The name-mangled suite.<method>.latency_ms
+            # twin is retired; see docs/OBSERVABILITY.md.)
             OBS.metrics.histogram(
                 "suite.latency_ms", engine=REGISTRY.canonical_name(method), k=k
             ).merge(latency_hist)

@@ -238,14 +238,22 @@ class AlgorithmASearcher:
             )
         if OBS.enabled:
             record_search_metrics(self.engine_name, stats, len(self._occurrences), k)
+            # Derivation-machinery families, labelled {engine,k} like every
+            # other search series (the flat search.algorithm_a.* names they
+            # replace are retired — see docs/OBSERVABILITY.md).
             metrics = OBS.metrics
-            metrics.counter("search.algorithm_a.reuse_hits").inc(stats.reuse_hits)
-            metrics.counter("search.algorithm_a.shared_reuse_hits").inc(
+            engine = self.engine_name
+            metrics.counter("search.reuse_hits", engine=engine, k=k).inc(stats.reuse_hits)
+            metrics.counter("search.shared_reuse_hits", engine=engine, k=k).inc(
                 stats.shared_reuse_hits
             )
-            metrics.counter("search.algorithm_a.chars_replayed").inc(stats.chars_replayed)
-            metrics.counter("search.algorithm_a.derivation_jumps").inc(stats.derivation_jumps)
-            metrics.histogram("search.algorithm_a.memo_size", COUNT_BUCKETS).observe(
+            metrics.counter("search.chars_replayed", engine=engine, k=k).inc(
+                stats.chars_replayed
+            )
+            metrics.counter("search.derivation_jumps", engine=engine, k=k).inc(
+                stats.derivation_jumps
+            )
+            metrics.histogram("search.memo_size", COUNT_BUCKETS, engine=engine, k=k).observe(
                 stats.memo_size
             )
             metrics.counter(self.engine_name + ".memo.evicted").inc(evicted)

@@ -115,10 +115,10 @@ class KErrorsSearcher:
             self._walk(fm.full_range(), 0, row)
             span.set(occurrences=len(self._out))
         if OBS.enabled:
-            OBS.metrics.counter("search.kerrors.queries").inc()
-            OBS.metrics.histogram("search.kerrors.occurrences", COUNT_BUCKETS).observe(
-                len(self._out)
-            )
+            OBS.metrics.counter("search.queries", engine="kerrors", k=k).inc()
+            OBS.metrics.histogram(
+                "search.occurrences", COUNT_BUCKETS, engine="kerrors", k=k
+            ).observe(len(self._out))
         return sorted(self._out)
 
     # -- internals ------------------------------------------------------------

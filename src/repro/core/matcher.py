@@ -15,7 +15,7 @@ from time import perf_counter_ns
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..alphabet import DNA, Alphabet, infer_alphabet
-from ..obs import OBS, new_trace_id
+from ..obs import OBS, PROFILER, new_trace_id, profile_memory
 from ..bwt.fmindex import DEFAULT_SA_SAMPLE, FMIndex
 from ..bwt.rankall import DEFAULT_SAMPLE_RATE
 from ..dna import reverse_complement
@@ -83,7 +83,10 @@ class KMismatchIndex:
         #: M-tree of the most recent ``algorithm_a`` search with
         #: ``record_mtree=True`` (``None`` until then).
         self.last_mtree = None
-        with OBS.span("kmismatch.build", length=len(text)):
+        # profile_memory is a no-op unless memory profiling is switched
+        # on (REPRO_PROFILE_MEMORY / repro-cli profile --memory); when on
+        # it publishes index.build.peak_bytes plus a top-allocator table.
+        with OBS.span("kmismatch.build", length=len(text)), profile_memory("index.build"):
             self._fm = FMIndex(
                 text[::-1],
                 alphabet,
@@ -161,6 +164,7 @@ class KMismatchIndex:
             return self._dispatch(pattern, k, method, record_mtree)
         engine_name = REGISTRY.canonical_name(method)
         trace_id = new_trace_id()
+        profile_marker = PROFILER.marker() if PROFILER.is_running() else None
         start_ns = perf_counter_ns()
         with OBS.span("kmismatch.search", method=engine_name, m=len(pattern), k=k) as span:
             occurrences, stats = self._dispatch(pattern, k, method, record_mtree)
@@ -176,6 +180,14 @@ class KMismatchIndex:
         OBS.metrics.counter(
             "query.occurrences", engine=engine_name, k=k
         ).inc(len(occurrences))
+        # A slow query pins its own sample slice next to the record: the
+        # folded stacks the profiler collected while this query ran, so
+        # the flight recorder answers "where did that outlier spend its
+        # time" without a separate repro run.
+        profile = None
+        slow_ms = OBS.recorder.slow_ms
+        if profile_marker is not None and slow_ms is not None and duration_ms >= slow_ms:
+            profile = PROFILER.folded_since(profile_marker)
         OBS.record_query(
             engine=engine_name,
             k=k,
@@ -185,6 +197,7 @@ class KMismatchIndex:
             stats=stats,
             spans=span.to_dict() if OBS.tracer.enabled else None,
             trace_id=trace_id,
+            profile=profile,
         )
         return occurrences, stats
 

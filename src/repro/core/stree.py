@@ -35,24 +35,25 @@ def record_search_metrics(
     """Fold one search's :class:`SearchStats` into the metrics registry.
 
     Shared by every tree searcher so the per-query distributions (the
-    paper's n' leaf counts, node totals) accumulate under uniform names:
-    the historical per-engine flat series ``search.<engine>.leaves`` etc.
-    plus the dimensional families ``search.leaves{engine,k}`` /
-    ``search.queries{engine,k}`` / ``search.rank_queries{engine,k}`` that
-    let a dashboard reproduce the paper's per-k cuts (Fig. 11(a)) from
-    one scrape.  No-op while tracing is disabled.
+    paper's n' leaf counts, node totals) accumulate under uniform
+    dimensional families — ``search.leaves{engine,k}``,
+    ``search.nodes_expanded{engine,k}``, ``search.occurrences{engine,k}``,
+    ``search.queries{engine,k}``, ``search.rank_queries{engine,k}`` —
+    that let a dashboard reproduce the paper's per-k cuts (Fig. 11(a))
+    from one scrape.  (The name-mangled ``search.<engine>.*`` flat twins
+    these families replaced are retired; see the deprecation note in
+    docs/OBSERVABILITY.md.)  No-op while tracing is disabled.
     """
     metrics = OBS.metrics
-    metrics.histogram(f"search.{engine}.leaves", COUNT_BUCKETS).observe(stats.leaves)
-    metrics.histogram(f"search.{engine}.nodes_expanded", COUNT_BUCKETS).observe(
-        stats.nodes_expanded
-    )
-    metrics.histogram(f"search.{engine}.occurrences", COUNT_BUCKETS).observe(n_occurrences)
-    metrics.counter(f"search.{engine}.queries").inc()
-    metrics.counter(f"search.{engine}.rank_queries").inc(stats.rank_queries)
     metrics.histogram("search.leaves", COUNT_BUCKETS, engine=engine, k=k).observe(
         stats.leaves
     )
+    metrics.histogram(
+        "search.nodes_expanded", COUNT_BUCKETS, engine=engine, k=k
+    ).observe(stats.nodes_expanded)
+    metrics.histogram(
+        "search.occurrences", COUNT_BUCKETS, engine=engine, k=k
+    ).observe(n_occurrences)
     metrics.counter("search.queries", engine=engine, k=k).inc()
     metrics.counter("search.rank_queries", engine=engine, k=k).inc(stats.rank_queries)
 
@@ -154,7 +155,9 @@ class STreeSearcher:
             # Prebound so the per-leaf hot path pays one None check when
             # tracing is off (the paper's S-tree depth distribution).
             self._leaf_depth = (
-                OBS.metrics.histogram("search.stree.leaf_depth", COUNT_BUCKETS)
+                OBS.metrics.histogram(
+                    "search.leaf_depth", COUNT_BUCKETS, engine=self.engine_name, k=k
+                )
                 if OBS.enabled
                 else None
             )

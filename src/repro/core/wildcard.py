@@ -70,10 +70,10 @@ class WildcardSearcher:
             self._expand(fm.full_range(), 0, 0)
             span.set(occurrences=len(self._out))
         if OBS.enabled:
-            OBS.metrics.counter("search.wildcard.queries").inc()
-            OBS.metrics.histogram("search.wildcard.occurrences", COUNT_BUCKETS).observe(
-                len(self._out)
-            )
+            OBS.metrics.counter("search.queries", engine="wildcard", k=k).inc()
+            OBS.metrics.histogram(
+                "search.occurrences", COUNT_BUCKETS, engine="wildcard", k=k
+            ).observe(len(self._out))
         return sorted(self._out)
 
     # -- internals -----------------------------------------------------------

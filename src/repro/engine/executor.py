@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.types import Occurrence, SearchStats
 from ..errors import PatternError, SerializationError
-from ..obs import OBS, ObsDelta, merge_obs_delta
+from ..obs import OBS, PROFILER, ObsDelta, merge_obs_delta
 
 #: Execution modes accepted by :class:`BatchExecutor`.
 MODES = ("thread", "process")
@@ -200,6 +200,10 @@ class BatchExecutor:
             transfer = "shm-json"
         workers = min(self.workers, len(chunks))
         observe = OBS.enabled
+        # Mirror the parent's profiler into each worker: the worker samples
+        # itself at the same rate and ships its folded stacks back through
+        # the per-chunk ObsDelta payload (0.0 = parent is not profiling).
+        profile_hz = PROFILER.hz if PROFILER.is_running() else 0.0
         ctx = _mp.get_context()
         from multiprocessing import shared_memory
 
@@ -221,7 +225,7 @@ class BatchExecutor:
                     target=_pool_worker,
                     args=(
                         worker_id, shm.name, len(blob), transfer, observe,
-                        kind, k, method, task_q, result_q,
+                        kind, k, method, task_q, result_q, profile_hz,
                     ),
                     daemon=True,
                 )
@@ -349,6 +353,7 @@ def _pool_worker(
     method: str,
     task_q,
     result_q,
+    profile_hz: float = 0.0,
 ) -> None:
     """Process-pool worker: hydrate once from shared memory, then pull
     ``(chunk_id, chunk)`` tasks until the ``None`` sentinel.
@@ -370,6 +375,12 @@ def _pool_worker(
     across ``fork`` are not double-reported and a worker serving many
     chunks ships each chunk's increments exactly once — labelled series
     and flight-recorder records included.
+
+    ``profile_hz > 0`` means the parent's sampling profiler was running
+    at launch: the worker runs its *own* profiler at that rate for its
+    lifetime, tagged with the pool slot, and each chunk's samples ride
+    the chunk's ObsDelta payload home (idle queue-wait samples between
+    chunks are deliberately not shipped — only attributed work is).
     """
     from multiprocessing import shared_memory
 
@@ -385,6 +396,12 @@ def _pool_worker(
         # parent through the ObsDelta payload and are re-recorded there).
         # Detach without closing: the file handle belongs to the parent.
         OBS.event_log = None
+    if profile_hz > 0:
+        # Under fork the child inherits the parent's Profiler *object*
+        # but not its sampler thread; start() sees a dead thread and
+        # spins up a fresh worker-local profile.
+        PROFILER._thread = None
+        PROFILER.start(hz=profile_hz, meta={"worker": worker_id})
     start = perf_counter()
     shm = shared_memory.SharedMemory(name=shm_name)
     # The binary path wraps `shm.buf` zero-copy — the index holds
@@ -418,6 +435,8 @@ def _pool_worker(
                 result_q.put(("error", chunk_id, repr(exc), _traceback.format_exc()))
                 break
     finally:
+        if profile_hz > 0:
+            PROFILER.stop()
         # Drop every zero-copy view into the segment before detaching,
         # else close() raises BufferError ("exported pointers exist").
         del index

@@ -73,6 +73,19 @@ from .recorder import (
     prune_span_tree,
     render_records,
 )
+from .profiling import (
+    MEMORY_PROFILES,
+    MemoryProfile,
+    PROFILER,
+    Profile,
+    Profiler,
+    SpanAttributer,
+    memory_profiling_enabled,
+    profile_memory,
+    render_top,
+    set_memory_profiling,
+    write_profile,
+)
 
 #: Identifier written into every exported trace document.
 TRACE_FORMAT = "repro-trace"
@@ -122,6 +135,16 @@ class Observability:
         self.metrics.reset()
         self.recorder.clear()
         return self
+
+    @property
+    def profiler(self) -> Profiler:
+        """The process-wide sampling profiler (:data:`PROFILER`).
+
+        Deliberately *not* reset by :meth:`reset` and not gated by
+        ``enabled``: profiling is its own explicit opt-in with its own
+        lifecycle (see :mod:`repro.obs.profiling`).
+        """
+        return PROFILER
 
     # -- convenience forwarding ----------------------------------------------
 
@@ -192,13 +215,18 @@ class Observability:
         stats=None,
         spans=None,
         trace_id=None,
+        profile=None,
     ) -> dict:
         """One per-query record (the facade's per-search call).
 
         ``trace_id`` is the correlation handle shared with the query's
         histogram exemplar — ``/debug/queries?trace_id=...`` finds this
-        record from a ``/metrics`` bucket annotation.
+        record from a ``/metrics`` bucket annotation.  ``profile`` is the
+        folded-stack slice the sampling profiler collected during the
+        query (attached only for slow queries, and only while the
+        profiler runs).
         """
+        extra = {"profile": profile} if profile is not None else {}
         return self.record_event(
             "query",
             engine=engine,
@@ -209,6 +237,7 @@ class Observability:
             stats=stats.to_dict() if stats is not None else None,
             spans=spans,
             trace_id=trace_id,
+            **extra,
         )
 
     # -- export ---------------------------------------------------------------
@@ -340,4 +369,16 @@ __all__ = [
     "prune_span_tree",
     "load_events",
     "render_records",
+    # sampling / memory profiler (repro.obs.profiling)
+    "PROFILER",
+    "Profiler",
+    "Profile",
+    "SpanAttributer",
+    "MemoryProfile",
+    "MEMORY_PROFILES",
+    "profile_memory",
+    "set_memory_profiling",
+    "memory_profiling_enabled",
+    "write_profile",
+    "render_top",
 ]

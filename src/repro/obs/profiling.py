@@ -1,0 +1,634 @@
+"""Span-attributed sampling profiler and memory profiles.
+
+The metrics registry says *which* query/engine/k is slow; this module
+says *which functions* burn the time.  :class:`Profiler` is a sampling
+wall-clock profiler: a background daemon thread walks
+``sys._current_frames()`` at a configurable rate, turns every thread's
+frame chain into a root-first stack of ``module.function`` frames, and
+aggregates identical stacks into counts — the classic collapsed/folded
+representation flamegraph tooling consumes.
+
+What makes it more useful than ``py-spy``-style output here is **span
+attribution**: each sample is prefixed with a synthetic frame naming the
+sampled thread's open span path (``span:kmismatch.search/algorithm_a.search``),
+read from the tracer's per-thread stacks
+(:meth:`repro.obs.tracing.Tracer.active_stack`).  Profiles therefore
+break down by *phase* — build vs. rank vs. mtree vs. per-engine search —
+not just by function, and the flamegraph's first level is the span tree
+the rest of the observability stack already speaks.
+
+Safety properties, in priority order:
+
+1. **Off means off.**  Nothing starts at import; no sampling thread, no
+   ``sys.setprofile`` hook, ever.  A disabled profiler costs exactly one
+   attribute read at the few capture points that ask ``is_running()``
+   (``tests/test_profiling.py`` pins the end-to-end overhead, mirroring
+   the obs disabled-overhead guard).
+2. **Hard caps.**  Sampling stops at ``max_samples`` samples or
+   ``max_seconds`` of wall time, whichever comes first (the profile is
+   marked ``truncated``), so a forgotten profiler cannot grow without
+   bound.
+3. **Idempotent lifecycle.**  ``start()`` while running is a no-op
+   returning the active profile; ``stop()`` while stopped returns the
+   last profile.
+
+Exports: :meth:`Profile.to_folded` (``frame;frame;frame count`` lines —
+``flamegraph.pl`` and speedscope both ingest them) and
+:meth:`Profile.to_speedscope` (the speedscope JSON file format — drop it
+on https://www.speedscope.app).  Worker processes ship their samples
+home through the existing :class:`repro.obs.export.ObsDelta` payload;
+:func:`merge_obs_delta` folds them into the parent's profile under a
+``worker:<slot>`` root frame.
+
+Memory is the second axis: :func:`profile_memory` wraps a region (the
+index build) in ``tracemalloc``, publishing a ``<name>.peak_bytes``
+gauge (``index.build.peak_bytes``) plus a top-allocator table.  It is
+opt-in per-region (``tracemalloc`` is far too slow to leave on), gated
+by :func:`set_memory_profiling` / ``REPRO_PROFILE_MEMORY``.
+
+Environment knobs: ``REPRO_PROFILE_HZ`` (default 97 — a prime, so the
+sampler cannot phase-lock with periodic work), ``REPRO_PROFILE_MAX_SAMPLES``
+(default 200000), ``REPRO_PROFILE_MAX_SECONDS`` (default 600),
+``REPRO_PROFILE_MEMORY`` (truthy enables :func:`profile_memory` regions).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import tracemalloc
+from collections import deque
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from .tracing import Tracer
+
+#: Fallback sampling rate (Hz) when neither the caller nor
+#: ``REPRO_PROFILE_HZ`` says otherwise.  Prime, so the sampler drifts
+#: relative to any periodic work instead of phase-locking with it.
+DEFAULT_HZ = 97.0
+
+#: Hard sample-count cap fallback (``REPRO_PROFILE_MAX_SAMPLES``).
+DEFAULT_MAX_SAMPLES = 200_000
+
+#: Hard wall-clock cap fallback, seconds (``REPRO_PROFILE_MAX_SECONDS``).
+DEFAULT_MAX_SECONDS = 600.0
+
+#: Bounded ring of the most recent samples, used to attach "what ran
+#: during this query" sub-profiles to slow flight-recorder records.
+RECENT_SAMPLES = 4096
+
+#: Schema identifier of the speedscope file format we emit.
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+def _env_float(name: str, fallback: float) -> float:
+    raw = os.environ.get(name, "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return fallback
+    return value if value > 0 else fallback
+
+
+def _frame_label(code) -> str:
+    """``module.function`` for one code object (file stem, not full path:
+    stable across checkouts, and line numbers would explode one logical
+    frame into dozens of distinct stacks)."""
+    stem = os.path.splitext(os.path.basename(code.co_filename))[0]
+    return f"{stem}.{code.co_name}"
+
+
+def _stack_of(frame, limit: int = 256) -> Tuple[str, ...]:
+    """The root-first frame-label stack behind one ``sys._current_frames``
+    entry (depth-capped so a runaway recursion cannot bloat every sample)."""
+    labels: List[str] = []
+    while frame is not None and len(labels) < limit:
+        labels.append(_frame_label(frame.f_code))
+        frame = frame.f_back
+    labels.reverse()
+    return tuple(labels)
+
+
+class SpanAttributer:
+    """Maps a sampled thread id to its synthetic span frame.
+
+    The frame is the thread's open span path joined with ``/`` and
+    prefixed ``span:`` — e.g. ``span:kmismatch.search/algorithm_a.search``
+    — and is prepended to the sample's stack, so every flamegraph root
+    is a phase of the pipeline.  Threads with no open span fall under
+    ``span:(none)`` rather than being dropped: unattributed time is a
+    finding, not noise.
+    """
+
+    #: Synthetic root for samples taken outside any span.
+    NO_SPAN = "span:(none)"
+
+    def __init__(self, tracer: Optional[Tracer] = None):
+        self._tracer = tracer
+
+    def _resolve_tracer(self) -> Optional[Tracer]:
+        if self._tracer is not None:
+            return self._tracer
+        from . import OBS  # late: avoid package-import cycle
+
+        return OBS.tracer
+
+    def frame_for(self, thread_id: int) -> str:
+        """The ``span:...`` frame for one sampled thread id."""
+        tracer = self._resolve_tracer()
+        stack = tracer.active_stack(thread_id) if tracer is not None else []
+        if not stack:
+            return self.NO_SPAN
+        return "span:" + "/".join(span.name for span in stack)
+
+
+class Profile:
+    """One aggregated sample set: folded stack counts plus metadata.
+
+    ``counts`` maps a root-first frame tuple to how many samples landed
+    on it.  All exporters and the cross-process merge operate on this
+    one structure.
+    """
+
+    __slots__ = ("counts", "n_samples", "wall_seconds", "hz", "truncated", "meta")
+
+    def __init__(self, hz: float = DEFAULT_HZ, meta: Optional[dict] = None):
+        self.counts: Dict[Tuple[str, ...], int] = {}
+        self.n_samples = 0
+        self.wall_seconds = 0.0
+        self.hz = hz
+        self.truncated = False
+        self.meta: Dict[str, Any] = dict(meta or {})
+
+    def add(self, frames: Tuple[str, ...], n: int = 1) -> None:
+        """Fold ``n`` samples of one stack into the profile."""
+        self.counts[frames] = self.counts.get(frames, 0) + n
+        self.n_samples += n
+
+    def merge(self, other: "Profile", prefix: Optional[str] = None) -> None:
+        """Fold ``other`` into this profile, optionally rooting every
+        incoming stack under a synthetic ``prefix`` frame (how per-worker
+        sub-profiles become one tree: ``prefix="worker:0"``)."""
+        for frames, count in other.counts.items():
+            if prefix is not None:
+                frames = (prefix,) + frames
+            self.counts[frames] = self.counts.get(frames, 0) + count
+        self.n_samples += other.n_samples
+        self.truncated = self.truncated or other.truncated
+
+    # -- exporters -----------------------------------------------------------
+
+    def to_folded(self) -> str:
+        """Collapsed-stack lines: ``frame;frame;frame count``, sorted for
+        deterministic output.  Empty profile renders as an empty string."""
+        lines = [
+            ";".join(frames) + f" {count}"
+            for frames, count in sorted(self.counts.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_speedscope(self, name: str = "repro profile") -> dict:
+        """The speedscope JSON document for this profile.
+
+        Sampled-profile flavour: one shared frame table, each sample a
+        root-first list of frame indices weighted by its fold count in
+        seconds (``count / hz``), so the time axis reads as wall time.
+        """
+        frame_index: Dict[str, int] = {}
+        samples: List[List[int]] = []
+        weights: List[float] = []
+        period = 1.0 / self.hz if self.hz > 0 else 1.0
+        for frames, count in sorted(self.counts.items()):
+            row = []
+            for label in frames:
+                if label not in frame_index:
+                    frame_index[label] = len(frame_index)
+                row.append(frame_index[label])
+            samples.append(row)
+            weights.append(count * period)
+        total = sum(weights)
+        return {
+            "$schema": SPEEDSCOPE_SCHEMA,
+            "name": name,
+            "shared": {"frames": [{"name": label} for label in frame_index]},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": "seconds",
+                    "startValue": 0,
+                    "endValue": total,
+                    "samples": samples,
+                    "weights": weights,
+                }
+            ],
+        }
+
+    # -- cross-process form --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Picklable/JSON form (stacks joined with ``;``) for the
+        :class:`~repro.obs.export.ObsDelta` payload."""
+        return {
+            "folded": {";".join(frames): count for frames, count in self.counts.items()},
+            "n_samples": self.n_samples,
+            "wall_seconds": self.wall_seconds,
+            "hz": self.hz,
+            "truncated": self.truncated,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Profile":
+        """Rebuild a profile from :meth:`to_dict` output."""
+        profile = cls(
+            hz=float(payload.get("hz") or DEFAULT_HZ),
+            meta=dict(payload.get("meta") or {}),
+        )
+        for folded, count in (payload.get("folded") or {}).items():
+            profile.counts[tuple(folded.split(";"))] = int(count)
+        profile.n_samples = int(payload.get("n_samples") or sum(profile.counts.values()))
+        profile.wall_seconds = float(payload.get("wall_seconds") or 0.0)
+        profile.truncated = bool(payload.get("truncated"))
+        return profile
+
+    def top(self, n: int = 10) -> List[Tuple[Tuple[str, ...], int]]:
+        """The ``n`` heaviest stacks, heaviest first."""
+        return sorted(self.counts.items(), key=lambda item: -item[1])[:n]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Profile({self.n_samples} samples, {len(self.counts)} stacks, "
+            f"{self.hz}Hz{', truncated' if self.truncated else ''})"
+        )
+
+
+class Profiler:
+    """The sampling wall-clock profiler (one module singleton:
+    :data:`PROFILER`).
+
+    Lifecycle::
+
+        PROFILER.start(hz=97)        # idempotent; spawns the sampler thread
+        ... workload ...
+        profile = PROFILER.stop()    # idempotent; joins the thread
+        open("out.folded", "w").write(profile.to_folded())
+
+    The sampler walks every live thread except itself; each sample is
+    span-attributed through :class:`SpanAttributer` and folded into
+    :attr:`profile`.  A bounded ring of recent ``(seq, stack)`` pairs
+    backs :meth:`folded_since`, the hook slow-query pinning uses to
+    attach "what ran during this query" to a flight-recorder record
+    without copying the whole profile per query.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None):
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.attributer = SpanAttributer(tracer)
+        self.profile: Optional[Profile] = None
+        self.hz = 0.0
+        self.max_samples = DEFAULT_MAX_SAMPLES
+        self.max_seconds = DEFAULT_MAX_SECONDS
+        self._seq = 0
+        self._recent: deque = deque(maxlen=RECENT_SAMPLES)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def is_running(self) -> bool:
+        """Whether the sampler thread is alive (one attribute chain — the
+        cost a disabled profiler imposes on capture points)."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def start(
+        self,
+        hz: Optional[float] = None,
+        max_samples: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+        meta: Optional[dict] = None,
+    ) -> Profile:
+        """Begin sampling; returns the (fresh) active profile.
+
+        Already running: a no-op returning the active profile, so nested
+        ``--profile`` surfaces cannot double-start.  Caps and rate
+        default to the ``REPRO_PROFILE_*`` environment knobs.
+        """
+        with self._lock:
+            if self.is_running():
+                return self.profile
+            self.hz = float(hz) if hz else _env_float("REPRO_PROFILE_HZ", DEFAULT_HZ)
+            self.max_samples = int(
+                max_samples
+                if max_samples
+                else _env_float("REPRO_PROFILE_MAX_SAMPLES", DEFAULT_MAX_SAMPLES)
+            )
+            self.max_seconds = float(
+                max_seconds
+                if max_seconds
+                else _env_float("REPRO_PROFILE_MAX_SECONDS", DEFAULT_MAX_SECONDS)
+            )
+            self.profile = Profile(hz=self.hz, meta=meta)
+            self._recent.clear()
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-profiler", daemon=True
+            )
+            self._thread.start()
+            return self.profile
+
+    def stop(self) -> Optional[Profile]:
+        """Stop sampling and return the collected profile.
+
+        Not running: a no-op returning whatever was last collected (or
+        None if the profiler never started).
+        """
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is not None and thread.is_alive():
+            self._stop.set()
+            thread.join(timeout=5.0)
+        return self.profile
+
+    # -- sampling loop -------------------------------------------------------
+
+    def _run(self) -> None:
+        profile = self.profile
+        started = perf_counter()
+        interval = 1.0 / self.hz if self.hz > 0 else 0.01
+        own_id = threading.get_ident()
+        samples_counter = self._bound_counter("profile.samples")
+        truncated_counter = self._bound_counter("profile.truncated")
+        while not self._stop.wait(interval):
+            if (
+                profile.n_samples >= self.max_samples
+                or perf_counter() - started >= self.max_seconds
+            ):
+                profile.truncated = True
+                if truncated_counter is not None:
+                    truncated_counter.inc()
+                break
+            frames_by_thread = sys._current_frames()
+            with self._lock:
+                for thread_id, frame in frames_by_thread.items():
+                    if thread_id == own_id:
+                        continue
+                    stack = (self.attributer.frame_for(thread_id),) + _stack_of(frame)
+                    profile.add(stack)
+                    self._seq += 1
+                    self._recent.append((self._seq, stack))
+                    if samples_counter is not None:
+                        samples_counter.inc()
+                    if profile.n_samples >= self.max_samples:
+                        break
+            del frames_by_thread  # drop frame refs promptly
+        profile.wall_seconds = perf_counter() - started
+
+    @staticmethod
+    def _bound_counter(name: str):
+        """A prebound registry counter (None if the obs package is in a
+        state where binding fails — the sampler must never crash)."""
+        try:
+            from . import OBS
+
+            return OBS.metrics.counter(name)
+        except Exception:  # pragma: no cover - defensive
+            return None
+
+    # -- snapshots / attribution ---------------------------------------------
+
+    def marker(self) -> int:
+        """An opaque position in the sample stream; pair with
+        :meth:`folded_since` to ask "what was sampled after this point"."""
+        return self._seq
+
+    def folded_since(self, marker: int) -> Dict[str, int]:
+        """Folded counts of the ring samples newer than ``marker``.
+
+        Bounded by :data:`RECENT_SAMPLES`, so attaching a sub-profile to
+        a slow query costs O(ring), not O(profile).
+        """
+        out: Dict[str, int] = {}
+        with self._lock:
+            recent = list(self._recent)
+        for seq, stack in recent:
+            if seq > marker:
+                key = ";".join(stack)
+                out[key] = out.get(key, 0) + 1
+        return out
+
+    def counts_snapshot(self) -> Dict[Tuple[str, ...], int]:
+        """A copy of the active profile's counts (ObsDelta capture point)."""
+        with self._lock:
+            profile = self.profile
+            return dict(profile.counts) if profile is not None else {}
+
+    def delta_payload(
+        self, before: Dict[Tuple[str, ...], int]
+    ) -> Optional[dict]:
+        """What was sampled since ``before`` (:meth:`counts_snapshot`), as
+        a :meth:`Profile.to_dict`-shaped payload — what one worker chunk
+        ships home.  None when nothing new was sampled."""
+        with self._lock:
+            profile = self.profile
+            if profile is None:
+                return None
+            folded: Dict[str, int] = {}
+            total = 0
+            for frames, count in profile.counts.items():
+                new = count - before.get(frames, 0)
+                if new > 0:
+                    folded[";".join(frames)] = new
+                    total += new
+            if not total:
+                return None
+            return {
+                "folded": folded,
+                "n_samples": total,
+                "hz": profile.hz,
+                "truncated": profile.truncated,
+                "meta": dict(profile.meta),
+            }
+
+    def adopt(self, payload: Optional[dict]) -> None:
+        """Fold a worker's :meth:`delta_payload` into the local profile,
+        rooted under a ``worker:<slot>`` frame (``worker`` from the
+        payload's ``meta``).  No local profile (profiler never started):
+        the payload is dropped — the parent did not ask for a profile."""
+        if not payload:
+            return
+        with self._lock:
+            profile = self.profile
+            if profile is None:
+                return
+            incoming = Profile.from_dict(payload)
+            worker = incoming.meta.get("worker")
+            prefix = f"worker:{worker}" if worker is not None else None
+            profile.merge(incoming, prefix=prefix)
+
+    def capture(
+        self, seconds: float, hz: Optional[float] = None
+    ) -> Profile:
+        """A blocking one-shot capture on a *private* profiler instance
+        (the ``/debug/pprof?seconds=N`` path) — does not disturb the
+        singleton's state."""
+        sampler = Profiler(self.attributer._tracer)
+        sampler.start(hz=hz, max_seconds=max(seconds, 0.05))
+        threading.Event().wait(seconds)
+        return sampler.stop()
+
+
+#: The process-wide profiler singleton (off until ``start()``).
+PROFILER = Profiler()
+
+
+# -- memory profiles -------------------------------------------------------------
+
+#: Module switch for :func:`profile_memory` regions; see
+#: :func:`set_memory_profiling`.  Seeded from ``REPRO_PROFILE_MEMORY``.
+_MEMORY_ACTIVE = os.environ.get("REPRO_PROFILE_MEMORY", "") not in ("", "0", "false")
+
+#: Retained :class:`MemoryProfile` results, newest last (bounded).
+MEMORY_PROFILES: deque = deque(maxlen=32)
+
+
+def set_memory_profiling(active: bool) -> None:
+    """Turn :func:`profile_memory` regions on/off process-wide.
+
+    ``tracemalloc`` multiplies allocation cost, so this is a deliberate
+    switch (CLI ``--profile``/``profile --memory``, or the
+    ``REPRO_PROFILE_MEMORY`` environment variable), never a default.
+    """
+    global _MEMORY_ACTIVE
+    _MEMORY_ACTIVE = bool(active)
+
+
+def memory_profiling_enabled() -> bool:
+    """Whether :func:`profile_memory` regions currently collect."""
+    return _MEMORY_ACTIVE
+
+
+class MemoryProfile:
+    """One region's ``tracemalloc`` result: peak bytes + top allocators."""
+
+    __slots__ = ("name", "peak_bytes", "current_bytes", "top")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.peak_bytes = 0
+        self.current_bytes = 0
+        #: ``[{"site": "file:lineno", "bytes": n, "blocks": n}, ...]``
+        self.top: List[dict] = []
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "peak_bytes": self.peak_bytes,
+            "current_bytes": self.current_bytes,
+            "top": list(self.top),
+        }
+
+    def render(self) -> str:
+        """Plain-text top-allocator table."""
+        lines = [
+            f"{self.name}: peak {self.peak_bytes} bytes "
+            f"(current {self.current_bytes})"
+        ]
+        for entry in self.top:
+            lines.append(
+                f"  {entry['bytes']:>12} B  {entry['blocks']:>8} blocks  {entry['site']}"
+            )
+        return "\n".join(lines)
+
+
+class profile_memory:
+    """Context manager: ``tracemalloc`` snapshot around one region.
+
+    No-op (two attribute reads) unless memory profiling is switched on —
+    see :func:`set_memory_profiling`.  On exit it publishes a
+    ``<name>.peak_bytes`` gauge (``index.build.peak_bytes`` for the
+    index-build region) and appends a :class:`MemoryProfile` with the
+    ``top_n`` heaviest allocation sites to :data:`MEMORY_PROFILES`.
+    """
+
+    def __init__(self, name: str, top_n: int = 10):
+        self.name = name
+        self.top_n = top_n
+        self.result: Optional[MemoryProfile] = None
+        self._started_here = False
+        self._active = False
+
+    def __enter__(self) -> "profile_memory":
+        if not _MEMORY_ACTIVE:
+            return self
+        self._active = True
+        self._started_here = not tracemalloc.is_tracing()
+        if self._started_here:
+            tracemalloc.start()
+        else:
+            tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._active:
+            return False
+        current, peak = tracemalloc.get_traced_memory()
+        result = MemoryProfile(self.name)
+        result.current_bytes = current
+        result.peak_bytes = peak
+        try:
+            snapshot = tracemalloc.take_snapshot()
+            for stat in snapshot.statistics("lineno")[: self.top_n]:
+                frame = stat.traceback[0]
+                site = f"{os.path.basename(frame.filename)}:{frame.lineno}"
+                result.top.append(
+                    {"site": site, "bytes": stat.size, "blocks": stat.count}
+                )
+        finally:
+            if self._started_here:
+                tracemalloc.stop()
+        self.result = result
+        MEMORY_PROFILES.append(result)
+        try:
+            from . import OBS
+
+            OBS.metrics.gauge(f"{self.name}.peak_bytes").set(result.peak_bytes)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        return False
+
+
+def write_profile(profile: Profile, path: str, fmt: str = "folded") -> str:
+    """Write ``profile`` to ``path`` in ``fmt`` (``folded``/``speedscope``);
+    returns the path.  Shared by the CLI's ``profile`` subcommand and the
+    ``--profile`` flag."""
+    import json
+
+    if fmt == "speedscope":
+        body = json.dumps(profile.to_speedscope(), indent=2) + "\n"
+    else:
+        body = profile.to_folded()
+    with open(path, "w") as handle:
+        handle.write(body)
+    return path
+
+
+def render_top(profile: Profile, n: int = 10) -> str:
+    """Plain-text summary of the heaviest stacks (CLI stderr footer)."""
+    if not profile.counts:
+        return "(no samples collected)"
+    period_ms = 1e3 / profile.hz if profile.hz > 0 else 0.0
+    lines = [
+        f"{profile.n_samples} sample(s), {len(profile.counts)} distinct stack(s) "
+        f"at {profile.hz:g} Hz"
+        + (" [truncated: cap hit]" if profile.truncated else "")
+    ]
+    for frames, count in profile.top(n):
+        leaf = frames[-1]
+        root = frames[0]
+        lines.append(f"  {count * period_ms:>9.1f} ms  {count:>6}  {root} ... {leaf}")
+    return "\n".join(lines)

@@ -23,10 +23,15 @@ Design constraints (in priority order):
    read, and :meth:`Tracer.span` returns a shared no-op singleton when
    the tracer is off, so a ``with`` block costs two empty method calls.
    ``tests/test_obs.py`` pins the end-to-end overhead.
-2. **Thread safety.**  The active-span stack is thread-local, so
-   concurrent searches (a future batching/sharding layer) each get their
-   own span tree; finished roots are appended to a shared list under the
-   GIL.
+2. **Thread safety.**  The active-span stack is per-thread (a dict keyed
+   by :func:`threading.get_ident`, every operation a single dict op under
+   the GIL), so concurrent searches (a future batching/sharding layer)
+   each get their own span tree; finished roots are appended to a shared
+   list under the GIL.  Keying by thread id rather than a
+   ``threading.local`` lets the sampling profiler
+   (:mod:`repro.obs.profiling`) read *another* thread's innermost span —
+   ``sys._current_frames()`` hands out frames per thread id, and
+   :meth:`Tracer.active_stack` answers "what span is that thread in".
 3. **Bounded memory.**  At most :data:`Tracer.max_roots` finished root
    spans are retained; older roots are dropped oldest-first.
 
@@ -216,14 +221,17 @@ class Tracer:
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self.finished: List[Span] = []
-        self._local = threading.local()
+        #: thread id -> open-span stack.  Entries are removed when a
+        #: thread's last span closes, so dead threads leave nothing behind.
+        self._stacks: Dict[int, List[Span]] = {}
 
     # -- span lifecycle (called by Span) -------------------------------------
 
     def _stack(self) -> List[Span]:
-        stack = getattr(self._local, "stack", None)
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
         if stack is None:
-            stack = self._local.stack = []
+            stack = self._stacks[ident] = []
         return stack
 
     def _push(self, span: Span) -> None:
@@ -233,7 +241,10 @@ class Tracer:
         stack.append(span)
 
     def _pop(self, span: Span) -> None:
-        stack = self._stack()
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
+        if stack is None:
+            stack = []
         # Tolerate exotic unwinding (generator GC, re-entrancy): pop back
         # to this span rather than asserting perfect nesting.
         while stack:
@@ -241,6 +252,7 @@ class Tracer:
             if top is span:
                 break
         if not stack:
+            self._stacks.pop(ident, None)
             self.finished.append(span)
             if len(self.finished) > self.max_roots:
                 del self.finished[: len(self.finished) - self.max_roots]
@@ -259,8 +271,23 @@ class Tracer:
 
     def current(self) -> Optional[Span]:
         """The innermost open span on this thread, or None."""
-        stack = self._stack()
+        stack = self._stacks.get(threading.get_ident())
         return stack[-1] if stack else None
+
+    def active_stack(self, thread_id: Optional[int] = None) -> List[Span]:
+        """A copy of the open-span stack of ``thread_id`` (default: this
+        thread), outermost first; empty when that thread has no open span.
+
+        This is the profiler's span-attribution hook: the sampler thread
+        passes the ids from :func:`sys._current_frames` and learns which
+        phase each sampled thread was in.  The copy is one C-level list
+        construction under the GIL, so a concurrent push/pop on the owner
+        thread cannot corrupt the read.
+        """
+        if thread_id is None:
+            thread_id = threading.get_ident()
+        stack = self._stacks.get(thread_id)
+        return list(stack) if stack else []
 
     def reset(self) -> None:
         """Drop all finished spans (open spans are unaffected)."""
@@ -275,7 +302,7 @@ class Tracer:
         would never reach :attr:`finished` and the chunk's telemetry
         delta would ship no span trees.
         """
-        self._local = threading.local()
+        self._stacks = {}
 
     def adopt(self, payloads: List[dict], offset_ns: int = 0) -> None:
         """Append span trees recorded elsewhere (worker processes).

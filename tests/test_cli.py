@@ -355,7 +355,119 @@ class TestStatsBreakdown:
 
     def test_unreachable_url(self, capsys):
         assert main(["stats", "--url", "http://127.0.0.1:1", "--by", "k"]) == 2
-        assert "error" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1  # one line, no traceback
+
+    def test_non_v2_url(self, capsys):
+        """A reachable server that is not a schema-v2 metrics endpoint
+        gets a clear one-line error, exit 2, no traceback."""
+        import json
+        import threading
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        class NotOurs(BaseHTTPRequestHandler):
+            def do_GET(self):
+                body = json.dumps([1, 2, 3]).encode()
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        server = ThreadingHTTPServer(("127.0.0.1", 0), NotOurs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{server.server_address[1]}"
+            assert main(["stats", "--url", url]) == 2
+            err = capsys.readouterr().err
+            assert "not a schema-v2 metrics endpoint" in err
+            assert len(err.strip().splitlines()) == 1
+        finally:
+            server.shutdown()
+
+
+class TestProfileCli:
+    @pytest.fixture(autouse=True)
+    def clean_profiler(self):
+        from repro.obs import MEMORY_PROFILES, OBS, PROFILER, set_memory_profiling
+
+        yield
+        PROFILER.stop()
+        PROFILER.profile = None
+        OBS.disable()
+        OBS.reset()
+        set_memory_profiling(False)
+        MEMORY_PROFILES.clear()
+
+    @pytest.fixture
+    def big_genome(self, tmp_path):
+        """Large enough that the pure-Python index build takes long
+        enough to be sampled deterministically at a few hundred Hz."""
+        import random
+
+        rnd = random.Random(11)
+        path = tmp_path / "genome.txt"
+        path.write_text("".join(rnd.choice("acgt") for _ in range(20000)))
+        return path
+
+    def test_profile_search_folded(self, big_genome, tmp_path, capsys):
+        out = tmp_path / "prof.folded"
+        rc = main(["profile", "search", str(big_genome), "acgtacgtacgt",
+                   "-k", "2", "--hz", "300", "--out", str(out)])
+        assert rc == 0
+        folded = out.read_text()
+        assert folded, "profile output is empty"
+        assert "span:" in folded
+        assert "span:kmismatch.build" in folded  # build phase attributed
+        err = capsys.readouterr().err
+        assert "profile (folded) written to" in err
+
+    def test_profile_flags_before_command(self, big_genome, tmp_path):
+        out = tmp_path / "prof.json"
+        rc = main(["profile", "--hz", "300", "--out", str(out),
+                   "search", str(big_genome), "acgtacgtacgt", "-k", "2"])
+        assert rc == 0
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["$schema"].startswith("https://www.speedscope.app/")
+        assert doc["profiles"][0]["type"] == "sampled"
+        frames = {f["name"] for f in doc["shared"]["frames"]}
+        assert any(name.startswith("span:") for name in frames)
+
+    def test_profile_memory_reports_build_peak(self, big_genome, tmp_path,
+                                               capsys):
+        out = tmp_path / "prof.folded"
+        rc = main(["profile", "search", str(big_genome), "acgtacgtacgt",
+                   "-k", "0", "--hz", "300", "--memory", "--out", str(out)])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "index.build: peak" in err
+
+    def test_profile_flag_on_search(self, big_genome, tmp_path, capsys):
+        out = tmp_path / "flag.folded"
+        rc = main(["search", str(big_genome), "acgtacgtacgt", "-k", "2",
+                   "--profile", str(out)])
+        assert rc == 0
+        assert "span:" in out.read_text()
+        assert "written to" in capsys.readouterr().err
+
+    def test_inner_failure_still_stops_profiler(self, tmp_path):
+        """An inner-command crash propagates (same contract as running
+        the command directly), but the profiler and obs singleton are
+        cleaned up on the way out."""
+        from repro.obs import OBS, PROFILER
+
+        with pytest.raises(FileNotFoundError):
+            main(["profile", "search", str(tmp_path / "missing.txt"),
+                  "acgt", "--out", str(tmp_path / "p.folded")])
+        assert not PROFILER.is_running()
+        assert not OBS.enabled
 
 
 class TestMetricsLint:

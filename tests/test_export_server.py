@@ -302,6 +302,69 @@ class TestServer:
         assert info.value.code == 404
         assert "endpoints" in json.loads(info.value.read().decode())
 
+    def test_pprof_404_before_any_profile(self, server):
+        from repro.obs import PROFILER
+
+        PROFILER.stop()
+        PROFILER.profile = None
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._get(server, "/debug/pprof")
+        assert info.value.code == 404
+        assert "no profile" in json.loads(info.value.read().decode())["error"]
+
+    def test_pprof_serves_folded_and_flamegraph(self, server):
+        from repro.obs import PROFILER
+
+        OBS.enable()
+        PROFILER.start(hz=400)
+        try:
+            index = KMismatchIndex("acagacaacagacagtacagaca" * 500)
+            index.search("tcaca", k=2)
+        finally:
+            PROFILER.stop()
+            OBS.disable()
+        status, content_type, body = self._get(server, "/debug/pprof")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "span:" in body
+        status, content_type, body = self._get(server, "/debug/pprof/flamegraph")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["$schema"].startswith("https://www.speedscope.app/")
+        PROFILER.profile = None
+
+    def test_pprof_one_shot_capture(self, server):
+        from repro.obs import PROFILER
+
+        PROFILER.stop()
+        PROFILER.profile = None
+        status, _, body = self._get(server, "/debug/pprof?seconds=0.2&hz=100")
+        assert status == 200  # blocking capture, possibly idle stacks only
+
+    def test_pprof_bad_seconds_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._get(server, "/debug/pprof?seconds=nope")
+        assert info.value.code == 400
+
+    def test_pprof_heap_serves_memory_profiles(self, server):
+        from repro.obs import MEMORY_PROFILES, profile_memory, set_memory_profiling
+
+        MEMORY_PROFILES.clear()
+        set_memory_profiling(True)
+        try:
+            with profile_memory("index.build"):
+                KMismatchIndex("acagacaacagacagtacagaca" * 20)
+        finally:
+            set_memory_profiling(False)
+        status, _, body = self._get(server, "/debug/pprof/heap")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["profiles"]
+        assert payload["profiles"][-1]["name"] == "index.build"
+        assert payload["profiles"][-1]["peak_bytes"] > 0
+        MEMORY_PROFILES.clear()
+
 
 class TestNonFiniteValues:
     """Satellite: non-finite floats must render the OpenMetrics

@@ -337,7 +337,9 @@ class TestEngineIntegration:
         names = {span.name for span in OBS.tracer.iter_finished()}
         assert "stree.search" in names and "wavelet.build" in names
         assert OBS.metrics.counter("rank.wavelet.occ_probes").value > 0
-        assert OBS.metrics.histogram("search.stree.leaf_depth", COUNT_BUCKETS).count > 0
+        assert OBS.metrics.histogram(
+            "search.leaf_depth", COUNT_BUCKETS, engine="stree", k=1
+        ).count > 0
 
     def test_disabled_leaves_no_trace(self):
         index = KMismatchIndex("acagaca")

@@ -49,6 +49,78 @@ class TestCleanExpositions:
         assert 'repro_query_search_ms_bucket{engine="algorithm_a"' in text
 
 
+class TestProfilerFamilies:
+    """The profiling tentpole's metric families lint clean and the
+    name-mangled per-engine series they replace are really retired."""
+
+    RETIRED_PREFIXES = (
+        "search.stree.",
+        "search.algorithm_a.",
+        "search.wildcard.",
+        "search.kerrors.",
+    )
+
+    def _live_exposition(self) -> str:
+        from repro import KMismatchIndex
+        from repro.obs import PROFILER, set_memory_profiling
+
+        OBS.enable()
+        set_memory_profiling(True)
+        PROFILER.start(hz=400)
+        try:
+            index = KMismatchIndex("acagacaacagacagtacagaca" * 300)
+            index.search_with_stats("tcaca", 2, method="A()")
+            index.search_with_stats("tcaca", 1, method="BWT")
+            index.engine("wildcard").search("tcnca", 1)
+            index.engine("kerrors").search("tcaca", 1)
+        finally:
+            PROFILER.stop()
+            set_memory_profiling(False)
+            OBS.disable()
+        return render_openmetrics(OBS.metrics.to_dict())
+
+    def test_profile_families_lint_clean(self):
+        text = self._live_exposition()
+        assert lint_openmetrics(text) == []
+        assert "repro_profile_samples_total" in text
+        assert "repro_index_build_peak_bytes" in text
+
+    def test_retired_mangled_series_are_gone(self):
+        text = self._live_exposition()
+        names = set(OBS.metrics.to_dict())
+        for name in names:
+            for prefix in self.RETIRED_PREFIXES:
+                assert not name.startswith(prefix), (
+                    f"retired name-mangled series {name!r} reappeared"
+                )
+            assert not (
+                name.startswith("suite.") and name.endswith(".latency_ms")
+            ), f"retired suite series {name!r} reappeared"
+        # ...and their labelled twins are present instead.
+        assert "search.leaf_depth" in names
+        assert "search.reuse_hits" in names
+        assert 'repro_search_queries_total{engine="wildcard"' in text
+        assert 'engine="kerrors"' in text
+
+    def test_suite_mangled_series_are_gone(self):
+        from repro.bench.suite import MethodSuite
+
+        OBS.enable()
+        try:
+            suite = MethodSuite("acagacaacagacagtacagaca" * 40,
+                                methods=("A()", "BWT"))
+            suite.run_all(["tcaca", "acaga"], k=1)
+        finally:
+            OBS.disable()
+        names = set(OBS.metrics.to_dict())
+        mangled = {
+            n for n in names
+            if n.startswith("suite.") and n != "suite.latency_ms"
+        }
+        assert not mangled, f"retired suite.<method>.* series: {mangled}"
+        assert "suite.latency_ms" in names
+
+
 class TestStructuralProblems:
     def test_missing_eof(self):
         problems = lint_openmetrics("# TYPE a counter\na_total 1\n")
