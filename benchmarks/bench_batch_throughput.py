@@ -119,3 +119,65 @@ def test_batch_throughput(benchmark, results_dir):
             "shared_reuse_hits": measured["shared_reuse_hits"],
         },
     )
+
+
+@pytest.mark.benchmark(group="batch-throughput")
+def test_shard_throughput(benchmark, results_dir):
+    """E1b — routed batches: 1 shard vs 4 shards, same genome, same reads.
+
+    The sharded run pays the fan-out (every shard sees every read) and
+    the seam-overlap duplication; what it buys is the lifted 4 Gbp cap
+    and per-shard parallelism.  Both executions must return identical
+    global hit sets — the seam-correctness property at benchmark scale.
+    """
+    from repro.shard import ShardedIndex
+
+    text = repeat_genome()
+    reads = simulated_reads(text, N_READS, READ_LENGTH)
+    flat = KMismatchIndex(text)
+    sharded = ShardedIndex.build(text, 4, max_pattern=READ_LENGTH + 4, max_k=K + 2)
+    measured = {}
+
+    def run_all():
+        start = time.perf_counter()
+        unsharded = flat.search_batch(reads, K, workers=WORKERS, mode="thread")
+        measured["one_shard"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        routed = sharded.search_batch(reads, K, workers=WORKERS, mode="thread")
+        measured["four_shards"] = time.perf_counter() - start
+
+        # Byte-identical global hit sets, seam windows included.
+        assert routed == unsharded
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    throughput = {mode: N_READS / measured[mode] for mode in measured}
+    rows = [
+        [mode, f"{measured[mode]:.3f}s", f"{throughput[mode]:,.0f}"]
+        for mode in ("one_shard", "four_shards")
+    ]
+    table = format_table(
+        ["mode", "time", "reads/sec"],
+        rows,
+        title=(
+            f"E1b: {N_READS} reads x {READ_LENGTH} bp, k={K} on {len(text):,} bp "
+            f"(workers={WORKERS}, overlap={sharded.manifest.overlap} bp/seam)"
+        ),
+    )
+    write_result(results_dir, "shard_throughput", table)
+    write_json_result(
+        results_dir,
+        "shard_throughput",
+        {
+            "n_reads": N_READS,
+            "read_length": READ_LENGTH,
+            "k": K,
+            "genome_bp": len(text),
+            "workers": WORKERS,
+            "n_shards": sharded.n_shards,
+            "overlap": sharded.manifest.overlap,
+            "seconds": dict(measured),
+            "reads_per_sec": throughput,
+        },
+    )

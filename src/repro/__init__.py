@@ -22,6 +22,7 @@ Package map
 ``repro.simulate``   — synthetic genomes and wgsim-style reads
 ``repro.bench``      — workload/reporting harness for the experiments
 ``repro.engine``     — engine registry + batch executor (``docs/ENGINES.md``)
+``repro.shard``      — sharded indexes + query router (``docs/SHARDING.md``)
 ``repro.obs``        — tracing/metrics layer (``repro.obs.OBS``)
 """
 
@@ -29,6 +30,7 @@ from .alphabet import DNA, PROTEIN, Alphabet, infer_alphabet
 from .errors import (
     AlphabetError,
     IndexCorruptionError,
+    IndexFormatError,
     PatternError,
     ReproError,
     SerializationError,
@@ -46,6 +48,7 @@ from .collection import SequenceCollection
 from .dna import reverse_complement
 from .engine import REGISTRY, BatchExecutor, EngineRegistry, EngineSpec
 from .obs import OBS
+from .shard import QueryRouter, ShardManifest, ShardedIndex
 
 __version__ = "1.0.0"
 
@@ -58,6 +61,7 @@ __all__ = [
     "AlphabetError",
     "PatternError",
     "IndexCorruptionError",
+    "IndexFormatError",
     "SerializationError",
     "FMIndex",
     "Range",
@@ -80,5 +84,8 @@ __all__ = [
     "EngineSpec",
     "BatchExecutor",
     "OBS",
+    "ShardedIndex",
+    "ShardManifest",
+    "QueryRouter",
     "__version__",
 ]

@@ -3,7 +3,9 @@
 Subcommands
 -----------
 ``index``          Build a BWT index for a FASTA/plain-text target and save it
-                   (``--format bin`` writes the zero-copy binary format).
+                   (``--format bin`` writes the zero-copy binary format;
+                   ``--shards N`` writes a ``REPROSHD`` manifest plus N
+                   seam-overlapped shard indexes — see docs/SHARDING.md).
 ``search``         Query a target (or saved index) for a pattern with k mismatches.
 ``simulate``       Generate a synthetic genome and/or simulated reads.
 ``map``            Map reads to a target, SAM-like output (``--workers N`` fans
@@ -12,9 +14,10 @@ Subcommands
 ``compare``        Run the paper's methods over a read batch and print a table.
 ``engines``        List every registered search engine and its capabilities.
 ``stats``          Render a saved ``--stats-json`` trace file as text;
-                   ``--by engine,k`` regroups labelled series into
-                   dimensional tables, ``--url`` replays a live
-                   ``/debug/metrics`` endpoint instead of a file.
+                   ``--by engine,k`` (or ``--by shard`` for routed
+                   queries) regroups labelled series into dimensional
+                   tables, ``--url`` replays a live ``/debug/metrics``
+                   endpoint instead of a file.
 ``serve-metrics``  Expose /metrics, /healthz and /debug/queries over HTTP,
                    optionally driving a read workload to populate them.
 ``metrics-lint``   Strictly validate an OpenMetrics exposition (file or
@@ -66,6 +69,7 @@ from .bench.suite import MethodSuite, PAPER_METHODS
 from .core.matcher import KMismatchIndex
 from .engine import CAP_MISMATCH, MODES, REGISTRY
 from .obs import OBS, MetricError, load_events, load_trace, render_records, render_trace
+from .shard import ShardedIndex
 from .simulate.genome import GenomeConfig, generate_genome
 from .simulate.reads import ReadConfig, simulate_reads
 
@@ -89,16 +93,32 @@ def read_sequence(path: Path) -> str:
 
 def _cmd_index(args: argparse.Namespace) -> int:
     text = read_sequence(Path(args.target))
-    with OBS.timed("cli.index", length=len(text)) as timer:
-        index = KMismatchIndex(
-            text, occ_sample_rate=args.occ_sample, sa_sample_rate=args.sa_sample
-        )
-    if args.format == "bin":
+    if args.shards > 1 and args.format != "bin":
+        print("error: --shards N needs --format bin (a REPROSHD manifest plus "
+              "per-shard binary REPROIDX files; docs/SHARDING.md)", file=sys.stderr)
+        return 2
+    with OBS.timed("cli.index", length=len(text), shards=args.shards) as timer:
+        if args.shards > 1:
+            index = ShardedIndex.build(
+                text, args.shards,
+                max_pattern=args.max_pattern, max_k=args.max_k,
+                occ_sample_rate=args.occ_sample, sa_sample_rate=args.sa_sample,
+            )
+        else:
+            index = KMismatchIndex(
+                text, occ_sample_rate=args.occ_sample, sa_sample_rate=args.sa_sample
+            )
+    if args.shards > 1:
         index.save(args.output)
+        detail = f"manifest + {index.n_shards} shard file(s)"
+    elif args.format == "bin":
+        index.save(args.output)
+        detail = f"{args.format} format"
     else:
         Path(args.output).write_text(index.dumps())
+        detail = f"{args.format} format"
     print(f"indexed {len(text)} bp in {format_seconds(timer.seconds)} -> {args.output} "
-          f"({index.nbytes()} payload bytes, {args.format} format)")
+          f"({index.nbytes()} payload bytes, {detail})")
     return 0
 
 
@@ -158,8 +178,10 @@ def _cmd_map(args: argparse.Namespace) -> int:
     from .io import parse_fastq, write_sam
 
     if args.index_file:
+        # open() may hand back a ShardedIndex for REPROSHD manifests;
+        # text_length is the facade-level property both kinds serve.
         index = KMismatchIndex.open(args.index_file)
-        text_length = index.fm_index.text_length
+        text_length = index.text_length
     elif not args.target:
         print("error: map needs a TARGET file or --index-file PATH", file=sys.stderr)
         return 2
@@ -227,16 +249,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_engines(args: argparse.Namespace) -> int:
+    from .engine.registry import CAP_EDIT, CAP_WILDCARD
+
+    # Capabilities the ShardedIndex facade routes shard-wise (every
+    # engine runs per shard; hits are ownership-filtered and rebased).
+    routed = {CAP_MISMATCH, CAP_EDIT, CAP_WILDCARD}
     rows = []
     for spec in REGISTRY.specs(capability=args.capability or None):
         rows.append([
             spec.name,
             spec.kind,
             ",".join(sorted(spec.capabilities)),
+            "yes" if routed & set(spec.capabilities) else "-",
             ",".join(spec.aliases) or "-",
             spec.description,
         ])
-    print(format_table(["engine", "kind", "capabilities", "aliases", "description"],
+    print(format_table(["engine", "kind", "capabilities", "sharded", "aliases",
+                        "description"],
                        rows, title=f"{len(rows)} registered engine(s)"))
     return 0
 
@@ -309,7 +338,13 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
     try:
         if args.target:
             text = read_sequence(Path(args.target))
-            index = KMismatchIndex(text)
+            if args.shards > 1:
+                # In-memory sharded index: the served workload then
+                # populates the router's query.shard_* families and the
+                # {shard}-labelled worker series for scrape checks.
+                index = ShardedIndex.build(text, args.shards)
+            else:
+                index = KMismatchIndex(text)
             if args.reads:
                 reads = [
                     line.strip().lower()
@@ -508,6 +543,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "zero-copy binary format (docs/INDEX_FORMAT.md)")
     p_index.add_argument("--occ-sample", type=int, default=4, help="rankall checkpoint spacing")
     p_index.add_argument("--sa-sample", type=int, default=8, help="suffix-array sampling distance")
+    p_index.add_argument("--shards", type=int, default=1,
+                         help="split the target into N seam-overlapped shards and "
+                              "write a REPROSHD manifest plus per-shard binary "
+                              "index files (needs --format bin; docs/SHARDING.md)")
+    p_index.add_argument("--max-pattern", type=int, default=512,
+                         help="with --shards: longest pattern the sharded index "
+                              "will answer (fixes the seam overlap)")
+    p_index.add_argument("--max-k", type=int, default=8,
+                         help="with --shards: largest mismatch bound the sharded "
+                              "index will answer (fixes the seam overlap)")
     _add_obs_flags(p_index)
     p_index.set_defaults(func=_cmd_index)
 
@@ -595,6 +640,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--reads", default="",
                          help="file with one read per line to run against TARGET")
     p_serve.add_argument("-k", type=int, default=2, help="mismatch bound for --reads")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="serve TARGET through an in-memory N-shard index "
+                              "(populates the {shard}-labelled metric families)")
     p_serve.add_argument("--loop", type=int, default=1,
                          help="passes over the read file (populates metrics)")
     p_serve.add_argument("--host", default="127.0.0.1")

@@ -118,6 +118,16 @@ class KMismatchIndex:
         """The underlying FM-index (over the reversed target)."""
         return self._fm
 
+    @property
+    def text_length(self) -> int:
+        """Length of the indexed target (sentinel excluded).
+
+        Part of the query facade shared with
+        :class:`~repro.shard.ShardedIndex` — prefer this over
+        ``fm_index.text_length`` in code that accepts either.
+        """
+        return self._fm.text_length
+
     def nbytes(self) -> int:
         """Approximate index payload in bytes."""
         return self._fm.nbytes()
@@ -507,15 +517,22 @@ class KMismatchIndex:
         )
 
     @classmethod
-    def open(cls, path, mmap: bool = True) -> "KMismatchIndex":
-        """Load a saved index of either format, sniffing the file's magic.
+    def open(cls, path, mmap: bool = True):
+        """Load a saved index of any format, sniffing the file's magic.
 
         Binary files (``repro-cli index --format bin``) load zero-copy
-        via :meth:`load`; anything else is treated as the JSON
-        compatibility format and parsed through :meth:`loads`.
+        via :meth:`load`; ``REPROSHD`` shard manifests (``repro-cli
+        index --shards N``) return a :class:`~repro.shard.ShardedIndex`
+        serving the same query facade over routed shards; anything else
+        is treated as the JSON compatibility format and parsed through
+        :meth:`loads`.
         """
         from ..io import binfmt
 
+        if binfmt.sniff_manifest(path):
+            from ..shard import ShardedIndex
+
+            return ShardedIndex.open(path, mmap=mmap)
         if binfmt.sniff(path):
             return cls.load(path, mmap=mmap)
         with open(path) as handle:

@@ -83,6 +83,13 @@ class BatchExecutor:
     chunk_size:
         Items per chunk; default splits the batch into
         ``workers * 4`` chunks.
+    shard:
+        When set (by :class:`repro.shard.QueryRouter`), the shard id
+        this executor serves — stamped as a ``{shard}`` label on the
+        ``engine.worker.*`` telemetry and the ``engine.batch`` span so
+        per-shard worker behaviour is separable in the metrics payload.
+        Unsharded runs leave it ``None`` and emit the historical series
+        unchanged.
     """
 
     def __init__(
@@ -90,6 +97,7 @@ class BatchExecutor:
         workers: int = 0,
         mode: str = "thread",
         chunk_size: Optional[int] = None,
+        shard: Optional[int] = None,
     ):
         if mode not in MODES:
             raise PatternError(f"unknown batch mode {mode!r}; expected one of {MODES}")
@@ -98,6 +106,11 @@ class BatchExecutor:
         self.workers = max(0, int(workers))
         self.mode = mode
         self.chunk_size = chunk_size
+        self.shard = shard
+
+    def _shard_labels(self) -> Dict[str, int]:
+        """The ``{shard}`` label dict (empty when serving an unsharded index)."""
+        return {} if self.shard is None else {"shard": self.shard}
 
     # -- public API -----------------------------------------------------------
 
@@ -135,6 +148,7 @@ class BatchExecutor:
             mode=self.mode if parallel else "serial",
             workers=workers,
             items=len(items),
+            **self._shard_labels(),
         ) as span:
             if not parallel:
                 results, stats = _run_chunk(index, kind, items, k, method, cached=True)
@@ -226,6 +240,7 @@ class BatchExecutor:
                     args=(
                         worker_id, shm.name, len(blob), transfer, observe,
                         kind, k, method, task_q, result_q, profile_hz,
+                        self.shard,
                     ),
                     daemon=True,
                 )
@@ -245,18 +260,22 @@ class BatchExecutor:
         if observe:
             OBS.metrics.gauge("engine.shm.nbytes").set(len(blob))
             hist = OBS.metrics.histogram("engine.worker.hydrate_ms")
+            shard_labels = self._shard_labels()
             for worker_id, hydrate_ms in sorted(hydrations.items()):
                 OBS.metrics.counter("engine.worker.hydrations").inc()
                 hist.observe(hydrate_ms)
                 # Dimensional series: which worker hydrated how fast, and
                 # over which transfer (shm-bin vs the JSON fallback) —
                 # worker ids are pool slots (0..workers-1), bounded
-                # cardinality by construction.
+                # cardinality by construction.  Routed batches add the
+                # shard id so seam-local hydration cost stays separable.
                 OBS.metrics.counter(
-                    "engine.worker.hydrations", worker=worker_id, transfer=transfer
+                    "engine.worker.hydrations", worker=worker_id, transfer=transfer,
+                    **shard_labels,
                 ).inc()
                 OBS.metrics.histogram(
-                    "engine.worker.hydrate_ms", worker=worker_id, transfer=transfer
+                    "engine.worker.hydrate_ms", worker=worker_id, transfer=transfer,
+                    **shard_labels,
                 ).observe(hydrate_ms)
         # Fold each worker chunk's telemetry back into this process, in
         # chunk order — `map --mode process` reports the same counter
@@ -354,6 +373,7 @@ def _pool_worker(
     task_q,
     result_q,
     profile_hz: float = 0.0,
+    shard: Optional[int] = None,
 ) -> None:
     """Process-pool worker: hydrate once from shared memory, then pull
     ``(chunk_id, chunk)`` tasks until the ``None`` sentinel.
@@ -423,7 +443,8 @@ def _pool_worker(
                 if observe:
                     snapshot = ObsDelta.capture(OBS)
                     OBS.metrics.counter(
-                        "engine.worker.chunks", worker=worker_id, transfer=transfer
+                        "engine.worker.chunks", worker=worker_id, transfer=transfer,
+                        **({} if shard is None else {"shard": shard}),
                     ).inc()
                     out, stats = _run_chunk(index, kind, chunk, k, method, cached=True)
                     obs_payload = snapshot.finish(OBS)

@@ -28,3 +28,8 @@ class IndexCorruptionError(ReproError, RuntimeError):
 
 class SerializationError(ReproError, ValueError):
     """A persisted index could not be loaded (bad magic, version, checksum)."""
+
+
+class IndexFormatError(SerializationError):
+    """A value cannot be represented in the requested on-disk format
+    (e.g. a suffix-array entry exceeding uint32 in a v1 file)."""

@@ -22,24 +22,41 @@ Layout (all integers little-endian; see ``docs/INDEX_FORMAT.md``)::
           4s tag, 4x pad, u64 offset, u64 length, u32 crc32, 4x pad
     ..  section payloads, each 8-byte aligned, zero-padded between
 
-Sections of format version 1 (every one required):
+Sections (every one required in both format versions):
 
 =======  ==================================================================
 ``META``  JSON: alphabet, lengths, sample rates, rank totals
 ``BWTW``  the 2-bit-packed BWT, 64-bit words (:class:`PackedSequence`)
 ``BWTC``  one-byte-per-code BWT shadow (the C-speed scan path)
 ``RANK``  int32 row-major rankall checkpoint table
-``SARO``  uint32 sampled suffix-array rows, ascending
-``SAPO``  uint32 sampled suffix-array positions, aligned with ``SARO``
+``SARO``  sampled suffix-array rows, ascending
+``SAPO``  sampled suffix-array positions, aligned with ``SARO``
 =======  ==================================================================
+
+**Format version 2** widens ``SARO``/``SAPO`` from uint32 to uint64
+behind the ``META.sa_width`` flag (4 or 8 bytes per entry), lifting the
+4 Gbp target cap.  Writers emit version 1 (byte-identical to the
+original format) whenever every suffix-array value fits uint32 and only
+stamp version 2 when u64 sections are actually needed — so v1 readers
+keep loading every file a v1 writer could have produced, and a v1 file
+claiming ``sa_width`` other than 4 is rejected as corrupt.
+
+This module also defines the ``REPROSHD`` shard-manifest container
+(:func:`dump_manifest` / :func:`parse_manifest`): a small header plus a
+JSON body naming per-shard ``REPROIDX`` files with their global
+offsets.  The sharded-index layer (:mod:`repro.shard`) builds on it;
+see ``docs/SHARDING.md``.
 
 Corruption — bad magic, foreign endianness, version skew, truncated
 files, section-table overruns, section-length mismatches against
 ``META``, checksum drift — raises
 :class:`~repro.errors.IndexCorruptionError` naming the offending field;
-a corrupt file must never produce a silently wrong answer.  CRC32s are
-stored per section but verified only on request (``verify_checksums=True``)
-because checksumming is O(file) and would defeat the zero-copy load.
+a corrupt file must never produce a silently wrong answer.  A value the
+*requested* format cannot hold (an SA entry past uint32 in a forced v1
+write) raises :class:`~repro.errors.IndexFormatError` naming the
+section and the v2 flag.  CRC32s are stored per section but verified
+only on request (``verify_checksums=True``) because checksumming is
+O(file) and would defeat the zero-copy load.
 """
 
 from __future__ import annotations
@@ -51,10 +68,10 @@ import sys
 import zlib
 from array import array
 from bisect import bisect_left
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..alphabet import Alphabet
-from ..errors import IndexCorruptionError, SerializationError
+from ..errors import IndexCorruptionError, IndexFormatError, SerializationError
 from ..obs import OBS
 from ..sequence import PackedSequence, bits_needed
 from ..bwt.rankall import RankAll
@@ -62,8 +79,16 @@ from ..bwt.rankall import RankAll
 #: First 8 bytes of every binary index file.
 MAGIC = b"REPROIDX"
 
-#: Format version written by this build (readers accept <= this).
-FORMAT_VERSION = 1
+#: First 8 bytes of every shard-manifest file.
+MANIFEST_MAGIC = b"REPROSHD"
+
+#: Highest index format version this build reads and writes.  Writers
+#: emit the *lowest* version that can represent the index: 1 while every
+#: SA value fits uint32, 2 (u64 ``SARO``/``SAPO``) beyond that.
+FORMAT_VERSION = 2
+
+#: Shard-manifest format version written by this build.
+MANIFEST_VERSION = 1
 
 #: Endianness stamp: reads back as 0x01020304 only on little-endian hosts.
 ENDIAN_STAMP = 0x01020304
@@ -158,8 +183,17 @@ def _as_byte_view(buffer) -> memoryview:
     return view
 
 
-def dump_fmindex(fm) -> bytes:
-    """Serialize ``fm`` to one binary blob, straight from its buffers."""
+def dump_fmindex(fm, sa_width: Optional[int] = None) -> bytes:
+    """Serialize ``fm`` to one binary blob, straight from its buffers.
+
+    ``sa_width`` selects the ``SARO``/``SAPO`` entry width in bytes: 4
+    (uint32, format version 1) or 8 (uint64, format version 2).  The
+    default picks the narrowest width that holds every suffix-array
+    value — version 1 output stays byte-identical to pre-v2 builds.
+    Forcing ``sa_width=4`` on a target whose SA values exceed uint32
+    raises :class:`~repro.errors.IndexFormatError` (never a silent
+    truncation).
+    """
     _require_little_endian()
     if getattr(fm, "_rank_backend", "rankall") != "rankall":
         raise SerializationError(
@@ -171,14 +205,24 @@ def dump_fmindex(fm) -> bytes:
     checkpoints = rank.checkpoints
     if getattr(checkpoints, "itemsize", 4) != 4:  # pragma: no cover - exotic ABIs
         checkpoints = array("i", checkpoints)
-    if fm.text_length >= 2**32:  # pragma: no cover - >4 Gbp targets
-        raise SerializationError(
-            "binary index format v1 stores 32-bit suffix positions; "
-            f"target of {fm.text_length} bp does not fit"
+    # SA rows run up to bwt_len - 1 == text_len and positions up to
+    # text_len - 1, so text_len is the exact overflow criterion.
+    needs_u64 = fm.text_length >= 2**32
+    if sa_width is None:
+        sa_width = 8 if needs_u64 else 4
+    if sa_width not in (4, 8):
+        raise SerializationError(f"sa_width must be 4 or 8, got {sa_width!r}")
+    if sa_width == 4 and needs_u64:
+        raise IndexFormatError(
+            "sections SARO/SAPO: suffix-array values for a target of "
+            f"{fm.text_length} bp exceed uint32; write format v2 instead "
+            "(sa_width=8, the META.sa_width flag)"
         )
     sampled = sorted(fm._sampled_sa.items())
-    rows = array("I", (row for row, _ in sampled))
-    positions = array("I", (pos for _, pos in sampled))
+    typecode = "I" if sa_width == 4 else "Q"
+    rows = array(typecode, (row for row, _ in sampled))
+    positions = array(typecode, (pos for _, pos in sampled))
+    version = 1 if sa_width == 4 else 2
     meta = {
         "alphabet": "".join(fm.alphabet.symbols),
         "text_len": fm.text_length,
@@ -190,6 +234,10 @@ def dump_fmindex(fm) -> bytes:
         "totals": rank.totals_list,
         "n_sampled": len(sampled),
     }
+    if sa_width != 4:
+        # The v2 flag.  Omitted (not written as 4) in v1 files so that
+        # version-1 output is byte-identical to pre-v2 builds.
+        meta["sa_width"] = sa_width
     payloads = {
         b"META": json.dumps(meta, sort_keys=True).encode("utf-8"),
         b"BWTW": _as_byte_view(packed.raw_words),
@@ -208,7 +256,7 @@ def dump_fmindex(fm) -> bytes:
     total_size = offset
     blob = bytearray(total_size)
     _HEADER.pack_into(
-        blob, 0, MAGIC, FORMAT_VERSION, ENDIAN_STAMP, header_size,
+        blob, 0, MAGIC, version, ENDIAN_STAMP, header_size,
         len(SECTION_TAGS), total_size,
     )
     for i, (tag, off, length, crc) in enumerate(entries):
@@ -217,9 +265,9 @@ def dump_fmindex(fm) -> bytes:
     return bytes(blob)
 
 
-def save_fmindex(fm, path) -> int:
+def save_fmindex(fm, path, sa_width: Optional[int] = None) -> int:
     """Write :func:`dump_fmindex` output to ``path``; returns bytes written."""
-    blob = dump_fmindex(fm)
+    blob = dump_fmindex(fm, sa_width=sa_width)
     with open(path, "wb") as handle:
         handle.write(blob)
     if OBS.enabled:
@@ -368,6 +416,18 @@ def load_fmindex(buffer, verify_checksums: bool = False, source: str = "<buffer>
         occ_rate = _meta_int(meta, "occ_sample_rate", source, minimum=1)
         sa_rate = _meta_int(meta, "sa_sample_rate", source, minimum=1)
         n_sampled = _meta_int(meta, "n_sampled", source)
+        sa_width = meta.get("sa_width", 4)
+        if sa_width not in (4, 8):
+            raise _corrupt(
+                source, "META.sa_width",
+                f"expected 4 (uint32) or 8 (uint64), found {sa_width!r}",
+            )
+        if info["version"] < 2 and sa_width != 4:
+            raise _corrupt(
+                source, "META.sa_width",
+                f"format v1 stores uint32 SA sections only; the sa_width={sa_width} "
+                "flag requires format version 2",
+            )
         totals = meta.get("totals")
         if (
             not isinstance(totals, list)
@@ -401,10 +461,13 @@ def load_fmindex(buffer, verify_checksums: bool = False, source: str = "<buffer>
             b"RANK", n_blocks * alphabet.size * 4,
             f"{n_blocks} checkpoint rows x {alphabet.size} codes",
         ).cast("i")
-        rows = _section_exact(b"SARO", n_sampled * 4, f"{n_sampled} sampled SA rows").cast("I")
+        sa_code = "I" if sa_width == 4 else "Q"
+        rows = _section_exact(
+            b"SARO", n_sampled * sa_width, f"{n_sampled} sampled SA rows"
+        ).cast(sa_code)
         positions = _section_exact(
-            b"SAPO", n_sampled * 4, f"{n_sampled} sampled SA positions"
-        ).cast("I")
+            b"SAPO", n_sampled * sa_width, f"{n_sampled} sampled SA positions"
+        ).cast(sa_code)
 
         packed = PackedSequence.from_words(width, bwt_len, words)
         rank = RankAll.from_parts(alphabet, occ_rate, bwt_len, packed, codes, flat, totals)
@@ -447,9 +510,139 @@ def sniff(path) -> bool:
         return False
 
 
+# -- shard manifests (REPROSHD) --------------------------------------------------
+
+_MANIFEST_HEADER = struct.Struct("<8sII")
+
+#: Top-level manifest fields every reader requires, with the minimum
+#: acceptable value for the integer ones.
+_MANIFEST_INT_FIELDS = (("total_length", 1), ("overlap", 0))
+
+#: Per-shard integer fields, with their minimum acceptable value.
+_SHARD_INT_FIELDS = (("start", 0), ("length", 1), ("core_start", 0), ("core_end", 1))
+
+
+def dump_manifest(payload: dict) -> bytes:
+    """Serialize a shard-manifest payload: magic + version + JSON body.
+
+    The payload is produced by :meth:`repro.shard.ShardManifest.to_payload`;
+    this function only owns the container framing.
+    """
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return _MANIFEST_HEADER.pack(MANIFEST_MAGIC, MANIFEST_VERSION, len(body)) + body
+
+
+def parse_manifest(buffer, source: str = "<buffer>") -> dict:
+    """Validate a ``REPROSHD`` container and return its JSON payload.
+
+    Structural validation only (framing, JSON-ness, required fields and
+    their types); the semantic checks — cores partitioning the target,
+    shard files existing and matching their recorded offsets — live in
+    :mod:`repro.shard.manifest`, which also raises
+    :class:`~repro.errors.IndexCorruptionError` naming the field.
+    """
+    view = _as_byte_view(buffer)
+    if len(view) < _MANIFEST_HEADER.size:
+        raise _corrupt(
+            source, "manifest header",
+            f"file is {len(view)} bytes, header needs {_MANIFEST_HEADER.size}",
+        )
+    magic, version, body_len = _MANIFEST_HEADER.unpack_from(view, 0)
+    if magic != MANIFEST_MAGIC:
+        raise _corrupt(
+            source, "manifest magic",
+            f"expected {MANIFEST_MAGIC!r}, found {bytes(magic)!r}",
+        )
+    if not 1 <= version <= MANIFEST_VERSION:
+        raise _corrupt(
+            source, "manifest version",
+            f"found {version}, this build reads versions 1..{MANIFEST_VERSION}",
+        )
+    if len(view) < _MANIFEST_HEADER.size + body_len:
+        raise _corrupt(
+            source, "manifest size",
+            f"header records a {body_len}-byte body but only "
+            f"{len(view) - _MANIFEST_HEADER.size} bytes follow (truncated?)",
+        )
+    try:
+        payload = json.loads(
+            bytes(view[_MANIFEST_HEADER.size:_MANIFEST_HEADER.size + body_len]).decode("utf-8")
+        )
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _corrupt(source, "manifest body", f"not valid JSON ({exc})") from None
+    if not isinstance(payload, dict):
+        raise _corrupt(source, "manifest body", "top level is not an object")
+    for field, minimum in _MANIFEST_INT_FIELDS:
+        value = payload.get(field)
+        if not isinstance(value, int) or value < minimum:
+            raise _corrupt(
+                source, f"manifest.{field}",
+                f"expected integer >= {minimum}, found {value!r}",
+            )
+    alphabet = payload.get("alphabet")
+    if not isinstance(alphabet, str) or not alphabet:
+        raise _corrupt(
+            source, "manifest.alphabet",
+            f"expected non-empty string, found {alphabet!r}",
+        )
+    shards = payload.get("shards")
+    if not isinstance(shards, list) or not shards:
+        raise _corrupt(
+            source, "manifest.shards",
+            f"expected non-empty list, found {type(shards).__name__}",
+        )
+    for i, shard in enumerate(shards):
+        if not isinstance(shard, dict):
+            raise _corrupt(source, f"manifest.shards[{i}]", "entry is not an object")
+        name = shard.get("file")
+        if not isinstance(name, str) or not name:
+            raise _corrupt(
+                source, f"manifest.shards[{i}].file",
+                f"expected non-empty string, found {name!r}",
+            )
+        for field, minimum in _SHARD_INT_FIELDS:
+            value = shard.get(field)
+            if not isinstance(value, int) or value < minimum:
+                raise _corrupt(
+                    source, f"manifest.shards[{i}].{field}",
+                    f"expected integer >= {minimum}, found {value!r}",
+                )
+    return payload
+
+
+def save_manifest(payload: dict, path) -> int:
+    """Write :func:`dump_manifest` output to ``path``; returns bytes written."""
+    blob = dump_manifest(payload)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return len(blob)
+
+
+def load_manifest(path) -> dict:
+    """Read and structurally validate a manifest file."""
+    path = str(path)
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        raise _corrupt(path, "manifest header", f"cannot read ({exc})") from None
+    return parse_manifest(blob, source=path)
+
+
+def sniff_manifest(path) -> bool:
+    """True when ``path`` starts with the shard-manifest magic."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MANIFEST_MAGIC)) == MANIFEST_MAGIC
+    except OSError:
+        return False
+
+
 __all__ = [
     "MAGIC",
+    "MANIFEST_MAGIC",
     "FORMAT_VERSION",
+    "MANIFEST_VERSION",
     "ENDIAN_STAMP",
     "SECTION_TAGS",
     "SampledSAView",
@@ -460,4 +653,9 @@ __all__ = [
     "parse_sections",
     "verify_section_checksums",
     "sniff",
+    "dump_manifest",
+    "parse_manifest",
+    "save_manifest",
+    "load_manifest",
+    "sniff_manifest",
 ]

@@ -1,0 +1,23 @@
+"""Sharded indexes: split multi-Gbp targets, route queries, merge hits.
+
+See ``docs/SHARDING.md`` for the seam-overlap math and routing rules.
+"""
+
+from .manifest import (
+    DEFAULT_MAX_K,
+    DEFAULT_MAX_PATTERN,
+    ShardManifest,
+    ShardSpec,
+    plan_shards,
+)
+from .sharded import QueryRouter, ShardedIndex
+
+__all__ = [
+    "DEFAULT_MAX_PATTERN",
+    "DEFAULT_MAX_K",
+    "ShardSpec",
+    "ShardManifest",
+    "plan_shards",
+    "ShardedIndex",
+    "QueryRouter",
+]

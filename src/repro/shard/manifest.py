@@ -1,0 +1,197 @@
+"""Shard manifests: geometry and persistence of a sharded target.
+
+A sharded index splits the target ``s`` into ``N`` contiguous **core**
+regions that partition ``[0, |s|)`` exactly; each shard indexes its core
+plus a **seam overlap** extending ``overlap`` characters past the core's
+right edge (clamped at the target's end).  With
+``overlap = max_pattern - 1 + max_k``, every length-``m`` window that
+starts inside a core is fully contained in that core's shard text for
+any query with ``m - 1 + k <= overlap`` — so routing a query to every
+shard and keeping only hits whose *global start* falls inside the
+owning shard's core reproduces the unsharded answer exactly, with no
+cross-shard comparison needed (see ``docs/SHARDING.md`` for the math).
+
+The on-disk form is the ``REPROSHD`` container of
+:mod:`repro.io.binfmt`: framing and structural validation live there;
+this module owns the semantic validation (cores partition the target,
+shard windows are consistent) and the typed :class:`ShardManifest` /
+:class:`ShardSpec` views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import IndexCorruptionError, PatternError
+from ..io import binfmt
+
+#: Default seam budget: the longest pattern a sharded index answers ...
+DEFAULT_MAX_PATTERN = 512
+#: ... together with the largest mismatch bound (overlap = m - 1 + k).
+DEFAULT_MAX_K = 8
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's geometry (all coordinates global, half-open)."""
+
+    #: File name of the shard's ``REPROIDX`` index, relative to the manifest.
+    file: str
+    #: Global offset of the shard's first indexed character.
+    start: int
+    #: Length of the shard's indexed text (core + seam overlap).
+    length: int
+    #: The core region this shard *owns*: hits starting in
+    #: ``[core_start, core_end)`` are reported by this shard alone.
+    core_start: int
+    core_end: int
+
+    @property
+    def end(self) -> int:
+        """Exclusive global end of the shard's indexed text."""
+        return self.start + self.length
+
+    def owns(self, position: int) -> bool:
+        """True when a hit starting at global ``position`` belongs here."""
+        return self.core_start <= position < self.core_end
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """The validated contents of a ``REPROSHD`` manifest."""
+
+    total_length: int
+    overlap: int
+    max_pattern: int
+    max_k: int
+    alphabet: str
+    shards: Tuple[ShardSpec, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def to_payload(self) -> dict:
+        """The JSON payload :func:`repro.io.binfmt.dump_manifest` frames."""
+        return {
+            "total_length": self.total_length,
+            "overlap": self.overlap,
+            "max_pattern": self.max_pattern,
+            "max_k": self.max_k,
+            "alphabet": self.alphabet,
+            "shards": [
+                {
+                    "file": spec.file,
+                    "start": spec.start,
+                    "length": spec.length,
+                    "core_start": spec.core_start,
+                    "core_end": spec.core_end,
+                }
+                for spec in self.shards
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, source: str = "<buffer>") -> "ShardManifest":
+        """Typed view over a structurally-validated payload, with the
+        semantic checks: cores must partition ``[0, total_length)`` in
+        order and every shard window must cover its core plus the seam
+        overlap (clamped at the target end)."""
+        shards = tuple(
+            ShardSpec(
+                file=entry["file"],
+                start=entry["start"],
+                length=entry["length"],
+                core_start=entry["core_start"],
+                core_end=entry["core_end"],
+            )
+            for entry in payload["shards"]
+        )
+        total = payload["total_length"]
+        overlap = payload["overlap"]
+        expected_start = 0
+        for i, spec in enumerate(shards):
+            if spec.core_start != expected_start:
+                raise IndexCorruptionError(
+                    f"{source}: manifest.shards[{i}].core_start: found "
+                    f"{spec.core_start}, cores must partition the target "
+                    f"(expected {expected_start})"
+                )
+            if spec.core_end <= spec.core_start:
+                raise IndexCorruptionError(
+                    f"{source}: manifest.shards[{i}].core_end: {spec.core_end} "
+                    f"does not extend past core_start {spec.core_start}"
+                )
+            if spec.start != spec.core_start:
+                raise IndexCorruptionError(
+                    f"{source}: manifest.shards[{i}].start: found {spec.start}, "
+                    f"expected the shard to begin at its core ({spec.core_start})"
+                )
+            expected_end = min(total, spec.core_end + overlap)
+            if spec.start + spec.length != expected_end:
+                raise IndexCorruptionError(
+                    f"{source}: manifest.shards[{i}].length: shard covers "
+                    f"[{spec.start}, {spec.start + spec.length}), expected it to "
+                    f"end at core_end + overlap = {expected_end}"
+                )
+            expected_start = spec.core_end
+        if expected_start != total:
+            raise IndexCorruptionError(
+                f"{source}: manifest.shards: cores end at {expected_start}, "
+                f"total_length is {total}"
+            )
+        return cls(
+            total_length=total,
+            overlap=overlap,
+            max_pattern=payload.get("max_pattern", overlap + 1),
+            max_k=payload.get("max_k", 0),
+            alphabet=payload["alphabet"],
+            shards=shards,
+        )
+
+    def save(self, path) -> int:
+        """Write the ``REPROSHD`` container to ``path``; returns bytes written."""
+        return binfmt.save_manifest(self.to_payload(), path)
+
+    @classmethod
+    def load(cls, path) -> "ShardManifest":
+        """Read, frame-validate and semantically validate a manifest file."""
+        return cls.from_payload(binfmt.load_manifest(path), source=str(path))
+
+
+def plan_shards(
+    total_length: int, n_shards: int, overlap: int
+) -> List[Tuple[int, int, int, int]]:
+    """Shard geometry for a target: ``(start, length, core_start, core_end)``.
+
+    Cores split ``[0, total_length)`` as evenly as possible (the first
+    ``total_length % n_shards`` cores are one character longer); each
+    shard's text extends ``overlap`` characters past its core, clamped
+    at the target end.
+    """
+    if n_shards < 1:
+        raise PatternError(f"n_shards must be positive, got {n_shards}")
+    if total_length < n_shards:
+        raise PatternError(
+            f"cannot split a {total_length} bp target into {n_shards} shards "
+            "(every core must be non-empty)"
+        )
+    base, extra = divmod(total_length, n_shards)
+    plan: List[Tuple[int, int, int, int]] = []
+    core_start = 0
+    for i in range(n_shards):
+        core_end = core_start + base + (1 if i < extra else 0)
+        end = min(total_length, core_end + overlap)
+        plan.append((core_start, end - core_start, core_start, core_end))
+        core_start = core_end
+    return plan
+
+
+__all__ = [
+    "DEFAULT_MAX_PATTERN",
+    "DEFAULT_MAX_K",
+    "ShardSpec",
+    "ShardManifest",
+    "plan_shards",
+]

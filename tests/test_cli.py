@@ -493,3 +493,122 @@ class TestMetricsLint:
     def test_missing_file(self, tmp_path, capsys):
         assert main(["metrics-lint", str(tmp_path / "nope.txt")]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestShardedCli:
+    @pytest.fixture
+    def big_genome_file(self, tmp_path):
+        import random
+
+        rnd = random.Random(17)
+        text = "".join(rnd.choice("acgt") for _ in range(1200))
+        path = tmp_path / "big.fa"
+        path.write_text(f">big\n{text}\n")
+        return path, text
+
+    def test_index_shards_writes_manifest_and_shard_files(
+        self, big_genome_file, tmp_path, capsys
+    ):
+        genome, text = big_genome_file
+        out = tmp_path / "big.shd"
+        rc = main(["index", str(genome), "-o", str(out), "--format", "bin",
+                   "--shards", "4", "--max-pattern", "32", "--max-k", "3"])
+        assert rc == 0
+        assert "manifest + 4 shard file(s)" in capsys.readouterr().out
+        assert sorted(p.name for p in tmp_path.glob("big.shard*")) == [
+            f"big.shard{i:04d}.fmbin" for i in range(4)
+        ]
+        from repro import KMismatchIndex, ShardedIndex
+
+        opened = KMismatchIndex.open(out)
+        assert isinstance(opened, ShardedIndex)
+        assert opened.text == text
+
+    def test_index_shards_requires_bin_format(self, big_genome_file, tmp_path, capsys):
+        genome, _ = big_genome_file
+        rc = main(["index", str(genome), "-o", str(tmp_path / "x.shd"),
+                   "--shards", "2"])
+        assert rc == 2
+        assert "--format bin" in capsys.readouterr().err
+
+    def test_search_and_map_against_manifest(self, big_genome_file, tmp_path, capsys):
+        genome, text = big_genome_file
+        out = tmp_path / "big.shd"
+        assert main(["index", str(genome), "-o", str(out), "--format", "bin",
+                     "--shards", "3"]) == 0
+        capsys.readouterr()
+        # A window straddling the first core boundary (1200/3 = 400):
+        # sharded answers must match the flat engine, through the CLI too.
+        pattern = text[395:415]
+        rc = main(["search", str(out), pattern, "-k", "1", "--index"])
+        assert rc == 0
+        starts = [line.split("\t")[0]
+                  for line in capsys.readouterr().out.splitlines() if line]
+        from repro import KMismatchIndex
+
+        flat = KMismatchIndex(text)
+        assert starts == [str(o.start) for o in flat.search(pattern, 1)]
+
+        reads = tmp_path / "reads.txt"
+        reads.write_text(text[100:130] + "\n" + text[790:820] + "\n")
+        sam = tmp_path / "out.sam"
+        rc = main(["map", "--index-file", str(out), str(reads), "-k", "1",
+                   "-o", str(sam)])
+        assert rc == 0
+        body = sam.read_text()
+        assert "LN:1200" in body  # facade-level text_length, not shard-local
+
+    def test_stats_by_shard(self, big_genome_file, tmp_path, capsys):
+        genome, text = big_genome_file
+        out = tmp_path / "big.shd"
+        trace = tmp_path / "trace.json"
+        assert main(["index", str(genome), "-o", str(out), "--format", "bin",
+                     "--shards", "3"]) == 0
+        assert main(["search", str(out), text[50:70], "-k", "1", "--index",
+                     "--stats-json", str(trace)]) == 0
+        capsys.readouterr()
+        rc = main(["stats", str(trace), "--by", "shard"])
+        assert rc == 0
+        rendered = capsys.readouterr().out
+        assert "query.shard_ms" in rendered
+        assert "query.shard_occurrences" in rendered
+        for shard in ("0", "1", "2"):
+            assert f"\n{shard} " in rendered or f"\n{shard}\t" in rendered
+
+    def test_engines_reports_sharded_column(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        header = [line for line in out.splitlines() if "capabilities" in line][0]
+        assert "sharded" in header
+        row = [line for line in out.splitlines() if line.startswith("algorithm_a ")][0]
+        assert " yes " in row
+
+    def test_serve_metrics_sharded_exposes_shard_labels(
+        self, big_genome_file, tmp_path, capsys
+    ):
+        from urllib.request import urlopen
+
+        import repro.cli as cli_module
+
+        genome, text = big_genome_file
+        reads = tmp_path / "reads.txt"
+        reads.write_text(text[30:60] + "\n" + text[420:450] + "\n")
+        captured = {}
+        original_sleep = cli_module.time.sleep
+
+        def grab_then_return(seconds):
+            with urlopen("http://127.0.0.1:9188/metrics", timeout=5.0) as response:
+                captured["text"] = response.read().decode()
+            original_sleep(0)
+
+        cli_module.time.sleep = grab_then_return
+        try:
+            rc = main(["serve-metrics", str(genome), "--reads", str(reads),
+                       "-k", "1", "--shards", "2", "--port", "9188",
+                       "--duration", "5"])
+        finally:
+            cli_module.time.sleep = original_sleep
+        assert rc == 0
+        exposition = captured["text"]
+        assert 'repro_query_shard_ms_bucket{engine="algorithm_a"' in exposition
+        assert 'shard="0"' in exposition and 'shard="1"' in exposition
