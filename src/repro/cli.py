@@ -18,8 +18,14 @@ Subcommands
                    queries) regroups labelled series into dimensional
                    tables, ``--url`` replays a live ``/debug/metrics``
                    endpoint instead of a file.
-``serve-metrics``  Expose /metrics, /healthz and /debug/queries over HTTP,
-                   optionally driving a read workload to populate them.
+``serve-metrics``  Expose /metrics, /healthz, /readyz, /slo, /alerts and
+                   /debug/queries over HTTP, optionally driving a read
+                   workload to populate them; shuts down cleanly on
+                   SIGTERM/SIGINT.
+``slo``            ``report`` (objectives, budgets burned, firing alerts),
+                   ``check`` (exit 4 on violation — the CI gate) and
+                   ``lint`` (strictly validate a rules file), over a live
+                   ``--url`` or a saved trace file.
 ``metrics-lint``   Strictly validate an OpenMetrics exposition (file or
                    live URL) — the CI scrape-and-lint step.
 ``flightrecorder`` Render a dumped flight-recorder / event-log JSONL file.
@@ -285,18 +291,16 @@ def _metrics_payload_problem(payload) -> str:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     if args.url:
-        from urllib.request import urlopen
+        from .obs.export import fetch_metrics_json
 
-        url = args.url.rstrip("/") + "/debug/metrics"
         try:
-            with urlopen(url, timeout=10.0) as response:
-                payload = json.load(response)
+            payload = fetch_metrics_json(args.url)
         except (OSError, json.JSONDecodeError, ValueError) as exc:
-            print(f"error: cannot fetch {url}: {exc}", file=sys.stderr)
+            print(f"error: cannot fetch {args.url}: {exc}", file=sys.stderr)
             return 2
         problem = _metrics_payload_problem(payload)
         if problem:
-            print(f"error: {url} is not a schema-v2 metrics endpoint "
+            print(f"error: {args.url} is not a schema-v2 metrics endpoint "
                   f"({problem}); point --url at a repro-cli serve-metrics "
                   f"server", file=sys.stderr)
             return 2
@@ -325,15 +329,43 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .errors import ReproError
+    from .obs import LABELS_DROPPED_METRIC, READINESS, index_canary
     from .obs.server import MetricsServer
+    from .obs.slo import configure_slo_engine, load_rules
 
     OBS.enable()
     if args.slow_ms is not None:
         OBS.recorder.slow_ms = args.slow_ms
+    READINESS.reset()
+    if args.slo_rules:
+        try:
+            configure_slo_engine(rules=load_rules(args.slo_rules))
+        except (OSError, MetricError) as exc:
+            print(f"error: cannot load SLO rules: {exc}", file=sys.stderr)
+            return 2
+        print(f"# slo rules loaded from {args.slo_rules}", file=sys.stderr)
+
+    # SIGTERM/SIGINT request a graceful stop: the event wakes the serve
+    # loop, the socket is closed and final state flushed — no
+    # KeyboardInterrupt traceback mid-request.  signal.signal only works
+    # on the main thread; in-process callers (tests) just skip it.
+    stop_event = threading.Event()
+    previous_handlers = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous_handlers[sig] = signal.signal(
+                sig, lambda signum, frame: stop_event.set()
+            )
+        except ValueError:
+            pass
     server = MetricsServer(host=args.host, port=args.port)
     host, port = server.address
-    print(f"# serving /metrics /healthz /debug/queries on http://{host}:{port}",
-          file=sys.stderr)
+    print(f"# serving /metrics /healthz /readyz /slo /alerts /debug/queries "
+          f"on http://{host}:{port}", file=sys.stderr)
     server.start()
     try:
         if args.target:
@@ -345,28 +377,173 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
                 index = ShardedIndex.build(text, args.shards)
             else:
                 index = KMismatchIndex(text)
+            # /readyz now proves the serving path: a canary query against
+            # this exact index runs on every readiness check.
+            READINESS.register_probe("index", index_canary(index))
             if args.reads:
                 reads = [
                     line.strip().lower()
                     for line in Path(args.reads).read_text().splitlines()
                     if line.strip() and not line.startswith(("@", ">", "#"))
                 ]
+                raised = 0
                 for cycle in range(max(1, args.loop)):
+                    if stop_event.is_set():
+                        break
                     for read in reads:
-                        index.search_with_stats(read, args.k)
-                print(f"# ran {max(1, args.loop)} pass(es) over {len(reads)} read(s)",
-                      file=sys.stderr)
+                        if stop_event.is_set():
+                            break
+                        try:
+                            index.search_with_stats(read, args.k)
+                        except ReproError:
+                            # Counted in query.errors{engine,k,kind} by the
+                            # facade — a bad read feeds the SLO evaluation
+                            # instead of killing the server (this is how
+                            # CI forces an objective violation).
+                            raised += 1
+                print(f"# ran {max(1, args.loop)} pass(es) over {len(reads)} "
+                      f"read(s), {raised} raised", file=sys.stderr)
         if args.duration > 0:
-            time.sleep(args.duration)
+            stop_event.wait(args.duration)
         else:
             print("# Ctrl-C to stop", file=sys.stderr)
-            while True:
-                time.sleep(3600)
+            while not stop_event.wait(3600):
+                pass
     except KeyboardInterrupt:
         pass
     finally:
         server.stop()
+        dropped = OBS.metrics.get(LABELS_DROPPED_METRIC)
+        print(f"# shutdown: socket closed; {len(OBS.metrics)} metric "
+              f"famil{'y' if len(OBS.metrics) == 1 else 'ies'}, "
+              f"{OBS.recorder.total_recorded} query record(s), "
+              f"{dropped.value if dropped is not None else 0} dropped label "
+              f"set(s)", file=sys.stderr)
         OBS.disable()
+        for sig, handler in previous_handlers.items():
+            try:
+                signal.signal(sig, handler)
+            except ValueError:
+                pass
+    return 0
+
+
+def _slo_metrics_source(args: argparse.Namespace):
+    """(metrics payload, error line) for ``slo report``/``slo check`` —
+    a live ``/debug/metrics`` scrape (``--url``) or a saved trace file's
+    ``metrics`` section (positional TRACE)."""
+    if args.url:
+        from .obs.export import fetch_metrics_json
+
+        try:
+            payload = fetch_metrics_json(args.url)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            return None, f"cannot fetch {args.url}: {exc}"
+        problem = _metrics_payload_problem(payload)
+        if problem:
+            return None, (f"{args.url} is not a schema-v2 metrics endpoint "
+                          f"({problem})")
+        return payload, ""
+    if args.trace_file:
+        try:
+            return load_trace(args.trace_file).get("metrics") or {}, ""
+        except MetricError as exc:
+            return None, str(exc)
+    return None, "slo needs a TRACE file or --url URL"
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from .obs.slo import (
+        SLO_REPORT_FORMAT,
+        evaluate_payload,
+        lint_rules,
+        load_rules,
+        parse_rules_file,
+    )
+
+    if args.slo_command == "lint":
+        try:
+            data = parse_rules_file(args.rules)
+        except (OSError, MetricError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        problems = lint_rules(data)
+        for problem in problems:
+            print(problem)
+        if problems:
+            print(f"FAIL: {len(problems)} problem(s) in {args.rules}")
+            return 1
+        n_objectives = len(data.get("objectives") or [])
+        print(f"OK: {n_objectives} objective(s) valid")
+        return 0
+
+    try:
+        rules = load_rules(args.rules or None)
+    except (OSError, MetricError) as exc:
+        print(f"error: cannot load SLO rules: {exc}", file=sys.stderr)
+        return 2
+    metrics, problem = _slo_metrics_source(args)
+    if metrics is None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    results = evaluate_payload(metrics, rules)
+
+    # Live sources also carry alert state; a trace file has none.
+    alerts = None
+    if args.url:
+        from urllib.request import urlopen
+
+        try:
+            with urlopen(args.url.rstrip("/") + "/alerts", timeout=10.0) as response:
+                alerts = json.load(response)
+        except (OSError, json.JSONDecodeError, ValueError):
+            alerts = None
+
+    document = {
+        "format": SLO_REPORT_FORMAT,
+        "version": 1,
+        "rules": args.rules or "(defaults)",
+        "source": args.url or args.trace_file,
+        "objectives": results,
+        "alerts": alerts,
+    }
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"# slo report written to {args.json_out}", file=sys.stderr)
+
+    rows = []
+    for status in results:
+        selector = ",".join(f"{k}={v}" for k, v in status["selector"].items()) or "-"
+        burned = f"{min(status['burn_rate'], 1e4) * 100:.1f}%"
+        rows.append([
+            status["objective"],
+            status["type"],
+            f"{status['target']:g}%",
+            selector,
+            status["total"],
+            status["bad"],
+            burned,
+            "no data" if status["no_data"] else ("OK" if status["ok"] else "VIOLATED"),
+        ])
+    print(format_table(
+        ["objective", "type", "target", "selector", "events", "bad",
+         "budget burned", "status"],
+        rows, title=f"{len(results)} objective(s), rules: {document['rules']}",
+    ))
+    if alerts and alerts.get("alerts"):
+        firing = [a["objective"] for a in alerts["alerts"] if a["state"] == "firing"]
+        print(f"alerts: {alerts.get('n_firing', 0)} firing"
+              + (f" ({', '.join(firing)})" if firing else ""))
+
+    violated = [status["objective"] for status in results if not status["ok"]]
+    if args.slo_command == "check":
+        if violated:
+            print(f"SLO CHECK FAILED: {len(violated)} objective(s) violated: "
+                  f"{', '.join(violated)}", file=sys.stderr)
+            return 4
+        print("SLO check passed", file=sys.stderr)
     return 0
 
 
@@ -653,7 +830,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--slow-ms", type=float, default=None,
                          help="pin queries at or above this latency (ms) in the "
                               "flight recorder")
+    p_serve.add_argument("--slo-rules", default="", metavar="PATH",
+                         help="SLO rules file (TOML or JSON) for the /slo and "
+                              "/alerts endpoints (default: shipped defaults; "
+                              "see docs/OBSERVABILITY.md)")
     p_serve.set_defaults(func=_cmd_serve_metrics)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="evaluate service-level objectives over live or saved metrics")
+    slo_sub = p_slo.add_subparsers(dest="slo_command", required=True)
+    for slo_name, slo_help in (
+        ("report", "table of objectives, budgets burned and firing alerts"),
+        ("check", "exit 4 when any objective is violated (the CI gate)"),
+    ):
+        p_slo_sub = slo_sub.add_parser(slo_name, help=slo_help)
+        p_slo_sub.add_argument("trace_file", metavar="TRACE", nargs="?", default="",
+                               help="trace file written by --stats-json "
+                                    "(omit with --url)")
+        p_slo_sub.add_argument("--url", default="", metavar="URL",
+                               help="evaluate a live server's /debug/metrics "
+                                    "(e.g. http://127.0.0.1:9109)")
+        p_slo_sub.add_argument("--rules", default="", metavar="PATH",
+                               help="SLO rules file, TOML or JSON "
+                                    "(default: shipped defaults)")
+        p_slo_sub.add_argument("--json", dest="json_out", default="", metavar="PATH",
+                               help="also write the full report document as JSON")
+        p_slo_sub.set_defaults(func=_cmd_slo)
+    p_slo_lint = slo_sub.add_parser(
+        "lint", help="strictly validate an SLO rules file")
+    p_slo_lint.add_argument("rules", metavar="RULES",
+                            help="rules file to validate (TOML or JSON)")
+    p_slo_lint.set_defaults(func=_cmd_slo)
 
     p_lint = sub.add_parser(
         "metrics-lint",

@@ -15,7 +15,7 @@ from time import perf_counter_ns
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..alphabet import DNA, Alphabet, infer_alphabet
-from ..obs import OBS, PROFILER, new_trace_id, profile_memory
+from ..obs import OBS, PROFILER, new_trace_id, profile_memory, record_query_error
 from ..bwt.fmindex import DEFAULT_SA_SAMPLE, FMIndex
 from ..bwt.rankall import DEFAULT_SAMPLE_RATE
 from ..dna import reverse_complement
@@ -169,16 +169,25 @@ class KMismatchIndex:
         labels use the registry's canonical name, so ``"A()"`` and
         ``"algorithm_a"`` land in one series.
         """
-        self._alphabet.validate(pattern)
         if not OBS.enabled:
+            self._alphabet.validate(pattern)
             return self._dispatch(pattern, k, method, record_mtree)
         engine_name = REGISTRY.canonical_name(method)
         trace_id = new_trace_id()
         profile_marker = PROFILER.marker() if PROFILER.is_running() else None
         start_ns = perf_counter_ns()
-        with OBS.span("kmismatch.search", method=engine_name, m=len(pattern), k=k) as span:
-            occurrences, stats = self._dispatch(pattern, k, method, record_mtree)
-            span.set(occurrences=len(occurrences))
+        # A raised query is a served query too: classify and count it in
+        # query.errors{engine,k,kind} before re-raising (idempotently —
+        # the executor and shard router wrap this same path).
+        try:
+            with OBS.span("kmismatch.search", method=engine_name,
+                          m=len(pattern), k=k) as span:
+                self._alphabet.validate(pattern)
+                occurrences, stats = self._dispatch(pattern, k, method, record_mtree)
+                span.set(occurrences=len(occurrences))
+        except Exception as exc:
+            record_query_error(engine_name, k, exc)
+            raise
         duration_ms = (perf_counter_ns() - start_ns) / 1e6
         OBS.metrics.histogram("query.latency_ms").observe(duration_ms)
         OBS.metrics.histogram(

@@ -30,19 +30,82 @@ from __future__ import annotations
 
 import gc as _gc
 import multiprocessing as _mp
+import os as _os
 import queue as _queue
+import threading
 import traceback as _traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.types import Occurrence, SearchStats
 from ..errors import PatternError, SerializationError
-from ..obs import OBS, PROFILER, ObsDelta, merge_obs_delta
+from ..obs import (
+    OBS,
+    PROFILER,
+    READINESS,
+    WORKER_STALLED_METRIC,
+    ObsDelta,
+    count_query_error,
+    merge_obs_delta,
+    record_query_error,
+)
 
 #: Execution modes accepted by :class:`BatchExecutor`.
 MODES = ("thread", "process")
+
+#: Default stuck-pool deadline in seconds (env ``REPRO_WORKER_STALL_S``):
+#: a process batch with no chunk completion for this long is declared
+#: stalled by the watchdog.
+DEFAULT_STALL_TIMEOUT_S = float(_os.environ.get("REPRO_WORKER_STALL_S", "30"))
+
+
+class _WorkerWatchdog(threading.Thread):
+    """Declares a process pool stuck when no chunk completes in time.
+
+    The collect loop calls :meth:`progress` on every message it drains;
+    this daemon thread watches that heartbeat and, once it goes quiet
+    past the deadline, fires exactly once: bumps
+    ``engine.worker.stalled`` (with the batch's ``{engine,k,shard}``
+    labels) and flips the ``workers`` readiness component so ``/readyz``
+    answers 503.  Dead workers are caught separately (the collect loop
+    sees their exit codes); the watchdog is for the *live-but-stuck*
+    case — a worker wedged in a pathological query or a lost queue
+    message — which previously hung the batch silently forever.
+    """
+
+    def __init__(self, deadline_s: float, labels: Dict[str, object]):
+        super().__init__(name="repro-batch-watchdog", daemon=True)
+        self.deadline_s = deadline_s
+        self.labels = labels
+        self.stalled = False
+        self._stop_event = threading.Event()
+        self._last_progress = monotonic()
+
+    def progress(self) -> None:
+        """Heartbeat: a queue message arrived, the pool is alive."""
+        self._last_progress = monotonic()
+
+    def stop(self) -> None:
+        self._stop_event.set()
+
+    def run(self) -> None:
+        poll_s = min(1.0, max(0.05, self.deadline_s / 4))
+        while not self._stop_event.wait(poll_s):
+            if monotonic() - self._last_progress >= self.deadline_s:
+                self.stalled = True
+                OBS.count(WORKER_STALLED_METRIC)
+                OBS.count(WORKER_STALLED_METRIC, **self.labels)
+                READINESS.set_component(
+                    "workers", False,
+                    f"batch pool stalled: no chunk completed in "
+                    f"{self.deadline_s:.1f}s",
+                )
+                if OBS.enabled:
+                    OBS.record_event("worker_stalled", deadline_s=self.deadline_s,
+                                     **self.labels)
+                return
 
 #: Target number of chunks per worker when no explicit chunk size is given
 #: — small enough to balance uneven reads, large enough to amortise the
@@ -90,6 +153,10 @@ class BatchExecutor:
         per-shard worker behaviour is separable in the metrics payload.
         Unsharded runs leave it ``None`` and emit the historical series
         unchanged.
+    stall_timeout:
+        Seconds without any chunk completion before the watchdog
+        declares a process pool stuck (default
+        :data:`DEFAULT_STALL_TIMEOUT_S`, env ``REPRO_WORKER_STALL_S``).
     """
 
     def __init__(
@@ -98,15 +165,21 @@ class BatchExecutor:
         mode: str = "thread",
         chunk_size: Optional[int] = None,
         shard: Optional[int] = None,
+        stall_timeout: Optional[float] = None,
     ):
         if mode not in MODES:
             raise PatternError(f"unknown batch mode {mode!r}; expected one of {MODES}")
         if chunk_size is not None and chunk_size < 1:
             raise PatternError("chunk_size must be positive")
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise PatternError("stall_timeout must be positive")
         self.workers = max(0, int(workers))
         self.mode = mode
         self.chunk_size = chunk_size
         self.shard = shard
+        self.stall_timeout = (
+            stall_timeout if stall_timeout is not None else DEFAULT_STALL_TIMEOUT_S
+        )
 
     def _shard_labels(self) -> Dict[str, int]:
         """The ``{shard}`` label dict (empty when serving an unsharded index)."""
@@ -206,6 +279,8 @@ class BatchExecutor:
             return [future.result() for future in futures]
 
     def _map_process(self, index, kind, chunks, k, method, extra):
+        from .registry import REGISTRY
+
         try:
             blob = index.to_binary()
             transfer = "shm-bin"
@@ -214,6 +289,11 @@ class BatchExecutor:
             transfer = "shm-json"
         workers = min(self.workers, len(chunks))
         observe = OBS.enabled
+        engine_name = REGISTRY.canonical_name(method)
+        watchdog = _WorkerWatchdog(
+            self.stall_timeout,
+            labels={"engine": engine_name, "k": k, **self._shard_labels()},
+        )
         # Mirror the parent's profiler into each worker: the worker samples
         # itself at the same rate and ships its folded stacks back through
         # the per-chunk ObsDelta payload (0.0 = parent is not profiling).
@@ -246,14 +326,24 @@ class BatchExecutor:
                 )
                 proc.start()
                 procs.append(proc)
-            outcomes, hydrations = self._collect(result_q, procs, len(chunks), workers)
+            watchdog.start()
+            outcomes, hydrations = self._collect(
+                result_q, procs, len(chunks), workers, engine_name, k, watchdog
+            )
         finally:
+            watchdog.stop()
+            if watchdog.is_alive():
+                watchdog.join(timeout=2.0)
             for proc in procs:
                 if proc.is_alive():
                     proc.terminate()
                 proc.join()
             shm.close()
             shm.unlink()
+        # A batch that drained normally is the recovery signal: clear any
+        # stalled/dead verdict a previous batch left on readiness.
+        if not watchdog.stalled:
+            READINESS.set_component("workers", True, "batch pool completed normally")
         extra["transfer"] = transfer
         extra["shm_nbytes"] = len(blob)
         extra["worker_hydrate_ms"] = sorted(hydrations.values())
@@ -288,11 +378,20 @@ class BatchExecutor:
             results.append((chunk_out, chunk_stats))
         return results
 
-    @staticmethod
-    def _collect(result_q, procs, n_chunks, workers):
+    def _collect(self, result_q, procs, n_chunks, workers, engine, k, watchdog):
         """Drain the result queue: one hydration report per worker plus one
         outcome per chunk, with a liveness check so a crashed worker turns
-        into an exception instead of a hang."""
+        into an exception instead of a hang.
+
+        Every drained message is a heartbeat for the stall watchdog.  A
+        dead worker is counted as ``query.errors{...,kind="worker"}``
+        and flips the ``workers`` readiness component before raising.  A
+        shipped chunk failure merges its :class:`~repro.obs.ObsDelta`
+        payload first — the worker already classified and counted the
+        error, so the labelled ``query.errors`` series reach the parent
+        — and the raised ``RuntimeError`` is marked already-counted so
+        outer layers (shard router) do not count the same failure twice.
+        """
         outcomes: Dict[int, tuple] = {}
         hydrations: Dict[int, float] = {}
         while len(outcomes) < n_chunks or len(hydrations) < workers:
@@ -301,16 +400,30 @@ class BatchExecutor:
             except _queue.Empty:
                 dead = [p for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
                 if dead:
-                    raise RuntimeError(
+                    count_query_error(engine, k, "worker")
+                    READINESS.set_component(
+                        "workers", False,
+                        f"batch worker died with exit code {dead[0].exitcode}",
+                    )
+                    error = RuntimeError(
                         f"batch worker died with exit code {dead[0].exitcode} "
                         f"before completing its chunks"
                     )
+                    error._repro_error_counted = True
+                    raise error
                 if all(not p.is_alive() for p in procs):
-                    raise RuntimeError(
+                    count_query_error(engine, k, "worker")
+                    READINESS.set_component(
+                        "workers", False, "all batch workers exited with chunks missing"
+                    )
+                    error = RuntimeError(
                         "all batch workers exited but "
                         f"{n_chunks - len(outcomes)} chunk results are missing"
                     )
+                    error._repro_error_counted = True
+                    raise error
                 continue
+            watchdog.progress()
             tag = message[0]
             if tag == "hydrated":
                 _, worker_id, hydrate_ms = message
@@ -319,10 +432,14 @@ class BatchExecutor:
                 _, chunk_id, out, stats, obs_payload = message
                 outcomes[chunk_id] = (out, stats, obs_payload)
             else:  # "error"
-                _, chunk_id, exc_repr, tb_text = message
-                raise RuntimeError(
+                _, chunk_id, exc_repr, tb_text, obs_payload = message
+                if OBS.enabled and obs_payload is not None:
+                    merge_obs_delta(OBS, obs_payload)
+                error = RuntimeError(
                     f"batch chunk {chunk_id} failed in worker: {exc_repr}\n{tb_text}"
                 )
+                error._repro_error_counted = True
+                raise error
         return outcomes, hydrations
 
 
@@ -439,6 +556,7 @@ def _pool_worker(
             if task is None:
                 break
             chunk_id, chunk = task
+            snapshot = None
             try:
                 if observe:
                     snapshot = ObsDelta.capture(OBS)
@@ -453,7 +571,22 @@ def _pool_worker(
                     obs_payload = None
                 result_q.put(("ok", chunk_id, out, stats, obs_payload))
             except BaseException as exc:  # ship the failure; never hang the parent
-                result_q.put(("error", chunk_id, repr(exc), _traceback.format_exc()))
+                # The failed chunk's telemetry still rides home: count the
+                # error worker-side (idempotent — the matcher usually
+                # already did) and finish the delta so the parent merges
+                # query.errors{engine,k,kind} like any other series.
+                obs_payload = None
+                if observe and snapshot is not None:
+                    try:
+                        from .registry import REGISTRY
+
+                        record_query_error(REGISTRY.canonical_name(method), k, exc)
+                        obs_payload = snapshot.finish(OBS)
+                    except Exception:  # pragma: no cover - never mask the failure
+                        obs_payload = None
+                result_q.put(
+                    ("error", chunk_id, repr(exc), _traceback.format_exc(), obs_payload)
+                )
                 break
     finally:
         if profile_hz > 0:

@@ -57,11 +57,33 @@ from .tracing import NULL_SPAN, Span, Timer, Tracer, render_span_tree
 from .export import (
     OPENMETRICS_CONTENT_TYPE,
     ObsDelta,
+    fetch_metrics_json,
     merge_metrics,
     merge_obs_delta,
     metrics_delta,
     render_openmetrics,
     sanitize_metric_name,
+)
+from .health import HealthMonitor, READINESS, index_canary
+from .slo import (
+    AlertManager,
+    AlertPolicy,
+    DEFAULT_RULES_TOML,
+    Objective,
+    QUERY_ERRORS_METRIC,
+    SLOEngine,
+    SLORules,
+    WORKER_STALLED_METRIC,
+    classify_error,
+    configure_slo_engine,
+    count_query_error,
+    default_rules,
+    evaluate_objective,
+    evaluate_payload,
+    get_slo_engine,
+    lint_rules,
+    load_rules,
+    record_query_error,
 )
 from .recorder import (
     DEFAULT_SLOW_MS,
@@ -360,6 +382,30 @@ __all__ = [
     "merge_metrics",
     "merge_obs_delta",
     "ObsDelta",
+    "fetch_metrics_json",
+    # SLO engine + error accounting (repro.obs.slo)
+    "QUERY_ERRORS_METRIC",
+    "WORKER_STALLED_METRIC",
+    "DEFAULT_RULES_TOML",
+    "classify_error",
+    "count_query_error",
+    "record_query_error",
+    "Objective",
+    "AlertPolicy",
+    "SLORules",
+    "lint_rules",
+    "load_rules",
+    "default_rules",
+    "evaluate_objective",
+    "evaluate_payload",
+    "AlertManager",
+    "SLOEngine",
+    "get_slo_engine",
+    "configure_slo_engine",
+    # deep health / readiness (repro.obs.health)
+    "HealthMonitor",
+    "READINESS",
+    "index_canary",
     # flight recorder / event log (repro.obs.recorder)
     "FlightRecorder",
     "EventLog",

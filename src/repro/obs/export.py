@@ -172,6 +172,23 @@ def render_openmetrics(metrics: Dict[str, dict], prefix: str = "repro_") -> str:
     return "\n".join(lines) + "\n"
 
 
+def fetch_metrics_json(url: str, timeout: float = 10.0) -> Dict[str, dict]:
+    """The registry ``to_dict`` payload scraped from a live server.
+
+    ``url`` is the server base (``http://host:port``) or the full
+    ``/debug/metrics`` endpoint — the suffix is appended when missing.
+    Shared by ``repro-cli stats --url`` and ``repro-cli slo`` so both
+    read exactly what the server exports.
+    """
+    import json
+    from urllib.request import urlopen
+
+    if not url.rstrip("/").endswith("/debug/metrics"):
+        url = url.rstrip("/") + "/debug/metrics"
+    with urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
 # -- cross-process snapshot aggregation -----------------------------------------
 
 

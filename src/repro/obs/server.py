@@ -7,7 +7,18 @@ singleton:
   metrics registry (what a Prometheus scrape job points at), labelled
   series and histogram exemplars included;
 * ``GET /healthz``       — liveness JSON (uptime, instrumentation state,
-  metric/record counts);
+  metric/record counts).  Deliberately unconditional: it says "the
+  process is up", nothing more;
+* ``GET /readyz``        — deep readiness: runs the registered health
+  probes (canary query against the loaded index, worker-pool state) and
+  answers 200 only when every component is ready, 503 otherwise, with
+  the per-component report as JSON (see :mod:`repro.obs.health`);
+* ``GET /slo``           — one SLO engine tick: every objective judged
+  over the rolling fast/slow windows, burn rates and alert state
+  included (see :mod:`repro.obs.slo`).  Scraping this endpoint is what
+  builds the windows — each request adds a snapshot;
+* ``GET /alerts``        — the in-process alert manager's state
+  (firing / resolved / inactive per objective) without ticking;
 * ``GET /debug/queries`` — the flight recorder as JSON: recent query
   records plus the pinned slow list.  ``?trace_id=<id>`` narrows the
   response to the records carrying that correlation id — the resolution
@@ -48,19 +59,29 @@ from .export import OPENMETRICS_CONTENT_TYPE, render_openmetrics
 #: Default port for `repro-cli serve-metrics` (0 = ephemeral).
 DEFAULT_PORT = 9109
 
+#: Serializes one-shot ``?seconds=N`` pprof captures: the profiler can
+#: run one capture at a time, so concurrent requesters race its
+#: is_running() check (TOCTOU) — the loser of this lock gets a 409.
+_PPROF_CAPTURE_LOCK = threading.Lock()
+
 
 class _ObsRequestHandler(BaseHTTPRequestHandler):
-    """Routes the three telemetry endpoints over the OBS singleton."""
+    """Routes the telemetry endpoints over the OBS singleton."""
 
     server_version = "repro-obs/1"
 
     def _respond(self, status: int, content_type: str, body: str) -> None:
         payload = body.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
+        # A scraper may drop the connection mid-response (timeout,
+        # restart); that is its problem, not a handler-thread traceback.
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         from . import OBS
@@ -91,6 +112,27 @@ class _ObsRequestHandler(BaseHTTPRequestHandler):
             else:
                 body = OBS.recorder.to_dict()
             self._respond(200, "application/json", json.dumps(body) + "\n")
+        elif path == "/readyz":
+            from .health import READINESS
+
+            report = READINESS.check()
+            self._respond(
+                200 if report["ready"] else 503,
+                "application/json", json.dumps(report) + "\n",
+            )
+        elif path == "/slo":
+            from .slo import get_slo_engine
+
+            self._respond(
+                200, "application/json", json.dumps(get_slo_engine().tick()) + "\n"
+            )
+        elif path == "/alerts":
+            from .slo import get_slo_engine
+
+            self._respond(
+                200, "application/json",
+                json.dumps(get_slo_engine().alerts.to_dict()) + "\n",
+            )
         elif path == "/debug/metrics":
             self._respond(
                 200, "application/json", json.dumps(OBS.metrics.to_dict()) + "\n"
@@ -108,8 +150,19 @@ class _ObsRequestHandler(BaseHTTPRequestHandler):
                     self._respond(400, "application/json",
                                   json.dumps({"error": "seconds/hz must be numbers"}) + "\n")
                     return
-                if seconds > 0 and not PROFILER.is_running():
-                    profile = PROFILER.capture(seconds, hz=hz)
+                if seconds > 0:
+                    if not _PPROF_CAPTURE_LOCK.acquire(blocking=False):
+                        self._respond(
+                            409, "application/json",
+                            json.dumps({"error": "a capture is already running",
+                                        "hint": "retry once it finishes"}) + "\n",
+                        )
+                        return
+                    try:
+                        if not PROFILER.is_running():
+                            profile = PROFILER.capture(seconds, hz=hz)
+                    finally:
+                        _PPROF_CAPTURE_LOCK.release()
             if profile is None:
                 self._respond(
                     404,
@@ -135,7 +188,8 @@ class _ObsRequestHandler(BaseHTTPRequestHandler):
                 404,
                 "application/json",
                 json.dumps({"error": "not found",
-                            "endpoints": ["/metrics", "/healthz",
+                            "endpoints": ["/metrics", "/healthz", "/readyz",
+                                          "/slo", "/alerts",
                                           "/debug/queries", "/debug/metrics",
                                           "/debug/pprof", "/debug/pprof/flamegraph",
                                           "/debug/pprof/heap"]}) + "\n",

@@ -41,7 +41,7 @@ from ..core.wildcard import DEFAULT_WILDCARD
 from ..dna import reverse_complement
 from ..engine.registry import REGISTRY
 from ..errors import IndexCorruptionError, PatternError
-from ..obs import OBS
+from ..obs import OBS, record_query_error
 from .manifest import (
     DEFAULT_MAX_K,
     DEFAULT_MAX_PATTERN,
@@ -132,7 +132,19 @@ class QueryRouter:
         searched.  ``rebase`` maps ``(occurrence, global_offset)`` to a
         globally-positioned occurrence (defaults to the
         :class:`Occurrence` shape).
+
+        A raised routed query — seam-budget rejection, a shard failing
+        mid-fanout — is counted in ``query.errors{engine,k,kind}``
+        before re-raising (idempotently: per-shard facades count their
+        own failures first and tag the exception).
         """
+        try:
+            return self._route_inner(pattern, k, shard_fn, engine, window, rebase)
+        except Exception as exc:
+            record_query_error(engine, k, exc)
+            raise
+
+    def _route_inner(self, pattern, k, shard_fn, engine, window=None, rebase=None):
         sharded = self._sharded
         window = window if window is not None else len(pattern)
         sharded.check_seam_budget(window)
@@ -217,6 +229,14 @@ class QueryRouter:
         """
         from ..engine.executor import BatchExecutor
 
+        engine = REGISTRY.canonical_name(method)
+        try:
+            return self._run_batch_inner(BatchExecutor, kind, items, k, method)
+        except Exception as exc:
+            record_query_error(engine, k, exc)
+            raise
+
+    def _run_batch_inner(self, BatchExecutor, kind, items, k, method):
         sharded = self._sharded
         window = max((len(item) for item in items), default=0)
         if kind == "map":
@@ -498,7 +518,14 @@ class ShardedIndex:
         self, pattern: str, k: int, method: str = "algorithm_a"
     ) -> Tuple[List[Occurrence], SearchStats]:
         """Like :meth:`search`, plus shard-merged search statistics."""
-        self._alphabet.validate(pattern)
+        try:
+            self._alphabet.validate(pattern)
+        except Exception as exc:
+            # The router never runs for an invalid pattern; count the
+            # rejection here so sharded serving has the same error
+            # accounting as the unsharded facade.
+            record_query_error(REGISTRY.canonical_name(method), k, exc)
+            raise
         return self.router.search_with_stats(pattern, k, method)
 
     def count(self, pattern: str, k: int = 0, method: str = "algorithm_a") -> int:

@@ -586,28 +586,41 @@ class TestShardedCli:
     def test_serve_metrics_sharded_exposes_shard_labels(
         self, big_genome_file, tmp_path, capsys
     ):
+        import os
+        import signal
+        import threading
+        import time
         from urllib.request import urlopen
-
-        import repro.cli as cli_module
 
         genome, text = big_genome_file
         reads = tmp_path / "reads.txt"
         reads.write_text(text[30:60] + "\n" + text[420:450] + "\n")
         captured = {}
-        original_sleep = cli_module.time.sleep
 
-        def grab_then_return(seconds):
-            with urlopen("http://127.0.0.1:9188/metrics", timeout=5.0) as response:
-                captured["text"] = response.read().decode()
-            original_sleep(0)
+        def grab_then_stop():
+            # Poll until the routed workload's {shard} series appear,
+            # then ask the server to shut down gracefully (SIGTERM is
+            # how serve-metrics is stopped in CI).
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                try:
+                    with urlopen("http://127.0.0.1:9188/metrics",
+                                 timeout=5.0) as response:
+                        body = response.read().decode()
+                    if 'shard="1"' in body:
+                        captured["text"] = body
+                        break
+                except OSError:
+                    pass
+                time.sleep(0.05)
+            os.kill(os.getpid(), signal.SIGTERM)
 
-        cli_module.time.sleep = grab_then_return
-        try:
-            rc = main(["serve-metrics", str(genome), "--reads", str(reads),
-                       "-k", "1", "--shards", "2", "--port", "9188",
-                       "--duration", "5"])
-        finally:
-            cli_module.time.sleep = original_sleep
+        scraper = threading.Thread(target=grab_then_stop, daemon=True)
+        scraper.start()
+        rc = main(["serve-metrics", str(genome), "--reads", str(reads),
+                   "-k", "1", "--shards", "2", "--port", "9188",
+                   "--duration", "30"])
+        scraper.join(timeout=20.0)
         assert rc == 0
         exposition = captured["text"]
         assert 'repro_query_shard_ms_bucket{engine="algorithm_a"' in exposition

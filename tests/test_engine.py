@@ -489,6 +489,112 @@ class TestProcessPoolObsParity:
         assert snapshot["engine.batch.chunks"]["value"] == 4
         OBS.reset()
 
+    def _error_series(self, index, reads, **batch_kwargs):
+        """Run a batch that is expected to raise; return the labelled
+        query.errors series that reached the parent registry."""
+        from repro.obs import OBS, QUERY_ERRORS_METRIC, iter_series
+
+        OBS.reset()
+        OBS.enable()
+        try:
+            with pytest.raises(Exception) as info:
+                index.search_batch(reads, 2, method="stree", **batch_kwargs)
+        finally:
+            OBS.disable()
+        payload = OBS.metrics.to_dict()
+        OBS.reset()
+        family = payload.get(QUERY_ERRORS_METRIC, {})
+        series = {
+            labels: child["value"]
+            for labels, child in iter_series(family)
+            if labels
+        }
+        return info.value, series
+
+    def test_query_errors_survive_pool_round_trip(self, workload):
+        """A worker-side failure must count query.errors{engine,k,kind}
+        in the worker and ship the labelled series home through the
+        error-message ObsDelta payload — parity with a serial run."""
+        text, reads = workload
+        index = KMismatchIndex(text)
+        bad_reads = list(reads) + ["z" * 20]  # outside the DNA alphabet
+        expected = {
+            (("engine", "stree"), ("k", "2"), ("kind", "pattern")): 1,
+        }
+
+        serial_exc, serial = self._error_series(index, bad_reads)
+        assert serial == expected
+
+        process_exc, process = self._error_series(
+            index, bad_reads, workers=2, mode="process", chunk_size=5
+        )
+        assert isinstance(process_exc, RuntimeError)
+        assert "AlphabetError" in str(process_exc)
+        assert process == serial == expected
+
+
+class TestWorkerWatchdog:
+    """The stuck-worker watchdog must fire on a silent pool and stand
+    down when messages keep flowing."""
+
+    def test_fires_on_stall_and_flips_readiness(self):
+        import time
+
+        from repro.engine.executor import _WorkerWatchdog
+        from repro.obs import OBS, READINESS, WORKER_STALLED_METRIC
+
+        READINESS.reset()
+        OBS.reset()
+        OBS.enable()
+        watchdog = _WorkerWatchdog(0.1, labels={"engine": "stree", "k": 2})
+        watchdog.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while not watchdog.stalled and time.monotonic() < deadline:
+                time.sleep(0.02)
+        finally:
+            watchdog.stop()
+            watchdog.join(timeout=5.0)
+            OBS.disable()
+        assert watchdog.stalled is True
+        family = OBS.metrics.family(WORKER_STALLED_METRIC)
+        assert family.default.value == 1
+        labels = [dict(c.labels) for c in family.labelled()]
+        assert labels == [{"engine": "stree", "k": "2"}]
+        report = READINESS.check()
+        assert report["ready"] is False
+        assert "stalled" in report["components"]["workers"]["detail"]
+        OBS.reset()
+        READINESS.reset()
+
+    def test_progress_heartbeats_keep_it_quiet(self):
+        import time
+
+        from repro.engine.executor import _WorkerWatchdog
+        from repro.obs import OBS, READINESS
+
+        READINESS.reset()
+        OBS.reset()
+        watchdog = _WorkerWatchdog(0.3, labels={})
+        watchdog.start()
+        try:
+            for _ in range(5):
+                time.sleep(0.1)
+                watchdog.progress()
+        finally:
+            watchdog.stop()
+            watchdog.join(timeout=5.0)
+        assert watchdog.stalled is False
+        assert READINESS.check()["ready"] is True
+
+    def test_batch_executor_rejects_bad_stall_timeout(self):
+        from repro.engine.executor import BatchExecutor
+
+        with pytest.raises(ValueError):
+            BatchExecutor(stall_timeout=0)
+        with pytest.raises(ValueError):
+            BatchExecutor(stall_timeout=-1.5)
+
 
 class TestEngineNaiveAgreement:
     """Every registered mismatch engine must agree with the naive scan."""

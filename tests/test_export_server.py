@@ -366,6 +366,125 @@ class TestServer:
         MEMORY_PROFILES.clear()
 
 
+class TestHealthEndpoints:
+    """Deep health, SLO and alert endpoints plus the pprof capture lock
+    and broken-pipe hardening."""
+
+    @pytest.fixture
+    def server(self):
+        from repro.obs import READINESS
+
+        READINESS.reset()
+        server = MetricsServer(port=0).start()
+        yield server
+        server.stop()
+        READINESS.reset()
+
+    def _get(self, server, path):
+        with urllib.request.urlopen(server.url + path, timeout=5) as response:
+            return response.status, response.read().decode()
+
+    def test_readyz_ready_by_default(self, server):
+        status, body = self._get(server, "/readyz")
+        assert status == 200
+        assert json.loads(body)["ready"] is True
+
+    def test_readyz_503_when_component_unready(self, server):
+        from repro.obs import READINESS
+
+        READINESS.set_component("workers", False, "pool stalled")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._get(server, "/readyz")
+        assert info.value.code == 503
+        payload = json.loads(info.value.read().decode())
+        assert payload["ready"] is False
+        assert payload["components"]["workers"]["detail"] == "pool stalled"
+        READINESS.set_component("workers", True)
+        status, _ = self._get(server, "/readyz")
+        assert status == 200
+
+    def test_readyz_503_on_failing_canary_probe(self, server):
+        from repro.obs import READINESS, index_canary
+
+        index = KMismatchIndex("acagacattagacagacat")
+        READINESS.register_probe("index", index_canary(index, pattern="tttttt"))
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._get(server, "/readyz")
+        assert info.value.code == 503
+        payload = json.loads(info.value.read().decode())
+        assert payload["components"]["index"]["ok"] is False
+
+    def test_slo_endpoint_serves_burn_report(self, server):
+        status, body = self._get(server, "/slo")
+        assert status == 200
+        report = json.loads(body)
+        assert report["format"] == "repro-slo-report"
+        names = [o["objective"] for o in report["objectives"]]
+        assert "query-availability" in names
+        for objective in report["objectives"]:
+            assert set(objective["windows"]) == {"fast", "slow"}
+
+    def test_alerts_endpoint_serves_alert_states(self, server):
+        status, body = self._get(server, "/alerts")
+        assert status == 200
+        payload = json.loads(body)
+        assert "alerts" in payload and "n_firing" in payload
+
+    def test_404_lists_new_endpoints(self, server):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._get(server, "/nope")
+        endpoints = json.loads(info.value.read().decode())["endpoints"]
+        for path in ("/readyz", "/slo", "/alerts"):
+            assert path in endpoints
+
+    def test_pprof_timed_capture_is_exclusive(self, server):
+        from repro.obs import server as server_mod
+
+        assert server_mod._PPROF_CAPTURE_LOCK.acquire(blocking=False)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as info:
+                self._get(server, "/debug/pprof?seconds=0.2")
+            assert info.value.code == 409
+            payload = json.loads(info.value.read().decode())
+            assert "already running" in payload["error"]
+        finally:
+            server_mod._PPROF_CAPTURE_LOCK.release()
+        # Once the holder releases, a capture succeeds again.
+        status, _ = self._get(server, "/debug/pprof?seconds=0.1&hz=100")
+        assert status == 200
+        from repro.obs import PROFILER
+
+        PROFILER.profile = None
+
+    def test_respond_swallows_broken_pipe(self):
+        from repro.obs.server import _ObsRequestHandler
+
+        class BrokenWfile:
+            def write(self, data):
+                raise BrokenPipeError("client went away")
+
+        handler = object.__new__(_ObsRequestHandler)
+        handler.close_connection = False
+        handler.wfile = BrokenWfile()
+        handler.send_response = lambda code: None
+        handler.send_header = lambda *a: None
+        handler.end_headers = lambda: None
+        handler._respond(200, "application/json", "{}")  # must not raise
+        assert handler.close_connection is True
+
+    def test_respond_swallows_connection_reset_in_headers(self):
+        from repro.obs.server import _ObsRequestHandler
+
+        def raise_reset(code):
+            raise ConnectionResetError("reset by peer")
+
+        handler = object.__new__(_ObsRequestHandler)
+        handler.close_connection = False
+        handler.send_response = raise_reset
+        handler._respond(200, "text/plain", "hi")
+        assert handler.close_connection is True
+
+
 class TestNonFiniteValues:
     """Satellite: non-finite floats must render the OpenMetrics
     spellings (+Inf / -Inf / NaN), never Python's inf / nan reprs."""
