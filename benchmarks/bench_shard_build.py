@@ -1,0 +1,129 @@
+"""Experiment E5 — shard builds: serial vs process-pool parallel.
+
+``ShardedIndex.build`` constructs N independent per-shard FM-indexes;
+the parallel path (``build_workers``, :mod:`repro.shard.builder`) farms
+them out to a process pool, shipping the text down and each built
+``REPROIDX`` blob back through shared memory.  This experiment builds
+the same simulated genome serially and at 1/2/4 workers, checks the
+resulting shard files and manifest are byte-identical across all runs
+(the deterministic-writer guarantee), and records wall-clock per
+configuration in ``benchmarks/results/shard_build.json``.
+
+The speedup assertion is gated on the host actually having the cores:
+a 1-core CI runner still exercises every path and pins byte identity,
+but only a >= 4-core host is held to the >= 2x bar at 4 workers.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.shard import ShardedIndex
+
+from conftest import write_json_result, write_result
+
+GENOME_BP = int(os.environ.get("REPRO_BENCH_SHARD_BUILD_BP", "240000"))
+N_SHARDS = 4
+MAX_PATTERN = 128
+MAX_K = 4
+WORKER_GRID = (1, 2, 4)
+
+
+def simulated_genome(bp: int) -> str:
+    rng = random.Random(31)
+    return "".join(rng.choice("acgt") for _ in range(bp))
+
+
+def saved_files(index: ShardedIndex, directory: Path) -> dict:
+    index.save(directory / "genome.shard")
+    return {
+        path.name: path.read_bytes() for path in sorted(directory.iterdir())
+    }
+
+
+@pytest.mark.benchmark(group="shard-build")
+def test_shard_build_parallel(benchmark, results_dir, tmp_path):
+    text = simulated_genome(GENOME_BP)
+    seconds = {}
+    outputs = {}
+
+    def run_all():
+        start = time.perf_counter()
+        serial = ShardedIndex.build(
+            text, N_SHARDS, max_pattern=MAX_PATTERN, max_k=MAX_K
+        )
+        seconds["serial"] = time.perf_counter() - start
+        serial_dir = tmp_path / "serial"
+        serial_dir.mkdir(exist_ok=True)
+        outputs["serial"] = saved_files(serial, serial_dir)
+
+        for workers in WORKER_GRID:
+            start = time.perf_counter()
+            parallel = ShardedIndex.build(
+                text, N_SHARDS, max_pattern=MAX_PATTERN, max_k=MAX_K,
+                build_workers=workers,
+            )
+            seconds[f"workers{workers}"] = time.perf_counter() - start
+            out_dir = tmp_path / f"workers{workers}"
+            out_dir.mkdir(exist_ok=True)
+            outputs[f"workers{workers}"] = saved_files(parallel, out_dir)
+
+        # Manifest + every shard file byte-identical across all builds.
+        for config, files in outputs.items():
+            assert set(files) == set(outputs["serial"]), config
+            for name, blob in files.items():
+                assert blob == outputs["serial"][name], f"{config}/{name}"
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    speedup = {
+        config: seconds["serial"] / seconds[config]
+        for config in seconds
+        if config != "serial"
+    }
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        assert speedup["workers4"] >= 2.0, (
+            f"parallel build at 4 workers only {speedup['workers4']:.2f}x "
+            f"over serial on a {cpus}-core host"
+        )
+
+    configs = ["serial"] + [f"workers{w}" for w in WORKER_GRID]
+    rows = [
+        [
+            config,
+            f"{seconds[config]:.3f}s",
+            "-" if config == "serial" else f"{speedup[config]:.2f}x",
+        ]
+        for config in configs
+    ]
+    table = format_table(
+        ["build", "time", "speedup"],
+        rows,
+        title=(
+            f"E5: {N_SHARDS}-shard build of {GENOME_BP:,} bp "
+            f"(max_pattern={MAX_PATTERN}, max_k={MAX_K}, host cpus={cpus}) — "
+            f"all outputs byte-identical"
+        ),
+    )
+    write_result(results_dir, "shard_build", table)
+    write_json_result(
+        results_dir,
+        "shard_build",
+        {
+            "genome_bp": GENOME_BP,
+            "n_shards": N_SHARDS,
+            "max_pattern": MAX_PATTERN,
+            "max_k": MAX_K,
+            "host_cpus": cpus,
+            "seconds": seconds,
+            "speedup_vs_serial": speedup,
+            "byte_identical": True,
+        },
+    )

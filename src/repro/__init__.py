@@ -29,6 +29,7 @@ Package map
 from .alphabet import DNA, PROTEIN, Alphabet, infer_alphabet
 from .errors import (
     AlphabetError,
+    IndexBuildError,
     IndexCorruptionError,
     IndexFormatError,
     PatternError,
@@ -60,6 +61,7 @@ __all__ = [
     "ReproError",
     "AlphabetError",
     "PatternError",
+    "IndexBuildError",
     "IndexCorruptionError",
     "IndexFormatError",
     "SerializationError",

@@ -109,6 +109,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
                 text, args.shards,
                 max_pattern=args.max_pattern, max_k=args.max_k,
                 occ_sample_rate=args.occ_sample, sa_sample_rate=args.sa_sample,
+                build_workers=args.build_workers,
             )
         else:
             index = KMismatchIndex(
@@ -730,6 +731,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_index.add_argument("--max-k", type=int, default=8,
                          help="with --shards: largest mismatch bound the sharded "
                               "index will answer (fixes the seam overlap)")
+    p_index.add_argument("--build-workers", type=int, default=0,
+                         help="with --shards: build the N shard indexes over a "
+                              "process pool of this many workers (0 = serial); "
+                              "output is byte-identical either way")
     _add_obs_flags(p_index)
     p_index.set_defaults(func=_cmd_index)
 

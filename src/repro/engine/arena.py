@@ -1,0 +1,192 @@
+"""Zero-copy shared-memory result arena for process-pool batches.
+
+Process workers hydrate the index zero-copy from shared memory, but the
+*return* path historically pickled every occurrence list back through a
+``multiprocessing.Queue`` per chunk — an O(hits) copy that dominates on
+high-hit workloads (small ``k`` over repetitive genomes, the regime
+Nicolae & Rajasekaran's k-mismatch line of work targets).  The arena
+removes that copy: the parent allocates one shared-memory segment, each
+worker packs its chunks' results into fixed-width records inside its own
+reserved region, and the parent reassembles input-ordered results by
+scanning records — no pickling, no per-hit allocation in transit.
+
+Record layout (little-endian, 20-byte header)::
+
+    u64 position      occurrence start in the target
+    u32 item id       index of the pattern/read *within its chunk*
+    u32 chunk id      which chunk the record belongs to
+    u16 n_mismatches  how many u16 mismatch offsets follow inline
+    u16 flags         bit 0: reverse-strand hit (map kind only)
+
+followed by ``n_mismatches`` inline ``u16`` mismatch offsets, so the
+full :class:`~repro.core.types.Occurrence` (offsets tuple included)
+survives the round trip and arena-path results are byte-identical to
+the pickled path.
+
+Concurrency protocol: the arena is split into ``workers`` equal,
+*exclusive* regions, so workers never contend on a shared cursor — each
+owns an append-only offset inside its region (the "atomic-ish offset
+protocol": ownership makes the append atomic by construction, and the
+result-queue message that publishes ``(start, end)`` provides the
+happens-before edge before the parent reads the bytes).  A chunk whose
+records do not fit the remaining region space — or that contains a
+value a fixed-width field cannot hold — spills gracefully back to the
+pickle queue; ``BatchResult.extra["return_path"]`` records which path
+each batch actually took (``arena`` / ``queue`` / ``mixed``).
+"""
+
+from __future__ import annotations
+
+import os as _os
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import SerializationError
+
+#: Fixed-width record header: position, item id, chunk id, mismatch
+#: count, flags (see module docstring for field semantics).
+RECORD_HEADER = struct.Struct("<QIIHH")
+
+#: Default arena size in bytes (env ``REPRO_ARENA_BYTES``; ``0``
+#: disables the arena entirely and forces the pickle-queue path).
+DEFAULT_ARENA_BYTES = int(_os.environ.get("REPRO_ARENA_BYTES", str(8 << 20)))
+
+#: ``flags`` bit 0: the hit is on the reverse strand (map kind only).
+FLAG_REVERSE = 0x1
+
+_U16_MAX = 0xFFFF
+_U32_MAX = 0xFFFFFFFF
+
+
+def region_bounds(arena_bytes: int, workers: int, worker_id: int) -> Tuple[int, int]:
+    """The exclusive ``[start, end)`` byte range worker ``worker_id`` owns.
+
+    The arena is split into ``workers`` equal regions; any remainder
+    bytes at the tail are left unused (simpler than uneven regions, and
+    at most ``workers - 1`` bytes are wasted).
+    """
+    region = arena_bytes // workers
+    return worker_id * region, (worker_id + 1) * region
+
+
+class ArenaWriter:
+    """Worker-side packer: appends chunk records into one owned region.
+
+    The writer never blocks and never raises on capacity: a chunk that
+    does not fit (or holds a value outside the fixed-width fields)
+    simply returns ``None`` from :meth:`pack_chunk`, signalling the
+    caller to spill that chunk to the pickle queue instead.
+    """
+
+    def __init__(self, buf, start: int, end: int):
+        self._buf = buf
+        self._offset = start
+        self._end = end
+
+    def pack_chunk(
+        self, chunk_id: int, kind: str, results: Sequence[Sequence[object]]
+    ) -> Optional[Tuple[int, int, int]]:
+        """Pack one chunk's per-item result lists; return the committed
+        ``(start, end, n_records)`` triple, or ``None`` to spill.
+
+        Sizing is done in a first pass so a chunk is committed
+        all-or-nothing — a partial write never leaks into the region.
+        """
+        header_size = RECORD_HEADER.size
+        needed = 0
+        n_records = 0
+        if chunk_id > _U32_MAX or len(results) > _U32_MAX:
+            return None
+        for entries in results:
+            for entry in entries:
+                occurrence = entry.occurrence if kind == "map" else entry
+                mismatches = occurrence.mismatches
+                if len(mismatches) > _U16_MAX:
+                    return None
+                if mismatches and mismatches[-1] > _U16_MAX:
+                    # Offsets are ascending; checking the last suffices.
+                    return None
+                needed += header_size + 2 * len(mismatches)
+                n_records += 1
+        if needed > self._end - self._offset:
+            return None
+        start = self._offset
+        offset = start
+        buf = self._buf
+        for item_id, entries in enumerate(results):
+            for entry in entries:
+                if kind == "map":
+                    occurrence = entry.occurrence
+                    flags = FLAG_REVERSE if entry.strand == "-" else 0
+                else:
+                    occurrence = entry
+                    flags = 0
+                mismatches = occurrence.mismatches
+                RECORD_HEADER.pack_into(
+                    buf, offset,
+                    occurrence.start, item_id, chunk_id, len(mismatches), flags,
+                )
+                offset += header_size
+                if mismatches:
+                    struct.pack_into(
+                        "<%dH" % len(mismatches), buf, offset, *mismatches
+                    )
+                    offset += 2 * len(mismatches)
+        self._offset = offset
+        return start, offset, n_records
+
+
+def decode_chunk(
+    buf, start: int, end: int, n_items: int, chunk_id: int, kind: str
+) -> List[List[object]]:
+    """Parent-side scan: rebuild one chunk's per-item result lists from
+    the records a worker committed at ``[start, end)``.
+
+    Workers pack items in order, so appends land in the same per-item
+    order a sequential run produces — arena-path output is
+    byte-identical to the pickled path.
+    """
+    from ..core.matcher import ReadHit
+    from ..core.types import Occurrence
+
+    out: List[List[object]] = [[] for _ in range(n_items)]
+    header = RECORD_HEADER
+    header_size = header.size
+    offset = start
+    while offset < end:
+        if offset + header_size > end:
+            raise SerializationError(
+                f"arena chunk {chunk_id}: truncated record header at byte {offset}"
+            )
+        position, item_id, record_chunk, n_mismatches, flags = header.unpack_from(
+            buf, offset
+        )
+        offset += header_size
+        if record_chunk != chunk_id or item_id >= n_items:
+            raise SerializationError(
+                f"arena chunk {chunk_id}: record at byte {offset - header_size} "
+                f"claims chunk {record_chunk} item {item_id} (have {n_items} items)"
+            )
+        if n_mismatches:
+            if offset + 2 * n_mismatches > end:
+                raise SerializationError(
+                    f"arena chunk {chunk_id}: truncated mismatch offsets at "
+                    f"byte {offset}"
+                )
+            mismatches = struct.unpack_from("<%dH" % n_mismatches, buf, offset)
+            offset += 2 * n_mismatches
+        else:
+            mismatches = ()
+        occurrence = Occurrence(start=position, mismatches=tuple(mismatches))
+        if kind == "map":
+            out[item_id].append(
+                ReadHit(occurrence, "-" if flags & FLAG_REVERSE else "+")
+            )
+        else:
+            out[item_id].append(occurrence)
+    if offset != end:
+        raise SerializationError(
+            f"arena chunk {chunk_id}: record stream ended at byte {offset}, "
+            f"expected {end}"
+        )
+    return out

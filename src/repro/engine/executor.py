@@ -51,6 +51,7 @@ from ..obs import (
     merge_obs_delta,
     record_query_error,
 )
+from .arena import DEFAULT_ARENA_BYTES, RECORD_HEADER, ArenaWriter, decode_chunk, region_bounds
 
 #: Execution modes accepted by :class:`BatchExecutor`.
 MODES = ("thread", "process")
@@ -59,6 +60,11 @@ MODES = ("thread", "process")
 #: a process batch with no chunk completion for this long is declared
 #: stalled by the watchdog.
 DEFAULT_STALL_TIMEOUT_S = float(_os.environ.get("REPRO_WORKER_STALL_S", "30"))
+
+#: Counter bumped every time the collect loop's queue poll times out
+#: without a message — a cheap liveness signal for slow hosts where the
+#: poll cadence matters relative to the watchdog deadline.
+POLL_TIMEOUTS_METRIC = "engine.worker.poll_timeouts"
 
 
 class _WorkerWatchdog(threading.Thread):
@@ -157,6 +163,12 @@ class BatchExecutor:
         Seconds without any chunk completion before the watchdog
         declares a process pool stuck (default
         :data:`DEFAULT_STALL_TIMEOUT_S`, env ``REPRO_WORKER_STALL_S``).
+    arena_bytes:
+        Size of the shared-memory result arena process workers pack
+        occurrence records into (see :mod:`repro.engine.arena`);
+        default :data:`~repro.engine.arena.DEFAULT_ARENA_BYTES`
+        (env ``REPRO_ARENA_BYTES``).  ``0`` disables the arena and
+        returns every chunk through the pickle queue.
     """
 
     def __init__(
@@ -166,6 +178,7 @@ class BatchExecutor:
         chunk_size: Optional[int] = None,
         shard: Optional[int] = None,
         stall_timeout: Optional[float] = None,
+        arena_bytes: Optional[int] = None,
     ):
         if mode not in MODES:
             raise PatternError(f"unknown batch mode {mode!r}; expected one of {MODES}")
@@ -173,12 +186,17 @@ class BatchExecutor:
             raise PatternError("chunk_size must be positive")
         if stall_timeout is not None and stall_timeout <= 0:
             raise PatternError("stall_timeout must be positive")
+        if arena_bytes is not None and arena_bytes < 0:
+            raise PatternError("arena_bytes must be >= 0")
         self.workers = max(0, int(workers))
         self.mode = mode
         self.chunk_size = chunk_size
         self.shard = shard
         self.stall_timeout = (
             stall_timeout if stall_timeout is not None else DEFAULT_STALL_TIMEOUT_S
+        )
+        self.arena_bytes = (
+            int(arena_bytes) if arena_bytes is not None else DEFAULT_ARENA_BYTES
         )
 
     def _shard_labels(self) -> Dict[str, int]:
@@ -301,7 +319,16 @@ class BatchExecutor:
         ctx = _mp.get_context()
         from multiprocessing import shared_memory
 
+        # The result arena only pays off when every worker's region can
+        # hold at least one record; below that, skip straight to the
+        # pickle-queue path rather than spill every single chunk.
+        use_arena = self.arena_bytes // workers >= RECORD_HEADER.size
         shm = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+        arena = (
+            shared_memory.SharedMemory(create=True, size=self.arena_bytes)
+            if use_arena
+            else None
+        )
         procs: List[_mp.process.BaseProcess] = []
         try:
             shm.buf[: len(blob)] = blob
@@ -315,12 +342,18 @@ class BatchExecutor:
             for _ in range(workers):
                 task_q.put(None)
             for worker_id in range(workers):
+                region = (
+                    region_bounds(self.arena_bytes, workers, worker_id)
+                    if use_arena
+                    else (0, 0)
+                )
                 proc = ctx.Process(
                     target=_pool_worker,
                     args=(
                         worker_id, shm.name, len(blob), transfer, observe,
                         kind, k, method, task_q, result_q, profile_hz,
-                        self.shard,
+                        self.shard, arena.name if use_arena else None,
+                        region[0], region[1],
                     ),
                     daemon=True,
                 )
@@ -330,6 +363,32 @@ class BatchExecutor:
             outcomes, hydrations = self._collect(
                 result_q, procs, len(chunks), workers, engine_name, k, watchdog
             )
+            # Decode arena-path chunks *before* the finally closes the
+            # arena segment — records only live as long as the mapping.
+            # Workers committed their bytes before publishing the
+            # (start, end) span on the result queue, so reads are safe
+            # even while workers idle on the sentinel.
+            arena_records = 0
+            arena_spills = 0
+            arena_chunks = 0
+            queue_chunks = 0
+            decoded: Dict[int, tuple] = {}
+            for chunk_id in range(len(chunks)):
+                payload, chunk_stats, obs_payload = outcomes[chunk_id]
+                if payload[0] == "arena":
+                    _, a_start, a_end, n_items, n_records = payload
+                    chunk_out = decode_chunk(
+                        arena.buf, a_start, a_end, n_items, chunk_id, kind
+                    )
+                    arena_records += n_records
+                    arena_chunks += 1
+                else:  # ("queue", out)
+                    chunk_out = payload[1]
+                    queue_chunks += 1
+                    if use_arena:
+                        arena_spills += 1
+                decoded[chunk_id] = (chunk_out, chunk_stats, obs_payload)
+            outcomes = decoded
         finally:
             watchdog.stop()
             if watchdog.is_alive():
@@ -340,6 +399,9 @@ class BatchExecutor:
                 proc.join()
             shm.close()
             shm.unlink()
+            if arena is not None:
+                arena.close()
+                arena.unlink()
         # A batch that drained normally is the recovery signal: clear any
         # stalled/dead verdict a previous batch left on readiness.
         if not watchdog.stalled:
@@ -347,8 +409,24 @@ class BatchExecutor:
         extra["transfer"] = transfer
         extra["shm_nbytes"] = len(blob)
         extra["worker_hydrate_ms"] = sorted(hydrations.values())
+        if not use_arena:
+            extra["return_path"] = "queue"
+        elif queue_chunks == 0:
+            extra["return_path"] = "arena"
+        elif arena_chunks == 0:
+            extra["return_path"] = "queue"
+        else:
+            extra["return_path"] = "mixed"
+        extra["arena_nbytes"] = self.arena_bytes if use_arena else 0
+        extra["arena_records"] = arena_records
+        extra["arena_spills"] = arena_spills
         if observe:
             OBS.metrics.gauge("engine.shm.nbytes").set(len(blob))
+            if use_arena:
+                OBS.metrics.gauge("engine.arena.nbytes").set(self.arena_bytes)
+                OBS.metrics.counter("engine.arena.records").inc(arena_records)
+                if arena_spills:
+                    OBS.metrics.counter("engine.arena.spills").inc(arena_spills)
             hist = OBS.metrics.histogram("engine.worker.hydrate_ms")
             shard_labels = self._shard_labels()
             for worker_id, hydrate_ms in sorted(hydrations.items()):
@@ -394,10 +472,19 @@ class BatchExecutor:
         """
         outcomes: Dict[int, tuple] = {}
         hydrations: Dict[int, float] = {}
+        # Poll faster than the watchdog's deadline so the collector
+        # always drains a pending message (a heartbeat) before the
+        # watchdog can declare the pool stalled — with the historical
+        # fixed 1.0s poll, a sub-second REPRO_WORKER_STALL_S (slow-host
+        # tuning, tests) could fire the watchdog while a result sat
+        # undrained in the queue.
+        poll_s = min(1.0, max(0.02, self.stall_timeout / 8.0))
         while len(outcomes) < n_chunks or len(hydrations) < workers:
             try:
-                message = result_q.get(timeout=1.0)
+                message = result_q.get(timeout=poll_s)
             except _queue.Empty:
+                if OBS.enabled:
+                    OBS.metrics.counter(POLL_TIMEOUTS_METRIC).inc()
                 dead = [p for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
                 if dead:
                     count_query_error(engine, k, "worker")
@@ -491,9 +578,21 @@ def _pool_worker(
     result_q,
     profile_hz: float = 0.0,
     shard: Optional[int] = None,
+    arena_name: Optional[str] = None,
+    arena_start: int = 0,
+    arena_end: int = 0,
 ) -> None:
     """Process-pool worker: hydrate once from shared memory, then pull
     ``(chunk_id, chunk)`` tasks until the ``None`` sentinel.
+
+    ``arena_name`` (when set) names the parent's result arena; this
+    worker owns the exclusive ``[arena_start, arena_end)`` region and
+    packs each chunk's results into it as fixed-width records (see
+    :mod:`repro.engine.arena`), shipping only the committed
+    ``("arena", start, end, n_items, n_records)`` span through the
+    queue.  A chunk that does not fit spills back to the pickled
+    ``("queue", results)`` payload — correctness never depends on arena
+    capacity.
 
     ``worker_id`` is the pool slot (0..workers-1) — the stable,
     low-cardinality value worker telemetry is labelled with (pids churn
@@ -550,6 +649,11 @@ def _pool_worker(
         index = KMismatchIndex.from_binary(shm.buf)
     hydrate_ms = (perf_counter() - start) * 1e3
     result_q.put(("hydrated", worker_id, hydrate_ms))
+    arena_shm = None
+    writer = None
+    if arena_name is not None:
+        arena_shm = shared_memory.SharedMemory(name=arena_name)
+        writer = ArenaWriter(arena_shm.buf, arena_start, arena_end)
     try:
         while True:
             task = task_q.get()
@@ -569,7 +673,15 @@ def _pool_worker(
                 else:
                     out, stats = _run_chunk(index, kind, chunk, k, method, cached=True)
                     obs_payload = None
-                result_q.put(("ok", chunk_id, out, stats, obs_payload))
+                payload = None
+                if writer is not None:
+                    packed = writer.pack_chunk(chunk_id, kind, out)
+                    if packed is not None:
+                        a_start, a_end, n_records = packed
+                        payload = ("arena", a_start, a_end, len(out), n_records)
+                if payload is None:
+                    payload = ("queue", out)
+                result_q.put(("ok", chunk_id, payload, stats, obs_payload))
             except BaseException as exc:  # ship the failure; never hang the parent
                 # The failed chunk's telemetry still rides home: count the
                 # error worker-side (idempotent — the matcher usually
@@ -593,9 +705,14 @@ def _pool_worker(
             PROFILER.stop()
         # Drop every zero-copy view into the segment before detaching,
         # else close() raises BufferError ("exported pointers exist").
-        del index
+        del index, writer
         _gc.collect()
         try:
             shm.close()
         except BufferError:  # pragma: no cover - a view outlived the index
             pass
+        if arena_shm is not None:
+            try:
+                arena_shm.close()
+            except BufferError:  # pragma: no cover - a view outlived the writer
+                pass

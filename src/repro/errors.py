@@ -26,6 +26,11 @@ class IndexCorruptionError(ReproError, RuntimeError):
     """An index structure failed an internal consistency check."""
 
 
+class IndexBuildError(ReproError, RuntimeError):
+    """An index build could not complete (e.g. a parallel shard-build
+    worker died or failed before delivering its shard)."""
+
+
 class SerializationError(ReproError, ValueError):
     """A persisted index could not be loaded (bad magic, version, checksum)."""
 

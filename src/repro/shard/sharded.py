@@ -42,6 +42,7 @@ from ..dna import reverse_complement
 from ..engine.registry import REGISTRY
 from ..errors import IndexCorruptionError, PatternError
 from ..obs import OBS, record_query_error
+from .builder import build_shards_parallel, record_build_ms
 from .manifest import (
     DEFAULT_MAX_K,
     DEFAULT_MAX_PATTERN,
@@ -323,6 +324,7 @@ class ShardedIndex:
         alphabet: Optional[Alphabet] = None,
         occ_sample_rate: int = DEFAULT_SAMPLE_RATE,
         sa_sample_rate: int = DEFAULT_SA_SAMPLE,
+        build_workers: int = 0,
     ) -> "ShardedIndex":
         """Split ``text`` into ``n_shards`` seam-overlapped shard indexes.
 
@@ -332,6 +334,13 @@ class ShardedIndex:
         shard is built over the *whole-text* alphabet so queries probe
         identical code spaces regardless of which characters a shard's
         slice happens to contain.
+
+        ``build_workers >= 1`` builds the shards over a process pool
+        (:mod:`repro.shard.builder`): the text ships down through one
+        shared-memory segment, each built shard's ``REPROIDX`` blob
+        ships back through another, and the result — the deterministic
+        writer guarantees it — is byte-identical to a serial build.
+        ``0`` (the default) builds serially in-process.
         """
         if not text:
             raise PatternError("target text must be non-empty")
@@ -339,28 +348,43 @@ class ShardedIndex:
             raise PatternError(f"max_pattern must be positive, got {max_pattern}")
         if max_k < 0:
             raise PatternError(f"max_k must be non-negative, got {max_k}")
+        if build_workers < 0:
+            raise PatternError(
+                f"build_workers must be non-negative, got {build_workers}"
+            )
         if alphabet is None:
             alphabet = DNA if DNA.contains(text) else infer_alphabet(text)
         overlap = max_pattern - 1 + max_k
         plan = plan_shards(len(text), n_shards, overlap)
-        specs = []
-        shards = []
+        specs = [
+            ShardSpec(
+                file=f"shard{i:04d}.fmbin",
+                start=start,
+                length=length,
+                core_start=core_start,
+                core_end=core_end,
+            )
+            for i, (start, length, core_start, core_end) in enumerate(plan)
+        ]
         with OBS.span("shard.build", length=len(text), shards=n_shards,
-                      overlap=overlap):
-            for i, (start, length, core_start, core_end) in enumerate(plan):
-                specs.append(ShardSpec(
-                    file=f"shard{i:04d}.fmbin",
-                    start=start,
-                    length=length,
-                    core_start=core_start,
-                    core_end=core_end,
-                ))
-                shards.append(KMismatchIndex(
-                    text[start:start + length],
-                    alphabet=alphabet,
-                    occ_sample_rate=occ_sample_rate,
-                    sa_sample_rate=sa_sample_rate,
-                ))
+                      overlap=overlap, build_workers=build_workers):
+            shards = None
+            if build_workers >= 1 and len(plan) > 1:
+                shards = build_shards_parallel(
+                    text, plan, alphabet, occ_sample_rate, sa_sample_rate,
+                    build_workers,
+                )
+            if shards is None:
+                shards = []
+                for i, (start, length, core_start, core_end) in enumerate(plan):
+                    begin = perf_counter_ns()
+                    shards.append(KMismatchIndex(
+                        text[start:start + length],
+                        alphabet=alphabet,
+                        occ_sample_rate=occ_sample_rate,
+                        sa_sample_rate=sa_sample_rate,
+                    ))
+                    record_build_ms(i, (perf_counter_ns() - begin) / 1e6)
         manifest = ShardManifest(
             total_length=len(text),
             overlap=overlap,

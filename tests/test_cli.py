@@ -524,6 +524,30 @@ class TestShardedCli:
         assert isinstance(opened, ShardedIndex)
         assert opened.text == text
 
+    def test_index_build_workers_byte_identical(
+        self, big_genome_file, tmp_path, capsys
+    ):
+        genome, _ = big_genome_file
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial_dir.mkdir()
+        parallel_dir.mkdir()
+        rc = main(["index", str(genome), "-o", str(serial_dir / "big.shd"),
+                   "--format", "bin", "--shards", "3", "--max-pattern", "32",
+                   "--max-k", "3"])
+        assert rc == 0
+        rc = main(["index", str(genome), "-o", str(parallel_dir / "big.shd"),
+                   "--format", "bin", "--shards", "3", "--max-pattern", "32",
+                   "--max-k", "3", "--build-workers", "2"])
+        assert rc == 0
+        capsys.readouterr()
+        serial_files = sorted(p.name for p in serial_dir.iterdir())
+        assert serial_files == sorted(p.name for p in parallel_dir.iterdir())
+        assert len(serial_files) == 4  # manifest + 3 shard files
+        for name in serial_files:
+            assert (parallel_dir / name).read_bytes() == \
+                (serial_dir / name).read_bytes(), name
+
     def test_index_shards_requires_bin_format(self, big_genome_file, tmp_path, capsys):
         genome, _ = big_genome_file
         rc = main(["index", str(genome), "-o", str(tmp_path / "x.shd"),

@@ -533,6 +533,193 @@ class TestProcessPoolObsParity:
         assert process == serial == expected
 
 
+class TestResultArena:
+    """The shared-memory result arena must be invisible to callers: same
+    results as the pickle queue and the serial path, with capacity
+    overflow degrading to a spill, never to wrong answers."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        # A tandem repeat at small k: every read hits every unit, so
+        # chunks carry real record volume through the arena.
+        rnd = random.Random(4242)
+        unit = random_dna(rnd, 30)
+        text = unit * 120
+        reads = [unit[i : i + 20] for i in range(8)] * 3
+        return text, reads
+
+    def test_bad_arena_bytes_rejected(self):
+        with pytest.raises(PatternError):
+            BatchExecutor(arena_bytes=-1)
+
+    def test_arena_and_queue_paths_identical(self, workload):
+        text, reads = workload
+        index = KMismatchIndex(text)
+        serial = BatchExecutor(workers=0).run_search(index, reads, 1)
+        threaded = BatchExecutor(workers=4, mode="thread").run_search(index, reads, 1)
+        arena = BatchExecutor(workers=4, mode="process").run_search(index, reads, 1)
+        queue = BatchExecutor(
+            workers=4, mode="process", arena_bytes=0
+        ).run_search(index, reads, 1)
+        assert arena.extra["return_path"] == "arena"
+        assert queue.extra["return_path"] == "queue"
+        assert arena.extra["arena_records"] == sum(len(r) for r in serial.results) > 0
+        assert serial.results == threaded.results == arena.results == queue.results
+
+    def test_map_kind_round_trips_strand_and_mismatches(self, workload):
+        text, reads = workload
+        index = KMismatchIndex(text)
+        serial = BatchExecutor(workers=0).run_map(index, reads, 1)
+        arena = BatchExecutor(workers=3, mode="process").run_map(index, reads, 1)
+        assert arena.extra["return_path"] == "arena"
+        assert arena.results == serial.results
+
+    def _record_bytes(self, results) -> int:
+        from repro.engine.arena import RECORD_HEADER
+
+        return sum(
+            RECORD_HEADER.size + 2 * len(occ.mismatches)
+            for occs in results
+            for occ in occs
+        )
+
+    def test_exactly_full_arena_still_takes_arena_path(self, workload):
+        # One chunk on one worker makes the region size deterministic:
+        # an arena sized to the chunk's exact byte count must commit.
+        text, reads = workload
+        index = KMismatchIndex(text)
+        serial = BatchExecutor(workers=0).run_search(index, reads, 1)
+        needed = self._record_bytes(serial.results)
+        exact = BatchExecutor(
+            workers=2, mode="process", chunk_size=len(reads), arena_bytes=needed
+        ).run_search(index, reads, 1)
+        assert exact.extra["return_path"] == "arena"
+        assert exact.extra["arena_spills"] == 0
+        assert exact.results == serial.results
+
+    def test_one_byte_short_spills_to_queue(self, workload):
+        text, reads = workload
+        index = KMismatchIndex(text)
+        serial = BatchExecutor(workers=0).run_search(index, reads, 1)
+        needed = self._record_bytes(serial.results)
+        short = BatchExecutor(
+            workers=2, mode="process", chunk_size=len(reads),
+            arena_bytes=needed - 1,
+        ).run_search(index, reads, 1)
+        assert short.extra["return_path"] == "queue"
+        assert short.extra["arena_spills"] == 1
+        assert short.results == serial.results
+
+    def test_tiny_arena_mixes_or_spills_without_wrong_answers(self, workload):
+        text, reads = workload
+        index = KMismatchIndex(text)
+        serial = BatchExecutor(workers=0).run_search(index, reads, 1)
+        tiny = BatchExecutor(
+            workers=2, mode="process", chunk_size=4, arena_bytes=512
+        ).run_search(index, reads, 1)
+        assert tiny.extra["return_path"] in ("queue", "mixed")
+        assert tiny.extra["arena_spills"] >= 1
+        assert tiny.results == serial.results
+
+    def test_zero_hit_batch_rides_the_arena(self, workload):
+        text, _ = workload
+        index = KMismatchIndex(text)
+        misses = ["t" * 20, "g" * 20, "c" * 20, "a" * 20]
+        batch = BatchExecutor(workers=2, mode="process").run_search(index, misses, 0)
+        assert batch.extra["return_path"] == "arena"
+        assert batch.extra["arena_records"] == 0
+        assert batch.results == [[], [], [], []]
+
+    def test_writer_commits_all_or_nothing(self):
+        from repro.core.types import Occurrence
+        from repro.engine.arena import RECORD_HEADER, ArenaWriter, decode_chunk
+
+        occs = [[Occurrence(5, (1, 3)), Occurrence(9, ())], [Occurrence(0, (2,))]]
+        needed = 3 * RECORD_HEADER.size + 2 * 3
+        buf = bytearray(needed)
+        writer = ArenaWriter(buf, 0, needed)
+        assert writer.pack_chunk(0, "search", occs) == (0, needed, 3)
+        # Region exhausted: the next chunk must refuse, leaving the
+        # committed bytes intact.
+        assert writer.pack_chunk(1, "search", occs) is None
+        assert decode_chunk(buf, 0, needed, 2, 0, "search") == occs
+
+    def test_arena_metrics_exported_and_promlint_clean(self, workload):
+        from repro.obs import OBS
+        from repro.obs.export import render_openmetrics
+        from repro.obs.promlint import lint_openmetrics
+
+        text, reads = workload
+        index = KMismatchIndex(text)
+        OBS.reset()
+        OBS.enable()
+        try:
+            BatchExecutor(workers=2, mode="process").run_search(index, reads, 1)
+        finally:
+            OBS.disable()
+        snapshot = OBS.metrics.to_dict()
+        OBS.reset()
+        assert snapshot["engine.arena.nbytes"]["value"] > 0
+        assert snapshot["engine.arena.records"]["value"] > 0
+        exposition = render_openmetrics(snapshot)
+        assert "repro_engine_arena_records_total" in exposition
+        assert lint_openmetrics(exposition) == []
+
+
+class TestCollectorPoll:
+    """The collect loop's queue poll must track the stall deadline
+    (never out-poll the watchdog) and count its idle timeouts."""
+
+    def test_poll_faster_than_watchdog_deadline(self, monkeypatch):
+        import queue as std_queue
+        import threading
+        import time
+
+        from repro.engine.executor import _WorkerWatchdog
+        from repro.obs import OBS
+
+        class _AliveProc:
+            exitcode = None
+
+            def is_alive(self):
+                return True
+
+        executor = BatchExecutor(workers=2, mode="process", stall_timeout=0.4)
+        result_q = std_queue.Queue()  # raises the same queue.Empty
+        watchdog = _WorkerWatchdog(executor.stall_timeout, labels={})
+
+        def feed():
+            # Longer than a 0.4s-deadline-safe poll, shorter than the
+            # historical fixed 1.0s poll: with the old behaviour the
+            # watchdog would fire before the collector drained anything.
+            time.sleep(0.25)
+            result_q.put(("hydrated", 0, 1.0))
+            result_q.put(("hydrated", 1, 1.0))
+            result_q.put(("ok", 0, ("queue", [[]]), SearchStats(), None))
+
+        OBS.reset()
+        OBS.enable()
+        watchdog.start()
+        feeder = threading.Thread(target=feed)
+        feeder.start()
+        try:
+            outcomes, hydrations = executor._collect(
+                result_q, [_AliveProc(), _AliveProc()], 1, 2, "stree", 1, watchdog
+            )
+        finally:
+            watchdog.stop()
+            watchdog.join(timeout=5.0)
+            feeder.join()
+            OBS.disable()
+        snapshot = OBS.metrics.to_dict()
+        OBS.reset()
+        assert watchdog.stalled is False
+        assert set(hydrations) == {0, 1}
+        assert outcomes[0][0] == ("queue", [[]])
+        # The ~0.25s idle wait was bridged by >= 1 sub-deadline polls.
+        assert snapshot["engine.worker.poll_timeouts"]["value"] >= 1
+
+
 class TestWorkerWatchdog:
     """The stuck-worker watchdog must fire on a silent pool and stand
     down when messages keep flowing."""

@@ -121,6 +121,46 @@ class TestProfilerFamilies:
         assert "suite.latency_ms" in names
 
 
+class TestArenaAndBuildFamilies:
+    """The zero-copy tentpole's new families — `engine.arena.*`,
+    `shard.build_ms`, `engine.worker.poll_timeouts` — must reach a
+    strict-clean exposition and pass `repro-cli metrics-lint`."""
+
+    def _exposition(self) -> str:
+        import random
+
+        from repro.engine import BatchExecutor
+        from repro.shard import ShardedIndex
+
+        rnd = random.Random(5)
+        unit = "".join(rnd.choice("acgt") for _ in range(30))
+        text = unit * 60
+        OBS.enable()
+        try:
+            ShardedIndex.build(text, 2, max_pattern=16, max_k=1, build_workers=2)
+            index_text = text
+            from repro import KMismatchIndex
+
+            index = KMismatchIndex(index_text)
+            reads = [unit[i : i + 16] for i in range(6)]
+            BatchExecutor(workers=2, mode="process").run_search(index, reads, 1)
+        finally:
+            OBS.disable()
+        return render_openmetrics(OBS.metrics.to_dict())
+
+    def test_families_exported_and_lint_clean(self, tmp_path):
+        text = self._exposition()
+        assert "repro_shard_build_ms_bucket" in text
+        assert 'repro_shard_build_ms_bucket{shard="0"' in text
+        assert "repro_engine_arena_nbytes" in text
+        assert "repro_engine_arena_records_total" in text
+        assert lint_openmetrics(text) == []
+        # and through the CLI entry point, as CI runs it
+        path = tmp_path / "exposition.txt"
+        path.write_text(text)
+        assert main([str(path)]) == 0
+
+
 class TestStructuralProblems:
     def test_missing_eof(self):
         problems = lint_openmetrics("# TYPE a counter\na_total 1\n")

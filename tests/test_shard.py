@@ -297,3 +297,108 @@ class TestManifestSemantics:
         payload["shards"][1]["length"] = 55
         with pytest.raises(IndexCorruptionError, match="cores end at"):
             ShardManifest.from_payload(payload)
+
+
+class TestParallelBuild:
+    """``build_workers`` farms shard builds out to a process pool; the
+    deterministic REPROIDX writer makes the output provably identical
+    to a serial build — pinned here byte-for-byte on disk."""
+
+    GENOME_BP = 3000
+    N_SHARDS = 3
+
+    def _genome(self):
+        return _random_text(random.Random(99), self.GENOME_BP)
+
+    def _saved(self, index, directory):
+        directory.mkdir(exist_ok=True)
+        index.save(directory / "genome.shard")
+        return {p.name: p.read_bytes() for p in sorted(directory.iterdir())}
+
+    def test_parallel_build_byte_identical_to_serial(self, tmp_path):
+        text = self._genome()
+        serial = ShardedIndex.build(text, self.N_SHARDS, max_pattern=32, max_k=2)
+        parallel = ShardedIndex.build(
+            text, self.N_SHARDS, max_pattern=32, max_k=2, build_workers=2
+        )
+        serial_files = self._saved(serial, tmp_path / "serial")
+        parallel_files = self._saved(parallel, tmp_path / "parallel")
+        assert set(serial_files) == set(parallel_files)
+        for name in serial_files:
+            assert parallel_files[name] == serial_files[name], name
+
+    def test_parallel_build_answers_queries(self):
+        text = self._genome()
+        parallel = ShardedIndex.build(
+            text, self.N_SHARDS, max_pattern=32, max_k=2, build_workers=3
+        )
+        flat = KMismatchIndex(text)
+        for start in (0, 997, 1999, self.GENOME_BP - 20):
+            pattern = text[start : start + 16]
+            assert parallel.search(pattern, 1) == flat.search(pattern, 1)
+
+    def test_negative_build_workers_rejected(self):
+        with pytest.raises(PatternError):
+            ShardedIndex.build("acgt" * 100, 2, build_workers=-1)
+
+    def test_non_ascii_text_falls_back_to_serial(self):
+        # Shared-memory transfer needs a byte-per-char text; anything
+        # else silently takes the serial path with identical results.
+        text = ("abé" * 400)
+        built = ShardedIndex.build(
+            text, 2, max_pattern=8, max_k=1, build_workers=2
+        )
+        assert built.search(text[10:16], 0) == KMismatchIndex(text).search(text[10:16], 0)
+
+    def test_dead_build_worker_raises_index_build_error(self, monkeypatch):
+        from repro.errors import IndexBuildError, ReproError
+        from repro.shard.builder import _DIE_ENV
+
+        monkeypatch.setenv(_DIE_ENV, "1")
+        text = self._genome()
+        with pytest.raises(IndexBuildError, match="exit code 17"):
+            ShardedIndex.build(
+                text, self.N_SHARDS, max_pattern=32, max_k=2, build_workers=1
+            )
+        # The IndexError-family contract: catchable as ReproError and
+        # as RuntimeError, like the other build/corruption failures.
+        assert issubclass(IndexBuildError, ReproError)
+        assert issubclass(IndexBuildError, RuntimeError)
+
+    def test_dead_build_worker_counts_worker_error(self, monkeypatch):
+        from repro.errors import IndexBuildError
+        from repro.obs import QUERY_ERRORS_METRIC
+        from repro.shard.builder import _DIE_ENV
+
+        monkeypatch.setenv(_DIE_ENV, "0")
+        text = self._genome()
+        OBS.reset().enable()
+        try:
+            with pytest.raises(IndexBuildError):
+                ShardedIndex.build(
+                    text, self.N_SHARDS, max_pattern=32, max_k=2, build_workers=2
+                )
+            counted = OBS.metrics.counter(
+                QUERY_ERRORS_METRIC, engine="shard_build", k=0, kind="worker"
+            ).value
+            assert counted == 1
+        finally:
+            OBS.disable()
+            OBS.reset()
+
+    def test_build_ms_histogram_emitted_serial_and_parallel(self):
+        text = self._genome()
+        for build_workers in (0, 2):
+            OBS.reset().enable()
+            try:
+                ShardedIndex.build(
+                    text, self.N_SHARDS, max_pattern=32, max_k=2,
+                    build_workers=build_workers,
+                )
+                assert OBS.metrics.histogram("shard.build_ms").count == self.N_SHARDS
+                for shard in range(self.N_SHARDS):
+                    labelled = OBS.metrics.histogram("shard.build_ms", shard=shard)
+                    assert labelled.count == 1, (build_workers, shard)
+            finally:
+                OBS.disable()
+                OBS.reset()
