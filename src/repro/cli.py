@@ -18,10 +18,19 @@ Subcommands
                    queries) regroups labelled series into dimensional
                    tables, ``--url`` replays a live ``/debug/metrics``
                    endpoint instead of a file.
-``serve-metrics``  Expose /metrics, /healthz, /readyz, /slo, /alerts and
-                   /debug/queries over HTTP, optionally driving a read
-                   workload to populate them; shuts down cleanly on
-                   SIGTERM/SIGINT.
+``serve-metrics``  Expose /metrics, /healthz, /readyz, /slo, /alerts,
+                   /debug/queries and the /debug/stream SSE push over
+                   HTTP, optionally driving a read workload to populate
+                   them (``--wide-events PATH`` appends one flat JSON
+                   event per query); shuts down cleanly on SIGTERM/SIGINT.
+``top``            Live terminal dashboard — QPS, latency percentiles,
+                   error rate, worker utilization, per-engine and
+                   per-shard tables — from a saved trace file or a live
+                   server's /debug/stream (``--once``/``--json`` for
+                   headless use).
+``events``         Read a wide-event query log: ``tail`` (newest events)
+                   and ``summarize`` (per-{engine,k} exact percentiles,
+                   batch return paths, event rate).
 ``slo``            ``report`` (objectives, budgets burned, firing alerts),
                    ``check`` (exit 4 on violation — the CI gate) and
                    ``lint`` (strictly validate a rules file), over a live
@@ -341,6 +350,15 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
     OBS.enable()
     if args.slow_ms is not None:
         OBS.recorder.slow_ms = args.slow_ms
+    if args.wide_events:
+        OBS.open_wide_log(args.wide_events)
+        print(f"# wide events -> {args.wide_events}", file=sys.stderr)
+    # Background registry sampling: gives /debug/stream and the SLO
+    # engine a populated time-series substrate even when nobody scrapes.
+    from .obs.stream import get_broker
+    from .obs.timeseries import get_timeseries
+
+    get_timeseries().start()
     READINESS.reset()
     if args.slo_rules:
         try:
@@ -366,7 +384,7 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
     server = MetricsServer(host=args.host, port=args.port)
     host, port = server.address
     print(f"# serving /metrics /healthz /readyz /slo /alerts /debug/queries "
-          f"on http://{host}:{port}", file=sys.stderr)
+          f"/debug/stream on http://{host}:{port}", file=sys.stderr)
     server.start()
     try:
         if args.target:
@@ -414,6 +432,14 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
         pass
     finally:
         server.stop()
+        get_broker().stop()
+        get_timeseries().stop()
+        if OBS.wide_log is not None:
+            wide_state = OBS.wide_log.to_dict()
+            OBS.close_wide_log()
+            print(f"# wide events: {wide_state['lines_written']} written, "
+                  f"{wide_state['lines_sampled_out']} sampled out, "
+                  f"{wide_state['rotations']} rotation(s)", file=sys.stderr)
         dropped = OBS.metrics.get(LABELS_DROPPED_METRIC)
         print(f"# shutdown: socket closed; {len(OBS.metrics)} metric "
               f"famil{'y' if len(OBS.metrics) == 1 else 'ies'}, "
@@ -687,6 +713,120 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return code
 
 
+def _stream_frames(url: str, frames: int):
+    """Yield decoded SSE frames from a server's ``/debug/stream``.
+
+    ``url`` may be the server base or the full endpoint; ``frames`` > 0
+    asks the server to close the stream after that many frames (the
+    bounded mode ``--once`` uses).
+    """
+    from urllib.request import urlopen
+
+    from .obs.stream import iter_sse_frames
+
+    target = url.rstrip("/")
+    if not target.endswith("/debug/stream"):
+        target += "/debug/stream"
+    if frames:
+        target += ("&" if "?" in target else "?") + f"frames={frames}"
+    with urlopen(target) as response:
+        yield from iter_sse_frames(response)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.top import CLEAR_SCREEN, compute_dashboard, render_dashboard
+
+    def show(dashboard, live: bool) -> None:
+        if args.json_out:
+            print(json.dumps(dashboard))
+        else:
+            prefix = CLEAR_SCREEN if live else ""
+            print(prefix + render_dashboard(
+                dashboard, color=sys.stdout.isatty()
+            ))
+
+    if args.url:
+        # --once rides the subscription bootstrap: the hello frame plus
+        # one full metrics snapshot arrive immediately, no tick wait.
+        frames = 2 if args.once else max(0, args.frames)
+        last = None
+        shown = 0
+        try:
+            for frame in _stream_frames(args.url, frames):
+                if frame.get("type") != "metrics":
+                    continue
+                dashboard = frame.get("dashboard")
+                if dashboard is None:
+                    continue
+                last = dashboard
+                if args.once:
+                    continue
+                show(dashboard, live=not args.json_out)
+                shown += 1
+        except KeyboardInterrupt:
+            return 0
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot stream from {args.url}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.once:
+            if last is None:
+                print("error: no dashboard frame received", file=sys.stderr)
+                return 2
+            show(last, live=False)
+        return 0
+    if not args.trace_file:
+        print("error: top needs a TRACE file or --url", file=sys.stderr)
+        return 2
+    try:
+        document = load_trace(args.trace_file)
+    except (OSError, MetricError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    meta = document.get("meta") or {}
+    window = args.window or meta.get("duration_s") or None
+    dashboard = compute_dashboard(document.get("metrics") or {},
+                                  window_s=window)
+    show(dashboard, live=False)
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    from .obs.events import (
+        load_wide_events,
+        render_event_lines,
+        render_event_summary,
+        summarize_events,
+        tail_events,
+    )
+
+    try:
+        if args.events_command == "tail":
+            records = tail_events(args.events_file, n=args.n)
+            if args.json_out:
+                for record in records:
+                    print(json.dumps(record))
+            else:
+                print(render_event_lines(records))
+            return 0
+        records = load_wide_events(
+            args.events_file, include_backups=not args.no_backups
+        )
+        summary = summarize_events(records)
+        if args.json_out:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(render_event_summary(summary))
+        return 0
+    except OSError as exc:
+        print(f"error: cannot read {args.events_file}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.events_file} is not valid JSON lines: {exc}",
+              file=sys.stderr)
+        return 2
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """Attach the shared observability flags to one subcommand parser."""
     parser.add_argument("--trace", action="store_true",
@@ -703,6 +843,12 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                              "(rate: REPRO_PROFILE_HZ) and write span-attributed "
                              "folded stacks — or speedscope JSON when PATH ends "
                              "in .json — to PATH")
+    parser.add_argument("--wide-events", default="", metavar="PATH",
+                        help="append one flat wide event per query/batch to PATH "
+                             "(JSON lines; sampled via REPRO_EVENT_SAMPLE, "
+                             "rotated at REPRO_EVENT_MAX_BYTES — read with "
+                             "`repro-cli events`); REPRO_EVENT_LOG sets this "
+                             "for every command")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -839,7 +985,64 @@ def build_parser() -> argparse.ArgumentParser:
                          help="SLO rules file (TOML or JSON) for the /slo and "
                               "/alerts endpoints (default: shipped defaults; "
                               "see docs/OBSERVABILITY.md)")
+    p_serve.add_argument("--wide-events", default="", metavar="PATH",
+                         help="append one flat wide event per query/batch to "
+                              "PATH (JSON lines; sampled via REPRO_EVENT_SAMPLE, "
+                              "rotated at REPRO_EVENT_MAX_BYTES — read with "
+                              "`repro-cli events`)")
     p_serve.set_defaults(func=_cmd_serve_metrics)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard: QPS, latency percentiles, error "
+             "rate, worker utilization, per-engine/per-shard breakdowns")
+    p_top.add_argument("trace_file", metavar="TRACE", nargs="?", default="",
+                       help="trace file written by --stats-json "
+                            "(omit with --url)")
+    p_top.add_argument("--url", default="", metavar="URL",
+                       help="follow a live server's /debug/stream instead of "
+                            "a trace file (e.g. http://127.0.0.1:9109)")
+    p_top.add_argument("--window", type=float, default=0, metavar="SECONDS",
+                       help="with TRACE: seconds the trace's counters "
+                            "accumulated over (rates divide by this; "
+                            "default: the trace's own duration metadata "
+                            "or its process.uptime_s gauge)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one dashboard and exit (headless mode)")
+    p_top.add_argument("--json", dest="json_out", action="store_true",
+                       help="emit the dashboard document as JSON instead of "
+                            "the ANSI rendering")
+    p_top.add_argument("--frames", type=int, default=0,
+                       help="with --url: stop after N dashboard updates "
+                            "(0 = follow until Ctrl-C)")
+    p_top.set_defaults(func=_cmd_top)
+
+    p_events = sub.add_parser(
+        "events",
+        help="read a wide-event query log written by --wide-events")
+    ev_sub = p_events.add_subparsers(dest="events_command", required=True)
+    p_ev_tail = ev_sub.add_parser(
+        "tail", help="print the newest events, one line each")
+    p_ev_tail.add_argument("events_file", metavar="EVENTS",
+                           help="wide-event JSONL file")
+    p_ev_tail.add_argument("-n", type=int, default=20,
+                           help="events to show (default 20)")
+    p_ev_tail.add_argument("--json", dest="json_out", action="store_true",
+                           help="print raw JSON lines instead of the table")
+    p_ev_tail.set_defaults(func=_cmd_events)
+    p_ev_sum = ev_sub.add_parser(
+        "summarize",
+        help="aggregate: per-{engine,k} query counts and exact latency "
+             "percentiles, batch return paths, event rate")
+    p_ev_sum.add_argument("events_file", metavar="EVENTS",
+                          help="wide-event JSONL file (rotated .1/.2/... "
+                               "generations are included)")
+    p_ev_sum.add_argument("--json", dest="json_out", action="store_true",
+                          help="emit the summary document as JSON")
+    p_ev_sum.add_argument("--no-backups", action="store_true",
+                          help="read only the live file, not rotated "
+                               "generations")
+    p_ev_sum.set_defaults(func=_cmd_events)
 
     p_slo = sub.add_parser(
         "slo",
@@ -985,9 +1188,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     events_path = getattr(args, "events", "")
     flight_json = getattr(args, "flight_json", "")
     profile_path = getattr(args, "profile", "") if args.command != "profile" else ""
+    # serve-metrics owns its wide log's lifecycle (it prints the sink
+    # summary on shutdown); every other command honours the flag and the
+    # REPRO_EVENT_LOG environment fallback here.
+    wide_path = ""
+    if args.command != "serve-metrics":
+        wide_path = (getattr(args, "wide_events", "")
+                     or os.environ.get("REPRO_EVENT_LOG", ""))
     observing = (
         trace or bool(stats_json) or bool(events_path) or bool(flight_json)
-        or bool(profile_path)
+        or bool(profile_path) or bool(wide_path)
     )
     metrics_port = os.environ.get("REPRO_METRICS_PORT", "")
     server = None
@@ -1002,6 +1212,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         OBS.reset().enable()
         if events_path:
             OBS.open_event_log(events_path)
+        if wide_path:
+            OBS.open_wide_log(wide_path)
     if profile_path:
         from .obs import PROFILER
 
@@ -1022,6 +1234,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if observing:
             OBS.disable()
             OBS.close_event_log()
+            if wide_path and OBS.wide_log is not None:
+                wide_state = OBS.wide_log.to_dict()
+                OBS.close_wide_log()
+                print(f"# wide events ({wide_state['lines_written']} written, "
+                      f"{wide_state['lines_sampled_out']} sampled out) -> "
+                      f"{wide_path}", file=sys.stderr)
             if events_path:
                 print(f"# events streamed to {events_path}", file=sys.stderr)
             if flight_json:

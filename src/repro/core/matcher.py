@@ -187,6 +187,10 @@ class KMismatchIndex:
                 span.set(occurrences=len(occurrences))
         except Exception as exc:
             record_query_error(engine_name, k, exc)
+            OBS.emit_wide(
+                "error", engine=engine_name, k=k, m=len(pattern),
+                trace_id=trace_id, error=type(exc).__name__,
+            )
             raise
         duration_ms = (perf_counter_ns() - start_ns) / 1e6
         OBS.metrics.histogram("query.latency_ms").observe(duration_ms)
@@ -217,6 +221,18 @@ class KMismatchIndex:
             spans=span.to_dict() if OBS.tracer.enabled else None,
             trace_id=trace_id,
             profile=profile,
+        )
+        # The wide-event sibling of the record above: one flat JSONL
+        # line per query (sampled/rotated sink — see repro.obs.events),
+        # sharing the trace_id so exemplar, record and event join.
+        OBS.emit_wide(
+            "query",
+            engine=engine_name,
+            k=k,
+            m=len(pattern),
+            duration_ms=duration_ms,
+            occurrences=len(occurrences),
+            trace_id=trace_id,
         )
         return occurrences, stats
 

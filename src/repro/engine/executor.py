@@ -49,6 +49,7 @@ from ..obs import (
     ObsDelta,
     count_query_error,
     merge_obs_delta,
+    new_trace_id,
     record_query_error,
 )
 from .arena import DEFAULT_ARENA_BYTES, RECORD_HEADER, ArenaWriter, decode_chunk, region_bounds
@@ -232,6 +233,11 @@ class BatchExecutor:
     def _run(self, index, kind: str, items: List[str], k: int, method: str) -> BatchResult:
         parallel = self.workers > 1 and len(items) > 1
         workers = min(self.workers, len(items)) if parallel else 1
+        # One correlation id per batch run, threaded into the result's
+        # ``extra``, the flight-recorder record and the wide event — a
+        # BatchResult in hand resolves to its telemetry via
+        # /debug/queries?trace_id=... like a single query does.
+        batch_trace_id = new_trace_id() if OBS.enabled else None
         start = perf_counter()
         with OBS.span(
             "engine.batch",
@@ -245,21 +251,43 @@ class BatchExecutor:
                 results, stats = _run_chunk(index, kind, items, k, method, cached=True)
                 batch = BatchResult(results, stats, n_chunks=1, workers=1, mode="serial")
             else:
-                batch = self._run_parallel(index, kind, items, k, method, workers)
+                batch = self._run_parallel(
+                    index, kind, items, k, method, workers, batch_trace_id
+                )
             span.set(chunks=batch.n_chunks)
         if OBS.enabled:
             from .registry import REGISTRY
 
+            batch.extra["trace_id"] = batch_trace_id
+            duration_ms = (perf_counter() - start) * 1e3
+            occurrences = sum(len(r) for r in batch.results)
+            engine_name = REGISTRY.canonical_name(method)
+            return_path = str(batch.extra.get("return_path", ""))
             OBS.metrics.counter("engine.batch.items").inc(len(items))
             OBS.metrics.counter("engine.batch.chunks").inc(batch.n_chunks)
+            OBS.metrics.gauge("engine.pool.workers").set(batch.workers)
             OBS.record_event(
                 "batch",
-                engine=REGISTRY.canonical_name(method),
+                engine=engine_name,
                 k=k,
-                duration_ms=(perf_counter() - start) * 1e3,
-                occurrences=sum(len(r) for r in batch.results),
+                duration_ms=duration_ms,
+                occurrences=occurrences,
                 stats=batch.stats.to_dict(),
+                trace_id=batch_trace_id,
                 kind=kind,
+                items=len(items),
+                chunks=batch.n_chunks,
+                workers=batch.workers,
+                mode=batch.mode,
+            )
+            OBS.emit_wide(
+                "batch",
+                engine=engine_name,
+                k=k,
+                duration_ms=duration_ms,
+                occurrences=occurrences,
+                return_path=return_path,
+                trace_id=batch_trace_id,
                 items=len(items),
                 chunks=batch.n_chunks,
                 workers=batch.workers,
@@ -268,13 +296,16 @@ class BatchExecutor:
         return batch
 
     def _run_parallel(
-        self, index, kind: str, items: List[str], k: int, method: str, workers: int
+        self, index, kind: str, items: List[str], k: int, method: str, workers: int,
+        batch_trace_id: Optional[str] = None,
     ) -> BatchResult:
         size = self.chunk_size or max(1, -(-len(items) // (workers * _CHUNKS_PER_WORKER)))
         chunks = [items[i : i + size] for i in range(0, len(items), size)]
         extra: Dict[str, object] = {}
         if self.mode == "process":
-            chunk_results = self._map_process(index, kind, chunks, k, method, extra)
+            chunk_results = self._map_process(
+                index, kind, chunks, k, method, extra, batch_trace_id
+            )
         else:
             chunk_results = self._map_thread(index, kind, chunks, k, method)
         results: List[object] = []
@@ -296,7 +327,8 @@ class BatchExecutor:
             ]
             return [future.result() for future in futures]
 
-    def _map_process(self, index, kind, chunks, k, method, extra):
+    def _map_process(self, index, kind, chunks, k, method, extra,
+                     batch_trace_id=None):
         from .registry import REGISTRY
 
         try:
@@ -452,6 +484,14 @@ class BatchExecutor:
         for chunk_id in range(len(chunks)):
             chunk_out, chunk_stats, obs_payload = outcomes[chunk_id]
             if observe and obs_payload is not None:
+                # Tag the worker's shipped records with the batch's
+                # correlation id before re-recording them, so
+                # /debug/queries?trace_id=<batch> finds every per-query
+                # record the batch produced (arena- and queue-returned
+                # chunks alike).
+                if batch_trace_id:
+                    for record in obs_payload.get("records") or []:
+                        record.setdefault("batch_trace_id", batch_trace_id)
                 merge_obs_delta(OBS, obs_payload)
             results.append((chunk_out, chunk_stats))
         return results
@@ -545,18 +585,28 @@ def _run_chunk(
     worker_index = index if cached else index.clone_for_worker()
     stats = SearchStats()
     out: List[object] = []
-    if kind == "search":
-        for pattern in chunk:
-            occurrences, query_stats = worker_index.search_with_stats(pattern, k, method)
-            stats.merge(query_stats)
-            out.append(occurrences)
-    elif kind == "map":
-        for read in chunk:
-            hits, query_stats = worker_index.map_read_with_stats(read, k, method=method)
-            stats.merge(query_stats)
-            out.append(hits)
-    else:  # pragma: no cover - internal invariant
-        raise PatternError(f"unknown batch kind {kind!r}")
+    busy_start = perf_counter()
+    try:
+        if kind == "search":
+            for pattern in chunk:
+                occurrences, query_stats = worker_index.search_with_stats(pattern, k, method)
+                stats.merge(query_stats)
+                out.append(occurrences)
+        elif kind == "map":
+            for read in chunk:
+                hits, query_stats = worker_index.map_read_with_stats(read, k, method=method)
+                stats.merge(query_stats)
+                out.append(hits)
+        else:  # pragma: no cover - internal invariant
+            raise PatternError(f"unknown batch kind {kind!r}")
+    finally:
+        # Busy time is counted in every mode (serial path, thread pool,
+        # process worker — the worker's increment rides its ObsDelta
+        # home), so utilization = busy_ms / (wall * workers) holds.
+        if OBS.enabled:
+            OBS.metrics.counter("engine.worker.busy_ms").inc(
+                (perf_counter() - busy_start) * 1e3
+            )
     return out, stats
 
 
@@ -632,6 +682,10 @@ def _pool_worker(
         # parent through the ObsDelta payload and are re-recorded there).
         # Detach without closing: the file handle belongs to the parent.
         OBS.event_log = None
+        # Same for a fork-inherited wide-event sink: the parent emits
+        # the batch-level wide event; worker-side duplicates (writing
+        # through a shared file handle, no less) are not wanted.
+        OBS.wide_log = None
     if profile_hz > 0:
         # Under fork the child inherits the parent's Profiler *object*
         # but not its sampler thread; start() sees a dead thread and

@@ -95,6 +95,38 @@ from .recorder import (
     prune_span_tree,
     render_records,
 )
+from .timeseries import (
+    TimeSeriesStore,
+    configure_timeseries,
+    get_timeseries,
+)
+from .events import (
+    WIDE_EVENT_FORMAT,
+    WIDE_EVENT_VERSION,
+    WideEventLog,
+    load_wide_events,
+    make_wide_event,
+    render_event_lines,
+    render_event_summary,
+    sample_keep,
+    summarize_events,
+    tail_events,
+)
+from .stream import (
+    STREAM_FORMAT,
+    STREAM_VERSION,
+    StreamBroker,
+    configure_broker,
+    format_sse,
+    get_broker,
+    iter_sse_frames,
+    parse_sse,
+)
+from .top import (
+    DASHBOARD_FORMAT,
+    compute_dashboard,
+    render_dashboard,
+)
 from .profiling import (
     MEMORY_PROFILES,
     MemoryProfile,
@@ -125,7 +157,8 @@ class Observability:
     budget the test suite enforces.
     """
 
-    __slots__ = ("tracer", "metrics", "enabled", "recorder", "event_log")
+    __slots__ = ("tracer", "metrics", "enabled", "recorder", "event_log",
+                 "wide_log")
 
     def __init__(self):
         self.tracer = Tracer(enabled=False)
@@ -135,6 +168,8 @@ class Observability:
         self.recorder = FlightRecorder()
         #: Optional JSONL sink; set via :meth:`open_event_log`.
         self.event_log = None
+        #: Optional sampling/rotating wide-event sink (:meth:`open_wide_log`).
+        self.wide_log = None
 
     # -- switches -------------------------------------------------------------
 
@@ -214,6 +249,37 @@ class Observability:
         if self.event_log is not None:
             self.event_log.close()
             self.event_log = None
+
+    def open_wide_log(self, path: str, sample=None, max_bytes=None,
+                      backups=None) -> WideEventLog:
+        """Start emitting wide events to ``path`` (JSON lines, head
+        sampling + size rotation — see :mod:`repro.obs.events`).
+
+        Replaces (and closes) any previously open wide log.  Like the
+        event log, the sink outlives ``enabled`` toggles; call sites
+        guard emission themselves.
+        """
+        self.close_wide_log()
+        self.wide_log = WideEventLog(path, sample=sample,
+                                     max_bytes=max_bytes, backups=backups)
+        return self.wide_log
+
+    def close_wide_log(self) -> None:
+        """Close and detach the wide-event sink (no-op when none open)."""
+        if self.wide_log is not None:
+            self.wide_log.close()
+            self.wide_log = None
+
+    def emit_wide(self, event: str, **fields) -> bool:
+        """Build and emit one wide event iff a wide log is open.
+
+        Returns whether the event was written (False when no sink is
+        open or head sampling dropped it).  Cheap when no log is open —
+        the one-attribute-read contract of the disabled path.
+        """
+        if self.wide_log is None:
+            return False
+        return self.wide_log.emit(make_wide_event(event, **fields))
 
     def record_event(self, event: str, **fields) -> dict:
         """Build, retain and (if a log is open) stream one record.
@@ -415,6 +481,33 @@ __all__ = [
     "prune_span_tree",
     "load_events",
     "render_records",
+    # time-series store (repro.obs.timeseries)
+    "TimeSeriesStore",
+    "get_timeseries",
+    "configure_timeseries",
+    # wide-event query log (repro.obs.events)
+    "WIDE_EVENT_FORMAT",
+    "WIDE_EVENT_VERSION",
+    "WideEventLog",
+    "make_wide_event",
+    "sample_keep",
+    "load_wide_events",
+    "tail_events",
+    "summarize_events",
+    "render_event_summary",
+    "render_event_lines",
+    # live stream + dashboard (repro.obs.stream / repro.obs.top)
+    "STREAM_FORMAT",
+    "STREAM_VERSION",
+    "StreamBroker",
+    "get_broker",
+    "configure_broker",
+    "format_sse",
+    "parse_sse",
+    "iter_sse_frames",
+    "DASHBOARD_FORMAT",
+    "compute_dashboard",
+    "render_dashboard",
     # sampling / memory profiler (repro.obs.profiling)
     "PROFILER",
     "Profiler",

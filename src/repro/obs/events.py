@@ -1,0 +1,363 @@
+"""Wide-event query log: one structured JSONL event per query.
+
+The flight recorder retains a bounded in-memory ring; the metrics
+registry keeps aggregates.  This module is the durable, per-event
+middle ground — the "wide event" of structured-logging practice: one
+flat JSON object per query/batch carrying *every* dimension an operator
+might later group by (engine, ``k``, pattern length, occurrence count,
+shard fan-out, latency, return path, trace id), so ad-hoc questions —
+"p99 by engine for k=3 queries that fanned out to 4 shards" — are a
+``jq``/``events summarize`` pass over one file instead of a new metric.
+
+Three production concerns are handled here rather than by call sites:
+
+* **Head-based sampling** — ``REPRO_EVENT_SAMPLE`` (0..1, default 1.0)
+  keeps that fraction of events, decided *deterministically* from the
+  event's ``trace_id`` hash: every layer's events for one query (the
+  matcher's, the router's, the executor's) share the trace id, so a
+  sampled query keeps its whole story and a dropped one vanishes
+  entirely — no half-traces.  Events without a trace id fall back to a
+  per-log counter so the kept fraction still converges.
+* **Size-based rotation** — ``REPRO_EVENT_MAX_BYTES`` (default 64 MiB)
+  rolls ``path`` to ``path.1`` (older generations shifting to ``.2``,
+  ``.3``, ... up to ``REPRO_EVENT_BACKUPS``) before a write would cross
+  the bound, so a long-lived server cannot fill a disk.
+* **Loss accounting** — sampled-out and rotated-away lines are counted
+  on the log object (and surfaced by ``events summarize``), never
+  silently gone.
+
+``repro-cli events {tail,summarize}`` is the reading surface; the
+schema is documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import threading
+import time
+from typing import Any, Dict, IO, List, Optional
+
+#: Format tag written into every wide event.
+WIDE_EVENT_FORMAT = "repro-wide-event"
+
+#: Wide-event schema version.
+WIDE_EVENT_VERSION = 1
+
+#: Default kept fraction (head-based sampling) — env REPRO_EVENT_SAMPLE.
+DEFAULT_EVENT_SAMPLE = float(os.environ.get("REPRO_EVENT_SAMPLE", "1.0"))
+
+#: Default rotation bound in bytes — env REPRO_EVENT_MAX_BYTES.
+DEFAULT_EVENT_MAX_BYTES = int(
+    os.environ.get("REPRO_EVENT_MAX_BYTES", str(64 * 1024 * 1024))
+)
+
+#: Default rotated-generation count — env REPRO_EVENT_BACKUPS.
+DEFAULT_EVENT_BACKUPS = int(os.environ.get("REPRO_EVENT_BACKUPS", "3"))
+
+
+def sample_keep(trace_id: Optional[str], sample: float,
+                fallback_seq: int = 0) -> bool:
+    """Whether an event with ``trace_id`` survives head sampling.
+
+    Deterministic in the trace id (a stable hash scaled to [0, 1)), so
+    multi-layer events of one query are kept or dropped together across
+    processes.  ``fallback_seq`` drives a modular decision for events
+    without a trace id.
+    """
+    if sample >= 1.0:
+        return True
+    if sample <= 0.0:
+        return False
+    if not trace_id:
+        period = max(1, round(1.0 / sample))
+        return fallback_seq % period == 0
+    digest = hashlib.sha256(trace_id.encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:8], "big") / 2**64
+    return fraction < sample
+
+
+def make_wide_event(
+    event: str,
+    *,
+    engine: str = "",
+    k: int = 0,
+    m: int = 0,
+    duration_ms: float = 0.0,
+    occurrences: int = 0,
+    shards: int = 0,
+    return_path: str = "",
+    trace_id: Optional[str] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """One flat wide event (JSON-compatible, every field top-level).
+
+    ``event`` is ``"query"`` (one search, matcher- or router-level),
+    ``"batch"`` (one executor run) or ``"error"``; ``shards`` is the
+    router fan-out (0 = unsharded); ``return_path`` is the executor's
+    result transport (``arena``/``queue``/``mixed``, '' elsewhere).
+    """
+    record: Dict[str, Any] = {
+        "format": WIDE_EVENT_FORMAT,
+        "version": WIDE_EVENT_VERSION,
+        "event": event,
+        "ts": round(time.time(), 6),
+        "engine": engine,
+        "k": k,
+        "m": m,
+        "duration_ms": round(float(duration_ms), 6),
+        "occurrences": occurrences,
+        "shards": shards,
+    }
+    if return_path:
+        record["return_path"] = return_path
+    if trace_id:
+        record["trace_id"] = trace_id
+    record.update(extra)
+    return record
+
+
+class WideEventLog:
+    """Sampling, rotating JSONL sink for wide events.  Thread-safe.
+
+    Rotation happens *before* the write that would cross ``max_bytes``:
+    ``path`` moves to ``path.1`` (existing generations shifting up, the
+    oldest beyond ``backups`` deleted) and a fresh ``path`` is opened —
+    the live file is always the newest data, like logrotate.
+    """
+
+    def __init__(self, path: str, sample: Optional[float] = None,
+                 max_bytes: Optional[int] = None,
+                 backups: Optional[int] = None):
+        self.path = path
+        self.sample = float(DEFAULT_EVENT_SAMPLE if sample is None else sample)
+        self.max_bytes = int(
+            DEFAULT_EVENT_MAX_BYTES if max_bytes is None else max_bytes
+        )
+        self.backups = max(0, int(
+            DEFAULT_EVENT_BACKUPS if backups is None else backups
+        ))
+        self._lock = threading.Lock()
+        self._handle: Optional[IO[str]] = open(path, "a")
+        self._size = self._handle.tell()
+        self.lines_written = 0
+        self.lines_sampled_out = 0
+        self.rotations = 0
+        self._seq = 0
+
+    def emit(self, record: Dict[str, Any]) -> bool:
+        """Append one event (returns False when sampled out or closed)."""
+        with self._lock:
+            if self._handle is None:
+                return False
+            self._seq += 1
+            if not sample_keep(record.get("trace_id"), self.sample, self._seq):
+                self.lines_sampled_out += 1
+                return False
+            line = json.dumps(record) + "\n"
+            if self.max_bytes > 0 and self._size + len(line) > self.max_bytes \
+                    and self._size > 0:
+                self._rotate()
+            self._handle.write(line)
+            self._handle.flush()
+            self._size += len(line)
+            self.lines_written += 1
+            return True
+
+    def _rotate(self) -> None:
+        """Shift generations and reopen ``path`` (lock held by caller)."""
+        self._handle.close()
+        if self.backups > 0:
+            oldest = f"{self.path}.{self.backups}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for i in range(self.backups - 1, 0, -1):
+                src = f"{self.path}.{i}"
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{i + 1}")
+            os.replace(self.path, f"{self.path}.1")
+        else:
+            os.remove(self.path)
+        self._handle = open(self.path, "a")
+        self._size = 0
+        self.rotations += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def to_dict(self) -> dict:
+        """Sink state (for shutdown summaries and debug surfaces)."""
+        with self._lock:
+            return {
+                "path": self.path,
+                "sample": self.sample,
+                "max_bytes": self.max_bytes,
+                "backups": self.backups,
+                "lines_written": self.lines_written,
+                "lines_sampled_out": self.lines_sampled_out,
+                "rotations": self.rotations,
+            }
+
+
+def load_wide_events(path: str,
+                     include_backups: bool = True) -> List[Dict[str, Any]]:
+    """Parse a wide-event JSONL file, rotated generations included
+    (oldest first), blank lines skipped."""
+    paths: List[str] = []
+    if include_backups:
+        generation = 1
+        backups = []
+        while os.path.exists(f"{path}.{generation}"):
+            backups.append(f"{path}.{generation}")
+            generation += 1
+        paths.extend(reversed(backups))
+    paths.append(path)
+    records: List[Dict[str, Any]] = []
+    for name in paths:
+        with open(name) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    return records
+
+
+def tail_events(path: str, n: int = 20) -> List[Dict[str, Any]]:
+    """The newest ``n`` events of the live file (no backups)."""
+    return load_wide_events(path, include_backups=False)[-max(0, n):]
+
+
+def _exact_percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of raw values (exact, unlike histogram
+    bucket resolution — wide events carry the raw durations)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), math.ceil(q / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+def summarize_events(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a wide-event list into the ``events summarize`` report.
+
+    Groups query events by ``(engine, k)`` with exact (nearest-rank)
+    latency percentiles from the raw durations, counts batch events by
+    return path, and reports the overall event span and rate.
+    """
+    queries = [r for r in records if r.get("event") == "query"]
+    batches = [r for r in records if r.get("event") == "batch"]
+    errors = [r for r in records if r.get("event") == "error"]
+    timestamps = [r.get("ts", 0.0) for r in records if r.get("ts")]
+    span_s = (max(timestamps) - min(timestamps)) if len(timestamps) > 1 else 0.0
+
+    by_engine: Dict[str, Dict[str, Any]] = {}
+    for record in queries:
+        key = f"{record.get('engine') or '?'}|k={record.get('k', 0)}"
+        group = by_engine.setdefault(key, {
+            "engine": record.get("engine") or "?",
+            "k": record.get("k", 0),
+            "queries": 0,
+            "occurrences": 0,
+            "durations": [],
+            "max_shards": 0,
+        })
+        group["queries"] += 1
+        group["occurrences"] += int(record.get("occurrences", 0))
+        group["durations"].append(float(record.get("duration_ms", 0.0)))
+        group["max_shards"] = max(group["max_shards"],
+                                  int(record.get("shards", 0)))
+    groups = []
+    for key in sorted(by_engine):
+        group = by_engine[key]
+        durations = group.pop("durations")
+        group["p50_ms"] = round(_exact_percentile(durations, 50), 3)
+        group["p95_ms"] = round(_exact_percentile(durations, 95), 3)
+        group["p99_ms"] = round(_exact_percentile(durations, 99), 3)
+        groups.append(group)
+
+    return_paths: Dict[str, int] = {}
+    for record in batches:
+        path = record.get("return_path") or "-"
+        return_paths[path] = return_paths.get(path, 0) + 1
+
+    return {
+        "format": "repro-wide-event-summary",
+        "version": 1,
+        "n_events": len(records),
+        "n_queries": len(queries),
+        "n_batches": len(batches),
+        "n_errors": len(errors),
+        "span_s": round(span_s, 3),
+        "events_per_s": round(len(records) / span_s, 3) if span_s > 0 else 0.0,
+        "by_engine": groups,
+        "batch_return_paths": return_paths,
+    }
+
+
+def render_event_summary(summary: Dict[str, Any]) -> str:
+    """Aligned plain-text rendering of :func:`summarize_events`."""
+    lines = [
+        f"{summary['n_events']} event(s): {summary['n_queries']} query, "
+        f"{summary['n_batches']} batch, {summary['n_errors']} error "
+        f"over {summary['span_s']:g} s"
+        + (f" ({summary['events_per_s']:g}/s)" if summary["span_s"] else ""),
+    ]
+    if summary["by_engine"]:
+        header = (f"{'engine':<18} {'k':>2} {'queries':>8} {'occ':>8} "
+                  f"{'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9} {'shards':>6}")
+        lines += ["", header, "-" * len(header)]
+        for group in summary["by_engine"]:
+            lines.append(
+                f"{group['engine']:<18} {group['k']:>2} {group['queries']:>8} "
+                f"{group['occurrences']:>8} {group['p50_ms']:>9.3f} "
+                f"{group['p95_ms']:>9.3f} {group['p99_ms']:>9.3f} "
+                f"{group['max_shards']:>6}"
+            )
+    if summary["batch_return_paths"]:
+        paths = ", ".join(f"{path}={count}" for path, count
+                          in sorted(summary["batch_return_paths"].items()))
+        lines += ["", f"batch return paths: {paths}"]
+    return "\n".join(lines)
+
+
+def render_event_lines(records: List[Dict[str, Any]]) -> str:
+    """One aligned line per event for ``events tail``."""
+    if not records:
+        return "(no events)"
+    lines = []
+    for record in records:
+        trace = record.get("trace_id", "-")
+        extra = ""
+        if record.get("shards"):
+            extra += f" shards={record['shards']}"
+        if record.get("return_path"):
+            extra += f" path={record['return_path']}"
+        lines.append(
+            f"{record.get('ts', 0):.3f} {record.get('event', '?'):<6} "
+            f"{record.get('engine', '?'):<18} k={record.get('k', 0):<2} "
+            f"m={record.get('m', 0):<4} {record.get('duration_ms', 0):>9.3f}ms "
+            f"occ={record.get('occurrences', 0):<6} trace={trace}{extra}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "WIDE_EVENT_FORMAT",
+    "WIDE_EVENT_VERSION",
+    "DEFAULT_EVENT_SAMPLE",
+    "DEFAULT_EVENT_MAX_BYTES",
+    "DEFAULT_EVENT_BACKUPS",
+    "sample_keep",
+    "make_wide_event",
+    "WideEventLog",
+    "load_wide_events",
+    "tail_events",
+    "summarize_events",
+    "render_event_summary",
+    "render_event_lines",
+]

@@ -49,6 +49,52 @@ from .profiling import PROFILER
 #: Content type the ``/metrics`` endpoint serves (Prometheus text format).
 OPENMETRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Gauge: seconds since this module was first imported (process start,
+#: to import-time resolution) — refreshed on every scrape/sample.
+PROCESS_UPTIME_METRIC = "process.uptime_s"
+
+#: Gauge: resident set size in bytes — refreshed on every scrape/sample.
+PROCESS_RSS_METRIC = "process.rss_bytes"
+
+_PROCESS_START_NS = time_ns()
+
+
+def read_rss_bytes() -> int:
+    """This process's resident set size in bytes (0 when unreadable).
+
+    Linux reads ``VmRSS`` from ``/proc/self/status``; elsewhere the
+    ``resource`` module's peak-RSS is the stand-in (kilobytes on Linux,
+    bytes on macOS — normalized here).
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return peak if sys.platform == "darwin" else peak * 1024
+    except Exception:
+        return 0
+
+
+def refresh_process_gauges(registry: MetricsRegistry) -> None:
+    """Set the process-level gauges (uptime, RSS) on ``registry``.
+
+    Called by the ``/metrics``/``/debug/metrics`` scrape handlers and by
+    :meth:`~repro.obs.timeseries.TimeSeriesStore.sample`, so both the
+    exposition and retained time-series snapshots carry fresh values.
+    """
+    registry.gauge(PROCESS_UPTIME_METRIC).set(
+        round((time_ns() - _PROCESS_START_NS) / 1e9, 3)
+    )
+    registry.gauge(PROCESS_RSS_METRIC).set(read_rss_bytes())
+
 _NAME_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 _NAME_LEADING = re.compile(r"^[^a-zA-Z_:]")
 

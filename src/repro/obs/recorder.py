@@ -206,6 +206,14 @@ class FlightRecorder:
         with self._lock:
             return list(self._slow)
 
+    def slow_since(self, seq: int) -> List[Dict[str, Any]]:
+        """Pinned slow records with ``seq`` strictly after ``seq``,
+        oldest first — the incremental read the ``/debug/stream``
+        publisher polls between frames."""
+        with self._lock:
+            return [record for record in self._slow
+                    if record.get("seq", 0) > seq]
+
     def clear(self) -> None:
         """Drop every retained record (the sequence counter keeps counting)."""
         with self._lock:
@@ -216,11 +224,15 @@ class FlightRecorder:
         """Every retained record carrying ``trace_id`` (ring + pinned,
         deduplicated by ``seq``, oldest first) — the lookup behind
         ``/debug/queries?trace_id=...``, i.e. how a ``/metrics`` exemplar
-        resolves to its full record."""
+        resolves to its full record.  A *batch* trace id matches too:
+        worker-shipped per-query records carry their batch's id as
+        ``batch_trace_id``, so one lookup returns the batch record plus
+        every query record the batch produced."""
         matches: Dict[Any, Dict[str, Any]] = {}
         with self._lock:
             for record in list(self._recent) + list(self._slow):
-                if record.get("trace_id") == trace_id:
+                if (record.get("trace_id") == trace_id
+                        or record.get("batch_trace_id") == trace_id):
                     matches[record.get("seq")] = record
         return [matches[seq] for seq in sorted(matches, key=lambda s: s or 0)]
 

@@ -53,8 +53,8 @@ from ..errors import (
     PatternError,
     SerializationError,
 )
-from .export import metrics_delta
 from .metrics import MetricError, histogram_from_payload, iter_series
+from .timeseries import TimeSeriesStore, get_timeseries
 
 #: Counter family bumped once per raised query (labels: engine, k, kind).
 QUERY_ERRORS_METRIC = "query.errors"
@@ -601,28 +601,52 @@ class SLOEngine:
     ``registry`` defaults to the process-wide ``OBS.metrics``.  Ticks
     are serialized internally: concurrent ``/slo`` scrapes share one
     consistent snapshot history.
+
+    Snapshot retention lives in a
+    :class:`~repro.obs.timeseries.TimeSeriesStore` — pass one (the
+    process-wide engine shares :func:`~repro.obs.timeseries.get_timeseries`,
+    so burn-rate windows and ``rate``/``percentile_over_time`` queries
+    read one substrate) or let the engine build a private store from
+    ``registry``/``clock``/``max_snapshots``.  The engine pins the
+    store's retention horizon to its slow window.
     """
 
     def __init__(self, rules: Optional[SLORules] = None, registry=None,
                  clock: Optional[Callable[[], float]] = None,
-                 max_snapshots: int = 512):
+                 max_snapshots: int = 512,
+                 store: Optional[TimeSeriesStore] = None):
         self.rules = rules or default_rules()
         self._registry = registry
         self.clock = clock or time.monotonic
-        self.max_snapshots = max(2, int(max_snapshots))
+        if store is None:
+            store = TimeSeriesStore(registry=registry, clock=self.clock,
+                                    capacity=max_snapshots)
+        self.store = store
+        self.store.retention_s = self.rules.policy.slow_s
         self.alerts = AlertManager()
         self._lock = threading.Lock()
-        self._snapshots: List[Tuple[float, Dict[str, dict]]] = []
         self.last_report: Optional[dict] = None
 
     def registry(self):
         if self._registry is not None:
             return self._registry
-        from . import OBS
-
-        return OBS.metrics
+        return self.store.registry()
 
     # -- snapshot plumbing ----------------------------------------------------
+
+    @property
+    def _snapshots(self) -> List[Tuple[float, Dict[str, dict]]]:
+        """The store's retained ring (kept as an attribute-shaped view —
+        pre-store callers and tests read it directly)."""
+        return self.store._snapshots
+
+    @property
+    def max_snapshots(self) -> int:
+        return self.store.capacity
+
+    @max_snapshots.setter
+    def max_snapshots(self, value: int) -> None:
+        self.store.capacity = max(2, int(value))
 
     def _window_delta(self, window_s: float, now: float,
                       current: Dict[str, dict]):
@@ -630,35 +654,7 @@ class SLOEngine:
         (None, 0.0) before any baseline snapshot exists.  With history
         shorter than the window, the oldest snapshot serves as baseline
         — the window reports what it can actually see."""
-        cutoff = now - window_s
-        baseline = None
-        for ts, payload in self._snapshots:
-            if ts <= cutoff:
-                baseline = (ts, payload)
-            else:
-                break
-        if baseline is None and self._snapshots:
-            baseline = self._snapshots[0]
-        if baseline is None:
-            return None, 0.0
-        return metrics_delta(baseline[1], current), max(0.0, now - baseline[0])
-
-    def _prune(self, now: float) -> None:
-        """Keep every snapshot inside the slow window plus the newest one
-        at or before its left edge (the baseline), bounded overall."""
-        cutoff = now - self.rules.policy.slow_s
-        keep_from = 0
-        for i, (ts, _) in enumerate(self._snapshots):
-            if ts <= cutoff:
-                keep_from = i
-            else:
-                break
-        if keep_from:
-            del self._snapshots[:keep_from]
-        # Over the cap: thin from just past the baseline, keeping both
-        # the oldest snapshot (slow-window baseline) and recent density.
-        while len(self._snapshots) > self.max_snapshots:
-            del self._snapshots[1]
+        return self.store.window_delta(window_s, now, current)
 
     # -- evaluation -----------------------------------------------------------
 
@@ -706,8 +702,7 @@ class SLOEngine:
                     "firing": firing,
                     "alert_state": alert["state"],
                 })
-            self._snapshots.append((now, current))
-            self._prune(now)
+            self.store.append(now, current)
             report = {
                 "format": SLO_REPORT_FORMAT,
                 "version": 1,
@@ -731,21 +726,28 @@ _default_engine_lock = threading.Lock()
 
 def get_slo_engine() -> SLOEngine:
     """The process-wide engine behind ``/slo`` and ``/alerts`` (created
-    on first use with the shipped default rules)."""
+    on first use with the shipped default rules, sharing the
+    process-wide time-series store)."""
     global _default_engine
     with _default_engine_lock:
         if _default_engine is None:
-            _default_engine = SLOEngine()
+            _default_engine = SLOEngine(store=get_timeseries())
         return _default_engine
 
 
 def configure_slo_engine(rules: Optional[SLORules] = None,
                          clock: Optional[Callable[[], float]] = None,
                          registry=None) -> SLOEngine:
-    """Replace the process-wide engine (``serve-metrics --slo-rules``)."""
+    """Replace the process-wide engine (``serve-metrics --slo-rules``).
+
+    With the default clock and registry the engine keeps sharing the
+    process-wide time-series store; overriding either builds a private
+    store on the overridden timebase/registry instead."""
     global _default_engine
     with _default_engine_lock:
-        _default_engine = SLOEngine(rules=rules, clock=clock, registry=registry)
+        store = get_timeseries() if clock is None and registry is None else None
+        _default_engine = SLOEngine(rules=rules, clock=clock,
+                                    registry=registry, store=store)
         return _default_engine
 
 

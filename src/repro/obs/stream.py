@@ -1,0 +1,400 @@
+"""Live telemetry fan-out behind the ``/debug/stream`` SSE endpoint.
+
+One :class:`StreamBroker` per process: a publisher daemon thread that,
+every ``REPRO_STREAM_INTERVAL_S`` seconds, samples the process-wide
+:class:`~repro.obs.timeseries.TimeSeriesStore`, and pushes incremental
+JSON frames to every subscribed client:
+
+* ``hello`` — once per subscription: stream format/version, cadence;
+* ``metrics`` — per tick: the metric **delta** since the previous tick
+  (:func:`~repro.obs.export.metrics_delta` — counters as increments,
+  changed gauges, histogram bucket increments) plus the embedded
+  dashboard document :func:`~repro.obs.top.compute_dashboard` builds
+  from the full payload (``repro-cli top --url`` renders exactly this);
+* ``alert`` — only on state *transitions* (inactive→firing,
+  firing→resolved), from ticking the process-wide SLO engine;
+* ``slow_query`` — newly pinned flight-recorder slow records
+  (span trees, stats and profiles stripped: frames stay small).
+
+Every client owns a **bounded** queue (``REPRO_STREAM_QUEUE`` frames).
+A consumer that cannot keep up — a stalled ``curl``, a dead socket the
+TCP stack has not noticed yet — fills its queue and is **evicted**
+rather than allowed to stall the publisher or buffer without bound:
+the broker drops the subscription, counts ``obs.stream.evictions``,
+and the serving thread notices on its next queue read.  The
+``obs.stream.clients`` gauge tracks live subscriptions.
+
+Frames cross the wire in Server-Sent-Events framing
+(:func:`format_sse`): ``event: <type>`` + ``data: <one JSON object>``
++ blank line, consumable by ``curl -N`` and ``EventSource`` alike.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from .export import metrics_delta
+from .recorder import FlightRecorder
+from .timeseries import TimeSeriesStore, get_timeseries
+from .top import compute_dashboard
+
+#: Stream format tag, sent in the hello frame.
+STREAM_FORMAT = "repro-stream"
+
+#: Stream schema version.
+STREAM_VERSION = 1
+
+#: Publisher cadence in seconds — env REPRO_STREAM_INTERVAL_S.
+DEFAULT_STREAM_INTERVAL_S = float(
+    os.environ.get("REPRO_STREAM_INTERVAL_S", "1.0")
+)
+
+#: Per-client queue bound in frames — env REPRO_STREAM_QUEUE.
+DEFAULT_STREAM_QUEUE = int(os.environ.get("REPRO_STREAM_QUEUE", "64"))
+
+#: Record fields stripped from slow_query frames (heavyweight payloads
+#: that belong to ``/debug/queries``, not a push stream).
+_SLOW_FRAME_DROP = ("spans", "stats", "profile")
+
+
+def format_sse(frame: Dict[str, Any]) -> bytes:
+    """One frame in SSE wire framing (``event:`` + ``data:`` + blank)."""
+    body = json.dumps(frame, separators=(",", ":"))
+    return f"event: {frame.get('type', 'message')}\ndata: {body}\n\n".encode()
+
+
+class StreamClient:
+    """One subscription: a bounded frame queue plus liveness state."""
+
+    __slots__ = ("client_id", "queue", "evicted", "subscribed_at")
+
+    def __init__(self, client_id: int, maxsize: int):
+        self.client_id = client_id
+        self.queue: "queue.Queue[Dict[str, Any]]" = queue.Queue(maxsize)
+        self.evicted = False
+        self.subscribed_at = time.time()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Next frame, or None on timeout / after eviction."""
+        if self.evicted:
+            return None
+        try:
+            return self.queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+
+class StreamBroker:
+    """Publisher + subscription registry for ``/debug/stream``.
+
+    ``store`` defaults to the process-wide time-series store (shared
+    with the SLO engine), ``recorder`` to ``OBS.recorder``; both are
+    injectable for tests.  ``tick()`` is public and deterministic —
+    the publisher thread is just ``tick`` on a timer.
+    """
+
+    def __init__(self, store: Optional[TimeSeriesStore] = None,
+                 recorder: Optional[FlightRecorder] = None,
+                 interval_s: Optional[float] = None,
+                 queue_maxsize: Optional[int] = None):
+        self._store = store
+        self._recorder = recorder
+        self.interval_s = float(DEFAULT_STREAM_INTERVAL_S
+                                if interval_s is None else interval_s)
+        self.queue_maxsize = int(DEFAULT_STREAM_QUEUE
+                                 if queue_maxsize is None else queue_maxsize)
+        self._lock = threading.Lock()
+        self._clients: List[StreamClient] = []
+        self._next_client_id = 1
+        self._seq = 0
+        self._last_payload: Optional[Dict[str, dict]] = None
+        self._last_alert_states: Dict[str, str] = {}
+        self._last_slow_seq = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.frames_published = 0
+        self.evictions = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def store(self) -> TimeSeriesStore:
+        return self._store if self._store is not None else get_timeseries()
+
+    def recorder(self) -> FlightRecorder:
+        if self._recorder is not None:
+            return self._recorder
+        from . import OBS
+
+        return OBS.recorder
+
+    def _set_clients_gauge(self) -> None:
+        from . import OBS
+
+        if OBS.enabled:
+            OBS.metrics.gauge("obs.stream.clients").set(len(self._clients))
+
+    # -- subscriptions --------------------------------------------------------
+
+    @property
+    def n_clients(self) -> int:
+        with self._lock:
+            return len(self._clients)
+
+    def subscribe(self) -> StreamClient:
+        """Register a client; its queue starts with a ``hello`` frame and
+        one full ``metrics`` snapshot, so a one-shot consumer (``curl
+        --max-time``, ``top --once --url``) need not wait a tick."""
+        with self._lock:
+            client = StreamClient(self._next_client_id, self.queue_maxsize)
+            self._next_client_id += 1
+            self._clients.append(client)
+            self._set_clients_gauge()
+        client.queue.put(self._hello_frame(client))
+        client.queue.put(self._snapshot_frame())
+        return client
+
+    def unsubscribe(self, client: StreamClient) -> None:
+        with self._lock:
+            if client in self._clients:
+                self._clients.remove(client)
+                self._set_clients_gauge()
+
+    def publish(self, frame: Dict[str, Any]) -> None:
+        """Fan one frame out; full queues evict their client."""
+        with self._lock:
+            clients = list(self._clients)
+        dropped = []
+        for client in clients:
+            try:
+                client.queue.put_nowait(frame)
+            except queue.Full:
+                client.evicted = True
+                dropped.append(client)
+        if dropped:
+            from . import OBS
+
+            self.evictions += len(dropped)
+            if OBS.enabled:
+                OBS.metrics.counter("obs.stream.evictions").inc(len(dropped))
+            for client in dropped:
+                self.unsubscribe(client)
+        self.frames_published += 1
+
+    # -- frame building -------------------------------------------------------
+
+    def _hello_frame(self, client: StreamClient) -> Dict[str, Any]:
+        return {
+            "type": "hello",
+            "format": STREAM_FORMAT,
+            "version": STREAM_VERSION,
+            "ts": round(time.time(), 3),
+            "client_id": client.client_id,
+            "interval_s": self.interval_s,
+            "frame_types": ["hello", "metrics", "alert", "slow_query"],
+        }
+
+    def _alerts(self) -> List[dict]:
+        from .slo import get_slo_engine
+
+        return get_slo_engine().alerts.to_dict()["alerts"]
+
+    def _snapshot_frame(self) -> Dict[str, Any]:
+        """A full-payload metrics frame (subscription bootstrap)."""
+        _, payload = self.store().sample()
+        self._seq += 1
+        return {
+            "type": "metrics",
+            "seq": self._seq,
+            "ts": round(time.time(), 3),
+            "full": True,
+            "metrics": payload,
+            "dashboard": compute_dashboard(payload, alerts=self._alerts()),
+        }
+
+    def tick(self, now: Optional[float] = None) -> List[Dict[str, Any]]:
+        """One publisher step: sample, diff, publish; returns the frames
+        (deterministic — tests drive it directly without the thread)."""
+        store = self.store()
+        _, payload = store.sample(now)
+        frames: List[Dict[str, Any]] = []
+
+        from .slo import get_slo_engine
+
+        engine = get_slo_engine()
+        try:
+            engine.tick(now)
+        except Exception:
+            pass  # rule evaluation must not take the stream down
+        alerts = self._alerts()
+        for alert in alerts:
+            name = alert.get("objective", "?")
+            state = alert.get("state", "inactive")
+            previous = self._last_alert_states.get(name)
+            if previous is not None and previous != state:
+                frames.append({
+                    "type": "alert",
+                    "ts": round(time.time(), 3),
+                    "objective": name,
+                    "state": state,
+                    "previous": previous,
+                    "burn_fast": alert.get("burn_fast", 0.0),
+                    "burn_slow": alert.get("burn_slow", 0.0),
+                })
+            self._last_alert_states[name] = state
+
+        delta = metrics_delta(self._last_payload, payload) \
+            if self._last_payload is not None else payload
+        self._seq += 1
+        frames.append({
+            "type": "metrics",
+            "seq": self._seq,
+            "ts": round(time.time(), 3),
+            "full": self._last_payload is None,
+            "delta": delta,
+            "dashboard": compute_dashboard(payload, alerts=alerts),
+        })
+        self._last_payload = payload
+
+        for record in self.recorder().slow_since(self._last_slow_seq):
+            self._last_slow_seq = max(self._last_slow_seq,
+                                      record.get("seq", 0))
+            slim = {key: value for key, value in record.items()
+                    if key not in _SLOW_FRAME_DROP}
+            frames.append({
+                "type": "slow_query",
+                "ts": round(time.time(), 3),
+                "record": slim,
+            })
+
+        for frame in frames:
+            self.publish(frame)
+        return frames
+
+    # -- the publisher thread -------------------------------------------------
+
+    def start(self) -> "StreamBroker":
+        """Run :meth:`tick` every ``interval_s`` on a daemon thread
+        (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-stream-publisher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.tick()
+            except Exception:
+                # A tick must never kill the publisher; the next one
+                # starts from clean state.
+                continue
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5)
+            self._thread = None
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "interval_s": self.interval_s,
+                "queue_maxsize": self.queue_maxsize,
+                "n_clients": len(self._clients),
+                "frames_published": self.frames_published,
+                "evictions": self.evictions,
+            }
+
+
+# -- SSE parsing (the consuming side: repro-cli top --url) -------------------------
+
+
+def parse_sse(lines) -> "list[Dict[str, Any]]":
+    """Parse SSE wire text (an iterable of ``str`` lines) into frames.
+
+    Tolerant of comment lines (``: keep-alive``) and unknown fields;
+    the generator form is :func:`iter_sse_frames`.
+    """
+    return list(iter_sse_frames(lines))
+
+
+def iter_sse_frames(lines):
+    """Yield decoded frame dicts from an iterable of SSE lines."""
+    data: List[str] = []
+    for raw in lines:
+        line = raw.decode() if isinstance(raw, bytes) else raw
+        line = line.rstrip("\r\n")
+        if not line:
+            if data:
+                try:
+                    yield json.loads("\n".join(data))
+                except json.JSONDecodeError:
+                    pass
+                data = []
+            continue
+        if line.startswith(":"):
+            continue
+        if line.startswith("data:"):
+            data.append(line[5:].lstrip())
+    if data:
+        try:
+            yield json.loads("\n".join(data))
+        except json.JSONDecodeError:
+            pass
+
+
+# -- the process-wide broker -------------------------------------------------------
+
+_default_broker: Optional[StreamBroker] = None
+_default_broker_lock = threading.Lock()
+
+
+def get_broker() -> StreamBroker:
+    """The process-wide broker ``/debug/stream`` serves from (created on
+    first use over the process-wide store and recorder)."""
+    global _default_broker
+    with _default_broker_lock:
+        if _default_broker is None:
+            _default_broker = StreamBroker()
+        return _default_broker
+
+
+def configure_broker(store: Optional[TimeSeriesStore] = None,
+                     recorder: Optional[FlightRecorder] = None,
+                     interval_s: Optional[float] = None,
+                     queue_maxsize: Optional[int] = None) -> StreamBroker:
+    """Replace the process-wide broker (stopping any running publisher)."""
+    global _default_broker
+    with _default_broker_lock:
+        if _default_broker is not None:
+            _default_broker.stop()
+        _default_broker = StreamBroker(
+            store=store, recorder=recorder, interval_s=interval_s,
+            queue_maxsize=queue_maxsize,
+        )
+        return _default_broker
+
+
+__all__ = [
+    "STREAM_FORMAT",
+    "STREAM_VERSION",
+    "DEFAULT_STREAM_INTERVAL_S",
+    "DEFAULT_STREAM_QUEUE",
+    "format_sse",
+    "StreamClient",
+    "StreamBroker",
+    "parse_sse",
+    "iter_sse_frames",
+    "get_broker",
+    "configure_broker",
+]

@@ -1,0 +1,437 @@
+"""In-process time-series store over metrics-registry snapshots.
+
+Every existing telemetry surface (``/metrics``, ``/slo``, ``stats``,
+``slo report``) is a point-in-time render of the registry; this module
+adds *time* as a first-class axis.  A :class:`TimeSeriesStore` retains a
+bounded ring of ``(timestamp, registry.to_dict())`` snapshots — sampled
+on a configurable cadence by a background thread, or appended explicitly
+by whoever already holds a snapshot (the SLO engine's tick does) — and
+answers windowed queries over them:
+
+* :meth:`~TimeSeriesStore.delta` — how much a counter (or histogram
+  observation count, or gauge level) moved inside a window;
+* :meth:`~TimeSeriesStore.rate` — that delta per second of covered time
+  (QPS, error rates, probe rates);
+* :meth:`~TimeSeriesStore.percentile_over_time` — a percentile of one
+  histogram family computed from only the observations that landed
+  inside the window.
+
+Counter and histogram queries walk *consecutive snapshot pairs* and sum
+per-pair increments with **reset detection**, the Prometheus ``rate()``
+contract (sans extrapolation): a pair whose counter went backwards — the
+process restarted, or the registry was reset mid-run — contributes the
+``after`` value verbatim instead of a negative increment, so a restart
+costs at most the samples of one interval rather than poisoning the
+whole window.  Gauges are last-write-wins levels, so their delta is
+simply ``last - first`` (negative allowed, no reset handling).
+
+The :class:`~repro.obs.slo.SLOEngine` feeds from this store rather than
+a private snapshot list — burn-rate windows and these queries share one
+substrate, which is also what the ``/debug/stream`` publisher and
+``repro-cli top`` read.
+
+Knobs (read at store construction):
+
+* ``REPRO_TS_INTERVAL_S`` — background sampling cadence (default 5 s);
+* ``REPRO_TS_CAPACITY``  — retained snapshot bound (default 512).
+
+Everything here is pure stdlib and, like the rest of ``repro.obs``,
+clock- and registry-injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .export import metrics_delta
+from .metrics import Histogram, LabelTuple, freeze_labels, iter_series
+
+#: Default background sampling cadence (seconds).
+DEFAULT_TS_INTERVAL_S = float(os.environ.get("REPRO_TS_INTERVAL_S", "5.0"))
+
+#: Default retained-snapshot bound.
+DEFAULT_TS_CAPACITY = int(os.environ.get("REPRO_TS_CAPACITY", "512"))
+
+
+def _series_payload(payload: Optional[dict],
+                    labels: LabelTuple) -> Optional[dict]:
+    """The one series of a family payload carrying exactly ``labels``."""
+    if payload is None:
+        return None
+    for series_labels, child in iter_series(payload):
+        if series_labels == labels:
+            return child
+    return None
+
+
+def _counter_increment(before: Optional[dict], after: dict) -> float:
+    """One consecutive-pair counter increment with reset detection."""
+    value = after.get("value", 0)
+    if before is None:
+        return value
+    inc = value - before.get("value", 0)
+    return value if inc < 0 else inc
+
+
+def _histogram_increment(before: Optional[dict],
+                         after: dict) -> Tuple[List[float], float, float]:
+    """(bucket increments, count increment, sum increment) for one pair.
+
+    A reset — any bucket or the total going backwards, or the bucket
+    layout changing — contributes the ``after`` payload verbatim, same
+    contract as :func:`_counter_increment`.
+    """
+    counts = list(after.get("counts") or [])
+    count = after.get("count", 0)
+    total = after.get("sum", 0.0)
+    if before is None or before.get("buckets") != after.get("buckets"):
+        return counts, count, total
+    prior_counts = list(before.get("counts") or [])
+    if len(prior_counts) != len(counts):
+        return counts, count, total
+    inc_counts = [c - p for c, p in zip(counts, prior_counts)]
+    inc_count = count - before.get("count", 0)
+    if inc_count < 0 or any(c < 0 for c in inc_counts):
+        return counts, count, total
+    return inc_counts, inc_count, total - before.get("sum", 0.0)
+
+
+class TimeSeriesStore:
+    """A bounded ring of registry snapshots with windowed queries.
+
+    ``registry`` defaults to the process-wide ``OBS.metrics`` (resolved
+    lazily, so construction order does not matter); ``clock`` defaults
+    to :func:`time.monotonic`.  ``retention_s`` (settable after
+    construction — the SLO engine pins it to its slow window) prunes
+    snapshots older than the window while keeping the newest one at or
+    before its left edge as the baseline; ``capacity`` bounds the ring
+    regardless, thinning from just past the baseline so both the oldest
+    snapshot and recent density survive.
+    """
+
+    def __init__(self, registry=None,
+                 clock: Optional[Callable[[], float]] = None,
+                 capacity: Optional[int] = None,
+                 interval_s: Optional[float] = None):
+        self._registry = registry
+        self.clock = clock or time.monotonic
+        self.capacity = max(2, int(capacity if capacity is not None
+                                   else DEFAULT_TS_CAPACITY))
+        self.interval_s = float(interval_s if interval_s is not None
+                                else DEFAULT_TS_INTERVAL_S)
+        #: Prune horizon in seconds (None = bounded by capacity only).
+        self.retention_s: Optional[float] = None
+        self._lock = threading.RLock()
+        self._snapshots: List[Tuple[float, Dict[str, dict]]] = []
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.total_sampled = 0
+
+    def registry(self):
+        if self._registry is not None:
+            return self._registry
+        from . import OBS
+
+        return OBS.metrics
+
+    # -- the ring --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._snapshots)
+
+    def append(self, now: float, payload: Dict[str, dict]) -> None:
+        """Retain one already-taken snapshot (and prune)."""
+        with self._lock:
+            self._snapshots.append((now, payload))
+            self._prune(now)
+
+    def sample(self, now: Optional[float] = None) -> Tuple[float, Dict[str, dict]]:
+        """Snapshot the registry now; returns the ``(ts, payload)`` retained.
+
+        Process-level gauges (uptime, RSS) are refreshed into the
+        process-wide registry first, so sampled series include them —
+        the same refresh the ``/metrics`` scrape handler runs.
+        """
+        from . import OBS
+        from .export import refresh_process_gauges
+
+        registry = self.registry()
+        if OBS.enabled and registry is OBS.metrics:
+            refresh_process_gauges(registry)
+        with self._lock:
+            if now is None:
+                now = self.clock()
+            payload = registry.to_dict()
+            self._snapshots.append((now, payload))
+            self.total_sampled += 1
+            self._prune(now)
+            return now, payload
+
+    def latest(self) -> Optional[Tuple[float, Dict[str, dict]]]:
+        """The newest retained snapshot, or None."""
+        with self._lock:
+            return self._snapshots[-1] if self._snapshots else None
+
+    def clear(self) -> None:
+        with self._lock:
+            del self._snapshots[:]
+
+    def _prune(self, now: float) -> None:
+        """Keep every snapshot inside the retention window plus the
+        newest one at or before its left edge (the baseline), bounded
+        overall by ``capacity``."""
+        if self.retention_s is not None:
+            cutoff = now - self.retention_s
+            keep_from = 0
+            for i, (ts, _) in enumerate(self._snapshots):
+                if ts <= cutoff:
+                    keep_from = i
+                else:
+                    break
+            if keep_from:
+                del self._snapshots[:keep_from]
+        # Over the cap: thin from just past the baseline, keeping both
+        # the oldest snapshot (window baseline) and recent density.
+        while len(self._snapshots) > self.capacity:
+            del self._snapshots[1]
+
+    # -- window selection ------------------------------------------------------
+
+    def window_delta(self, window_s: float, now: float,
+                     current: Dict[str, dict]):
+        """(delta payload, seconds actually covered) for one window, or
+        (None, 0.0) before any baseline snapshot exists.  The baseline
+        is the newest snapshot at or before the window's left edge; with
+        history shorter than the window, the oldest snapshot serves —
+        the window reports what it can actually see.  This is the SLO
+        engine's burn-rate substrate (simple endpoint subtraction, no
+        reset detection: one process's monotonic counters only reset
+        when the registry itself is reset)."""
+        with self._lock:
+            cutoff = now - window_s
+            baseline = None
+            for ts, payload in self._snapshots:
+                if ts <= cutoff:
+                    baseline = (ts, payload)
+                else:
+                    break
+            if baseline is None and self._snapshots:
+                baseline = self._snapshots[0]
+        if baseline is None:
+            return None, 0.0
+        return metrics_delta(baseline[1], current), max(0.0, now - baseline[0])
+
+    def window_snapshots(self, window_s: Optional[float],
+                         right_ts: Optional[float] = None
+                         ) -> List[Tuple[float, Dict[str, dict]]]:
+        """The retained snapshots a windowed query walks: the baseline
+        (newest at or before ``right_ts - window_s``, else the oldest)
+        through the newest at or before ``right_ts``.  ``window_s`` None
+        means everything retained; ``right_ts`` defaults to the newest
+        snapshot's timestamp."""
+        with self._lock:
+            snapshots = list(self._snapshots)
+        if not snapshots:
+            return []
+        if right_ts is None:
+            right_ts = snapshots[-1][0]
+        snapshots = [s for s in snapshots if s[0] <= right_ts]
+        if not snapshots or window_s is None:
+            return snapshots
+        cutoff = right_ts - window_s
+        start = 0
+        for i, (ts, _) in enumerate(snapshots):
+            if ts <= cutoff:
+                start = i
+            else:
+                break
+        return snapshots[start:]
+
+    # -- windowed queries ------------------------------------------------------
+
+    def _window_series(self, family: str, labels: Optional[Dict[str, Any]],
+                       window_s: Optional[float],
+                       right_ts: Optional[float]):
+        """(ordered series payloads, covered seconds) for one family/label
+        pair across the window's snapshots (missing snapshots -> None)."""
+        snapshots = self.window_snapshots(window_s, right_ts)
+        if len(snapshots) < 2:
+            return [], 0.0
+        key = freeze_labels(labels or {})
+        series = [_series_payload(payload.get(family), key)
+                  for _, payload in snapshots]
+        return series, max(0.0, snapshots[-1][0] - snapshots[0][0])
+
+    def delta(self, family: str, labels: Optional[Dict[str, Any]] = None,
+              window_s: Optional[float] = None,
+              right_ts: Optional[float] = None) -> float:
+        """How much ``family`` (scoped to one label set; ``None``/empty
+        = the unlabelled series) moved inside the window.
+
+        Counters and histogram observation counts sum consecutive-pair
+        increments with reset detection; gauges report ``last - first``.
+        Fewer than two retained snapshots in the window -> 0.0.
+        """
+        series, _ = self._window_series(family, labels, window_s, right_ts)
+        if not series:
+            return 0.0
+        kinds = {child.get("type") for child in series if child is not None}
+        if "gauge" in kinds:
+            present = [child for child in series if child is not None]
+            if not present:
+                return 0.0
+            return present[-1].get("value", 0) - present[0].get("value", 0)
+        total = 0.0
+        for before, after in zip(series, series[1:]):
+            if after is None:
+                continue
+            if after.get("type") == "histogram":
+                _, inc_count, _ = _histogram_increment(before, after)
+                total += inc_count
+            else:
+                total += _counter_increment(before, after)
+        return total
+
+    def rate(self, family: str, labels: Optional[Dict[str, Any]] = None,
+             window_s: Optional[float] = None,
+             right_ts: Optional[float] = None) -> float:
+        """Per-second :meth:`delta` over the seconds the window actually
+        covers (0.0 with fewer than two snapshots)."""
+        series, covered = self._window_series(family, labels, window_s, right_ts)
+        if not series or covered <= 0.0:
+            return 0.0
+        moved = self.delta(family, labels, window_s, right_ts)
+        return moved / covered
+
+    def window_histogram(self, family: str,
+                         labels: Optional[Dict[str, Any]] = None,
+                         window_s: Optional[float] = None,
+                         right_ts: Optional[float] = None
+                         ) -> Optional[Histogram]:
+        """A detached histogram holding only the window's observations
+        (consecutive-pair bucket increments, reset-aware), or None when
+        the family is absent / not a histogram / seen fewer than twice."""
+        series, _ = self._window_series(family, labels, window_s, right_ts)
+        present = [child for child in series if child is not None]
+        if not present or present[-1].get("type") != "histogram":
+            return None
+        buckets = present[-1].get("buckets") or (1,)
+        merged = Histogram(family, buckets, labels=freeze_labels(labels or {}))
+        for before, after in zip(series, series[1:]):
+            if after is None or after.get("type") != "histogram":
+                continue
+            if after.get("buckets") != list(buckets):
+                continue
+            inc_counts, inc_count, inc_sum = _histogram_increment(before, after)
+            if len(inc_counts) != len(merged.counts):
+                continue
+            for i, c in enumerate(inc_counts):
+                merged.counts[i] += c
+            merged.count += inc_count
+            merged.total += inc_sum
+        # min/max are lifetime fields on the snapshots; the newest ones
+        # are the best bucket-resolution stand-ins for the window.
+        merged.min = present[-1].get("min")
+        merged.max = present[-1].get("max")
+        return merged
+
+    def percentile_over_time(self, family: str, q: float,
+                             labels: Optional[Dict[str, Any]] = None,
+                             window_s: Optional[float] = None,
+                             right_ts: Optional[float] = None) -> float:
+        """The ``q``-th percentile of a histogram family over only the
+        window's observations (bucket-resolution, like every percentile
+        a fixed-bucket histogram reports).  0.0 when no observations
+        landed in the window."""
+        merged = self.window_histogram(family, labels, window_s, right_ts)
+        if merged is None or merged.count == 0:
+            return 0.0
+        return merged.percentile(q)
+
+    # -- the background sampler ------------------------------------------------
+
+    def start(self, interval_s: Optional[float] = None) -> "TimeSeriesStore":
+        """Sample on a daemon thread every ``interval_s`` seconds
+        (default: the store's configured cadence); idempotent."""
+        if interval_s is not None:
+            self.interval_s = float(interval_s)
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-ts-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample()
+
+    def stop(self) -> None:
+        """Stop the background sampler (retained snapshots are kept)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5)
+            self._thread = None
+
+    def to_dict(self) -> dict:
+        """Store state summary (for debug surfaces)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "interval_s": self.interval_s,
+                "retention_s": self.retention_s,
+                "n_snapshots": len(self._snapshots),
+                "total_sampled": self.total_sampled,
+                "oldest_ts": self._snapshots[0][0] if self._snapshots else None,
+                "newest_ts": self._snapshots[-1][0] if self._snapshots else None,
+            }
+
+
+# -- the process-wide store -------------------------------------------------------
+
+_default_store: Optional[TimeSeriesStore] = None
+_default_store_lock = threading.Lock()
+
+
+def get_timeseries() -> TimeSeriesStore:
+    """The process-wide store the SLO engine, the ``/debug/stream``
+    publisher and ``repro-cli top`` all share (created on first use
+    over ``OBS.metrics``)."""
+    global _default_store
+    with _default_store_lock:
+        if _default_store is None:
+            _default_store = TimeSeriesStore()
+        return _default_store
+
+
+def configure_timeseries(registry=None,
+                         clock: Optional[Callable[[], float]] = None,
+                         capacity: Optional[int] = None,
+                         interval_s: Optional[float] = None) -> TimeSeriesStore:
+    """Replace the process-wide store (stops any running sampler on the
+    old one first)."""
+    global _default_store
+    with _default_store_lock:
+        if _default_store is not None:
+            _default_store.stop()
+        _default_store = TimeSeriesStore(
+            registry=registry, clock=clock, capacity=capacity,
+            interval_s=interval_s,
+        )
+        return _default_store
+
+
+__all__ = [
+    "DEFAULT_TS_INTERVAL_S",
+    "DEFAULT_TS_CAPACITY",
+    "TimeSeriesStore",
+    "get_timeseries",
+    "configure_timeseries",
+]

@@ -1,0 +1,312 @@
+"""Dashboard computation and rendering for ``repro-cli top``.
+
+:func:`compute_dashboard` is a **pure function** from one metrics
+payload (:meth:`~repro.obs.metrics.MetricsRegistry.to_dict` JSON — a
+live registry, a saved trace's ``metrics`` section, or a scrape of
+``/debug/metrics``) to the JSON document the dashboard renders: QPS,
+latency percentiles, error rate, worker utilization, arena spill rate,
+per-``{engine,k}`` and per-``{shard}`` breakdowns, and alert states.
+
+The same function backs two surfaces, which is what makes their numbers
+consistent by construction:
+
+* the ``/debug/stream`` SSE publisher embeds its output in every
+  ``metrics`` frame (see :mod:`repro.obs.stream`);
+* ``repro-cli top`` renders it — from a trace file, from a live
+  registry, or from the frames a ``--url`` stream delivers.
+
+:func:`render_dashboard` is the ANSI terminal rendering (plain text
+when ``color=False`` — the ``--once`` headless mode).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import Histogram, LabelTuple, iter_series
+
+#: Format tag on every dashboard document.
+DASHBOARD_FORMAT = "repro-dashboard"
+
+#: Dashboard schema version.
+DASHBOARD_VERSION = 1
+
+
+def _family_series(payload: Optional[Dict[str, dict]],
+                   family: str) -> List[Tuple[LabelTuple, dict]]:
+    """Every ``(label_tuple, series)`` of one family ([] when absent)."""
+    fam = (payload or {}).get(family)
+    if not isinstance(fam, dict):
+        return []
+    return iter_series(fam)
+
+
+def _matches(labels: LabelTuple, where: Dict[str, Any]) -> bool:
+    """Whether a frozen label tuple carries every ``where`` pair."""
+    have = dict(labels)
+    return all(have.get(key) == str(value) for key, value in where.items())
+
+
+def counter_total(payload: Optional[Dict[str, dict]], family: str,
+                  where: Optional[Dict[str, Any]] = None,
+                  flat_only: bool = False) -> float:
+    """Summed counter value across matching series.
+
+    ``flat_only`` selects exactly the unlabelled base series (the
+    family total for families that keep one, like ``query.count``);
+    otherwise every series matching the ``where`` label subset is
+    summed (families without a base, like ``query.errors``).
+    """
+    series_list = _family_series(payload, family)
+    if flat_only:
+        return sum(s.get("value", 0) for labels, s in series_list
+                   if labels == ())
+    has_children = any(labels != () for labels, _ in series_list)
+    total = 0.0
+    for labels, series in series_list:
+        if labels == ():
+            # A base total next to labelled children would double-count
+            # them; and a label-subset query never matches the base.
+            if has_children or where:
+                continue
+        elif where and not _matches(labels, where):
+            continue
+        total += series.get("value", 0)
+    return total
+
+
+def gauge_value(payload: Optional[Dict[str, dict]], family: str,
+                default: float = 0.0) -> float:
+    """The unlabelled gauge level of ``family`` (``default`` when absent)."""
+    for labels, series in _family_series(payload, family):
+        if labels == ():
+            return series.get("value", default)
+    return default
+
+
+def merged_histogram(payload: Optional[Dict[str, dict]], family: str,
+                     where: Optional[Dict[str, Any]] = None
+                     ) -> Optional[Histogram]:
+    """A detached merge of every matching histogram series (or None)."""
+    merged: Optional[Histogram] = None
+    for labels, series in _family_series(payload, family):
+        if series.get("type") != "histogram":
+            continue
+        if where is not None and not _matches(labels, where):
+            continue
+        if where is None and labels != ():
+            continue
+        h = Histogram(family, series.get("buckets") or (1,))
+        h.counts = list(series.get("counts") or h.counts)
+        h.count = series.get("count", 0)
+        h.total = series.get("sum", 0.0)
+        h.min = series.get("min")
+        h.max = series.get("max")
+        if merged is None:
+            merged = h
+        elif merged.buckets == h.buckets:
+            merged.merge(h)
+    return merged
+
+
+def _percentiles(histogram: Optional[Histogram]) -> Dict[str, float]:
+    if histogram is None or histogram.count == 0:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    return {
+        "p50_ms": round(histogram.percentile(50), 3),
+        "p95_ms": round(histogram.percentile(95), 3),
+        "p99_ms": round(histogram.percentile(99), 3),
+    }
+
+
+def _group_keys(payload: Optional[Dict[str, dict]], family: str,
+                keys: Tuple[str, ...]) -> List[Dict[str, str]]:
+    """Distinct label-value combinations for ``keys`` across a family."""
+    seen: Dict[Tuple[str, ...], Dict[str, str]] = {}
+    for labels, _ in _family_series(payload, family):
+        have = dict(labels)
+        if not all(key in have for key in keys):
+            continue
+        values = tuple(have[key] for key in keys)
+        seen.setdefault(values, {key: have[key] for key in keys})
+    return [seen[values] for values in sorted(seen)]
+
+
+def compute_dashboard(payload: Optional[Dict[str, dict]],
+                      window_s: Optional[float] = None,
+                      alerts: Optional[List[dict]] = None) -> Dict[str, Any]:
+    """The dashboard document for one cumulative metrics payload.
+
+    ``window_s`` is the seconds the payload's counters accumulated over
+    (process uptime for a live registry, run duration for a trace) —
+    the divisor behind QPS and utilization; when omitted, the payload's
+    own ``process.uptime_s`` gauge serves.  Rates degrade to 0 rather
+    than dividing by zero.  ``alerts`` is the ``/alerts``-shaped state
+    list to pass through (the stream publisher supplies it).
+    """
+    uptime = gauge_value(payload, "process.uptime_s")
+    if window_s is None or window_s <= 0:
+        window_s = uptime
+    window_s = max(0.0, float(window_s or 0.0))
+
+    queries = counter_total(payload, "query.count", flat_only=True)
+    errors = counter_total(payload, "query.errors")
+    latency = merged_histogram(payload, "query.latency_ms")
+    workers = gauge_value(payload, "engine.pool.workers")
+    busy_ms = counter_total(payload, "engine.worker.busy_ms")
+    arena_records = counter_total(payload, "engine.arena.records")
+    arena_spills = counter_total(payload, "engine.arena.spills")
+
+    utilization = 0.0
+    if window_s > 0:
+        utilization = busy_ms / (window_s * 1000.0 * max(1.0, workers))
+
+    by_engine = []
+    for group in _group_keys(payload, "query.search_ms", ("engine", "k")):
+        where = {"engine": group["engine"], "k": group["k"]}
+        h = merged_histogram(payload, "query.search_ms", where)
+        n = counter_total(payload, "query.count", where)
+        row = {
+            "engine": group["engine"],
+            "k": int(group["k"]) if group["k"].isdigit() else group["k"],
+            "queries": n,
+            "qps": round(n / window_s, 3) if window_s > 0 else 0.0,
+            "occurrences": counter_total(payload, "query.occurrences", where),
+            "errors": counter_total(payload, "query.errors", where),
+        }
+        row.update(_percentiles(h))
+        by_engine.append(row)
+
+    by_shard = []
+    for group in _group_keys(payload, "query.shard_ms", ("shard",)):
+        where = {"shard": group["shard"]}
+        h = merged_histogram(payload, "query.shard_ms", where)
+        row = {
+            "shard": int(group["shard"]) if group["shard"].isdigit()
+            else group["shard"],
+            "queries": h.count if h else 0,
+            "occurrences": counter_total(
+                payload, "query.shard_occurrences", where
+            ),
+        }
+        row.update(_percentiles(h))
+        by_shard.append(row)
+
+    return {
+        "format": DASHBOARD_FORMAT,
+        "version": DASHBOARD_VERSION,
+        "window_s": round(window_s, 3),
+        "uptime_s": round(uptime, 3),
+        "rss_bytes": int(gauge_value(payload, "process.rss_bytes")),
+        "queries": queries,
+        "qps": round(queries / window_s, 3) if window_s > 0 else 0.0,
+        "errors": errors,
+        "error_rate": round(errors / queries, 6) if queries > 0 else 0.0,
+        "latency_ms": _percentiles(latency),
+        "workers": workers,
+        "utilization": round(min(1.0, utilization), 4),
+        "arena": {
+            "records": arena_records,
+            "spills": arena_spills,
+            "spill_rate": round(arena_spills / arena_records, 6)
+            if arena_records > 0 else 0.0,
+        },
+        "by_engine": by_engine,
+        "by_shard": by_shard,
+        "alerts": list(alerts or []),
+    }
+
+
+# -- rendering ---------------------------------------------------------------------
+
+_RESET = "\x1b[0m"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RED = "\x1b[31m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+
+#: ANSI clear-screen + home, prepended by the live ``top`` loop.
+CLEAR_SCREEN = "\x1b[2J\x1b[H"
+
+
+def _paint(text: str, code: str, color: bool) -> str:
+    return f"{code}{text}{_RESET}" if color else text
+
+
+def _human_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def render_dashboard(dashboard: Dict[str, Any], color: bool = True) -> str:
+    """Terminal rendering of one :func:`compute_dashboard` document."""
+    latency = dashboard.get("latency_ms") or {}
+    arena = dashboard.get("arena") or {}
+    error_rate = dashboard.get("error_rate", 0.0)
+    err_code = _RED if error_rate > 0.01 else _GREEN
+    lines = [
+        _paint("repro top", _BOLD, color)
+        + f"  window {dashboard.get('window_s', 0):g}s"
+        + f"  uptime {dashboard.get('uptime_s', 0):g}s"
+        + f"  rss {_human_bytes(dashboard.get('rss_bytes', 0))}",
+        f"qps {dashboard.get('qps', 0):g}"
+        f"  queries {dashboard.get('queries', 0):g}"
+        f"  errors {dashboard.get('errors', 0):g} "
+        + _paint(f"({error_rate:.2%})", err_code, color)
+        + f"  p50 {latency.get('p50_ms', 0):g}ms"
+        f"  p95 {latency.get('p95_ms', 0):g}ms"
+        f"  p99 {latency.get('p99_ms', 0):g}ms",
+        f"workers {dashboard.get('workers', 0):g}"
+        f"  utilization {dashboard.get('utilization', 0):.1%}"
+        f"  arena records {arena.get('records', 0):g}"
+        f" spills {arena.get('spills', 0):g}"
+        f" ({arena.get('spill_rate', 0):.2%})",
+    ]
+    alerts = dashboard.get("alerts") or []
+    firing = [a for a in alerts if a.get("state") == "firing"]
+    if firing:
+        names = ", ".join(a.get("objective", "?") for a in firing)
+        lines.append(_paint(f"ALERTS FIRING: {names}", _RED + _BOLD, color))
+    elif alerts:
+        lines.append(_paint(f"alerts: {len(alerts)} ok", _DIM, color))
+    by_engine = dashboard.get("by_engine") or []
+    if by_engine:
+        header = (f"{'engine':<18} {'k':>2} {'queries':>8} {'qps':>8} "
+                  f"{'occ':>8} {'err':>5} {'p50 ms':>9} {'p95 ms':>9} "
+                  f"{'p99 ms':>9}")
+        lines += ["", _paint(header, _BOLD, color), "-" * len(header)]
+        for row in by_engine:
+            lines.append(
+                f"{row['engine']:<18} {row['k']:>2} {row['queries']:>8g} "
+                f"{row['qps']:>8g} {row['occurrences']:>8g} "
+                f"{row['errors']:>5g} {row['p50_ms']:>9.3f} "
+                f"{row['p95_ms']:>9.3f} {row['p99_ms']:>9.3f}"
+            )
+    by_shard = dashboard.get("by_shard") or []
+    if by_shard:
+        header = (f"{'shard':>5} {'queries':>8} {'occ':>8} "
+                  f"{'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9}")
+        lines += ["", _paint(header, _BOLD, color), "-" * len(header)]
+        for row in by_shard:
+            lines.append(
+                f"{row['shard']:>5} {row['queries']:>8g} "
+                f"{row['occurrences']:>8g} {row['p50_ms']:>9.3f} "
+                f"{row['p95_ms']:>9.3f} {row['p99_ms']:>9.3f}"
+            )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DASHBOARD_FORMAT",
+    "DASHBOARD_VERSION",
+    "CLEAR_SCREEN",
+    "counter_total",
+    "gauge_value",
+    "merged_histogram",
+    "compute_dashboard",
+    "render_dashboard",
+]

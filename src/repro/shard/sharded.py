@@ -203,15 +203,28 @@ class QueryRouter:
                 OBS.metrics.counter(
                     "query.shard_occurrences", engine=engine, k=k, shard=shard_id
                 ).inc(len(occurrences))
+            duration_ms = (perf_counter_ns() - start_ns) / 1e6
             OBS.record_event(
                 "router",
                 engine=engine,
                 k=k,
                 m=len(pattern),
-                duration_ms=(perf_counter_ns() - start_ns) / 1e6,
+                duration_ms=duration_ms,
                 shards=len(items),
                 occurrences=len(merged),
                 stats=stats.to_dict(),
+            )
+            # The routed query's wide event: ``shards`` > 0 marks it as
+            # the user-facing fan-out (per-shard searches emit their own
+            # shards=0 events underneath).
+            OBS.emit_wide(
+                "query",
+                engine=engine,
+                k=k,
+                m=len(pattern),
+                duration_ms=duration_ms,
+                occurrences=len(merged),
+                shards=len(items),
             )
         return merged, stats
 

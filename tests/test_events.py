@@ -1,0 +1,271 @@
+"""Tests for the wide-event query log: deterministic head sampling,
+size-based rotation, loss accounting, the summarize/tail readers, and
+the trace-id joinability the executor threads through batches."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import KMismatchIndex
+from repro.obs import (
+    OBS,
+    WIDE_EVENT_FORMAT,
+    WIDE_EVENT_VERSION,
+    WideEventLog,
+    load_wide_events,
+    make_wide_event,
+    render_event_lines,
+    render_event_summary,
+    sample_keep,
+    summarize_events,
+    tail_events,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    OBS.disable()
+    OBS.reset()
+    yield
+    OBS.disable()
+    OBS.reset()
+
+
+class TestSampling:
+    def test_boundary_fractions(self):
+        assert sample_keep("anything", 1.0) is True
+        assert sample_keep("anything", 0.0) is False
+        assert sample_keep(None, 1.0) is True
+        assert sample_keep(None, 0.0) is False
+
+    def test_deterministic_per_trace_id(self):
+        for trace_id in ("a1b2", "deadbeef", "q" * 16):
+            first = sample_keep(trace_id, 0.5)
+            assert all(sample_keep(trace_id, 0.5) == first for _ in range(5))
+
+    def test_kept_fraction_converges(self):
+        kept = sum(sample_keep(f"trace-{i}", 0.5) for i in range(400))
+        assert 120 < kept < 280
+
+    def test_multi_layer_events_share_the_verdict(self):
+        # The matcher's, router's and executor's events for one query
+        # carry the same trace id: they live or die together.
+        for i in range(50):
+            trace_id = f"query-{i}"
+            verdicts = {sample_keep(trace_id, 0.3) for _ in ("matcher",
+                                                             "router",
+                                                             "batch")}
+            assert len(verdicts) == 1
+
+    def test_traceless_fallback_is_modular(self):
+        kept = [seq for seq in range(1, 13)
+                if sample_keep(None, 0.25, fallback_seq=seq)]
+        assert kept == [4, 8, 12]
+
+
+class TestMakeWideEvent:
+    def test_core_fields(self):
+        event = make_wide_event("query", engine="bwt_mismatch", k=2, m=24,
+                                duration_ms=1.5, occurrences=3, shards=4,
+                                return_path="arena", trace_id="abc123",
+                                custom="x")
+        assert event["format"] == WIDE_EVENT_FORMAT
+        assert event["version"] == WIDE_EVENT_VERSION
+        assert event["event"] == "query"
+        assert event["engine"] == "bwt_mismatch"
+        assert event["k"] == 2 and event["m"] == 24
+        assert event["duration_ms"] == 1.5
+        assert event["occurrences"] == 3 and event["shards"] == 4
+        assert event["return_path"] == "arena"
+        assert event["trace_id"] == "abc123"
+        assert event["custom"] == "x"
+        assert event["ts"] > 0
+
+    def test_empty_optionals_are_omitted(self):
+        event = make_wide_event("query")
+        assert "return_path" not in event
+        assert "trace_id" not in event
+
+
+class TestWideEventLog:
+    def test_emit_and_load(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = WideEventLog(path, sample=1.0)
+        for i in range(3):
+            assert log.emit(make_wide_event("query", k=i,
+                                            trace_id=f"t{i}")) is True
+        log.close()
+        events = load_wide_events(path)
+        assert [event["k"] for event in events] == [0, 1, 2]
+        assert log.lines_written == 3
+        assert log.lines_sampled_out == 0
+
+    def test_sampled_out_events_are_counted_not_written(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = WideEventLog(path, sample=0.0)
+        assert log.emit(make_wide_event("query", trace_id="t")) is False
+        log.close()
+        assert log.lines_written == 0
+        assert log.lines_sampled_out == 1
+        assert load_wide_events(path) == []
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = WideEventLog(path)
+        log.close()
+        assert log.emit(make_wide_event("query")) is False
+        assert log.lines_written == 0
+
+    def test_rotation_shifts_generations(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        line_size = len(json.dumps(make_wide_event("query", i=0)) + "\n")
+        log = WideEventLog(path, sample=1.0, max_bytes=line_size * 3 + 10,
+                           backups=2)
+        for i in range(10):
+            log.emit(make_wide_event("query", i=i))
+        log.close()
+        assert log.rotations >= 2
+        assert (tmp_path / "events.jsonl.1").exists()
+        assert (tmp_path / "events.jsonl.2").exists()
+        # The backup bound holds: generation 3 never appears.
+        assert not (tmp_path / "events.jsonl.3").exists()
+
+    def test_load_orders_backups_oldest_first(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        line_size = len(json.dumps(make_wide_event("query", i=0)) + "\n")
+        log = WideEventLog(path, sample=1.0, max_bytes=line_size * 4 + 10,
+                           backups=8)
+        for i in range(10):
+            log.emit(make_wide_event("query", i=i))
+        log.close()
+        events = load_wide_events(path)
+        # Rotation loses nothing while backups suffice; order is global.
+        assert [event["i"] for event in events] == list(range(10))
+        live_only = load_wide_events(path, include_backups=False)
+        assert len(live_only) < 10
+        assert [e["i"] for e in live_only] == \
+            [e["i"] for e in events[-len(live_only):]]
+
+    def test_to_dict_accounting(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = WideEventLog(path, sample=1.0, max_bytes=123456, backups=2)
+        log.emit(make_wide_event("query"))
+        doc = log.to_dict()
+        log.close()
+        assert doc["path"] == path
+        assert doc["lines_written"] == 1
+        assert doc["max_bytes"] == 123456
+        assert doc["rotations"] == 0
+
+
+class TestReaders:
+    def sample_records(self):
+        records = []
+        for duration in (1.0, 2.0, 3.0, 10.0):
+            records.append(make_wide_event(
+                "query", engine="bwt_mismatch", k=2, m=24,
+                duration_ms=duration, occurrences=1, shards=3,
+                trace_id=f"t{duration}"))
+        records.append(make_wide_event("batch", engine="bwt_mismatch", k=2,
+                                       return_path="arena", trace_id="b1"))
+        records.append(make_wide_event("error", engine="bwt_mismatch", k=2,
+                                       error="PatternError"))
+        return records
+
+    def test_summarize_hand_computed(self):
+        summary = summarize_events(self.sample_records())
+        assert summary["format"] == "repro-wide-event-summary"
+        assert summary["n_events"] == 6
+        assert summary["n_queries"] == 4
+        assert summary["n_batches"] == 1
+        assert summary["n_errors"] == 1
+        group = summary["by_engine"][0]
+        assert group["engine"] == "bwt_mismatch" and group["k"] == 2
+        assert group["queries"] == 4
+        assert group["occurrences"] == 4
+        assert group["max_shards"] == 3
+        # Nearest-rank over [1, 2, 3, 10]: p50 -> rank 2 -> 2.0,
+        # p95/p99 -> rank 4 -> 10.0.
+        assert group["p50_ms"] == 2.0
+        assert group["p95_ms"] == 10.0
+        assert group["p99_ms"] == 10.0
+        assert summary["batch_return_paths"] == {"arena": 1}
+
+    def test_summarize_empty(self):
+        summary = summarize_events([])
+        assert summary["n_events"] == 0
+        assert summary["by_engine"] == []
+        assert summary["events_per_s"] == 0.0
+
+    def test_tail_returns_newest(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = WideEventLog(path, sample=1.0)
+        for i in range(5):
+            log.emit(make_wide_event("query", i=i))
+        log.close()
+        assert [event["i"] for event in tail_events(path, 2)] == [3, 4]
+
+    def test_render_smoke(self):
+        records = self.sample_records()
+        text = render_event_summary(summarize_events(records))
+        assert "bwt_mismatch" in text
+        assert "batch return paths: arena=1" in text
+        lines = render_event_lines(records)
+        assert "shards=3" in lines
+        assert "path=arena" in lines
+        assert render_event_lines([]) == "(no events)"
+
+
+class TestObservabilityIntegration:
+    def test_open_emit_close_wide_log(self, tmp_path):
+        path = str(tmp_path / "wide.jsonl")
+        OBS.enable()
+        OBS.open_wide_log(path)
+        assert OBS.emit_wide("query", engine="x", k=1, trace_id="t1") is True
+        OBS.close_wide_log()
+        assert OBS.wide_log is None
+        assert OBS.emit_wide("query", engine="x", k=1) is False
+        events = load_wide_events(path)
+        assert len(events) == 1
+        assert events[0]["engine"] == "x"
+
+    def test_matcher_emits_wide_query_events(self, tmp_path):
+        path = str(tmp_path / "wide.jsonl")
+        OBS.enable()
+        OBS.open_wide_log(path)
+        index = KMismatchIndex("acagaca" * 20)
+        occurrences = index.search("acaggca", 1)
+        OBS.close_wide_log()
+        events = load_wide_events(path)
+        queries = [e for e in events if e["event"] == "query"]
+        assert len(queries) == 1
+        assert queries[0]["m"] == 7
+        assert queries[0]["occurrences"] == len(occurrences)
+        assert queries[0]["trace_id"]
+
+    def test_batch_trace_id_joins_batch_and_queries(self, tmp_path):
+        path = str(tmp_path / "wide.jsonl")
+        OBS.enable()
+        OBS.open_wide_log(path)
+        index = KMismatchIndex("acagaca" * 40)
+        reads = ["acagaca", "cagacag", "gacacag"]
+        index.search_batch(reads, 1, workers=2, mode="thread")
+        OBS.close_wide_log()
+
+        batch_records = [r for r in OBS.recorder.recent()
+                         if r["event"] == "batch"]
+        assert len(batch_records) == 1
+        trace_id = batch_records[0]["trace_id"]
+        assert trace_id
+        # One recorder lookup by the batch id returns the batch record.
+        joined = OBS.recorder.find_trace(trace_id)
+        assert batch_records[0] in joined
+
+        events = load_wide_events(path)
+        batch_events = [e for e in events if e["event"] == "batch"]
+        assert len(batch_events) == 1
+        assert batch_events[0]["trace_id"] == trace_id
+        assert batch_events[0]["items"] == len(reads)
+        assert batch_events[0]["workers"] == 2

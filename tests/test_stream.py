@@ -1,0 +1,322 @@
+"""Tests for the ``/debug/stream`` live telemetry fan-out: broker frame
+semantics (deterministic ``tick``), SSE framing round-trips, bounded
+per-client queues with slow-consumer eviction, and the HTTP endpoint —
+concurrent clients, bounded ``?frames=N`` mode, and clean mid-stream
+disconnects that must not take the server down."""
+
+from __future__ import annotations
+
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    OBS,
+    FlightRecorder,
+    MetricsRegistry,
+    TimeSeriesStore,
+    configure_timeseries,
+    make_record,
+)
+from repro.obs.server import MetricsServer
+from repro.obs.slo import configure_slo_engine
+from repro.obs.stream import (
+    STREAM_FORMAT,
+    STREAM_VERSION,
+    StreamBroker,
+    configure_broker,
+    format_sse,
+    get_broker,
+    iter_sse_frames,
+    parse_sse,
+)
+from repro.obs.top import DASHBOARD_FORMAT
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    OBS.disable()
+    OBS.reset()
+    yield
+    OBS.disable()
+    OBS.reset()
+    configure_timeseries()
+    configure_broker()
+    configure_slo_engine()
+
+
+def make_broker(**kwargs):
+    """A broker over a private registry/store/recorder (no singletons)."""
+    registry = MetricsRegistry()
+    store = TimeSeriesStore(registry=registry, clock=time.monotonic)
+    recorder = FlightRecorder(slow_ms=100)
+    broker = StreamBroker(store=store, recorder=recorder, **kwargs)
+    return registry, recorder, broker
+
+
+def drain(client):
+    frames = []
+    while True:
+        frame = client.get(timeout=0.05)
+        if frame is None:
+            return frames
+        frames.append(frame)
+
+
+class TestSSEFraming:
+    def test_format_sse_wire_shape(self):
+        wire = format_sse({"type": "metrics", "seq": 1})
+        assert wire == b'event: metrics\ndata: {"type":"metrics","seq":1}\n\n'
+
+    def test_round_trip(self):
+        frames = [{"type": "hello", "version": 1},
+                  {"type": "metrics", "seq": 2, "delta": {"a": 1}}]
+        wire = b"".join(format_sse(frame) for frame in frames)
+        assert parse_sse(wire.decode().splitlines()) == frames
+
+    def test_comments_and_bytes_tolerated(self):
+        lines = [b": keep-alive", b"", b"event: metrics",
+                 b'data: {"type":"metrics"}', b"", ": another comment", ""]
+        assert parse_sse(lines) == [{"type": "metrics"}]
+
+    def test_trailing_frame_without_blank_line(self):
+        assert parse_sse(['data: {"a":1}']) == [{"a": 1}]
+
+    def test_garbage_data_skipped(self):
+        assert parse_sse(["data: not-json", "", 'data: {"ok":true}', ""]) \
+            == [{"ok": True}]
+
+
+class TestBrokerSubscriptions:
+    def test_subscribe_bootstraps_hello_and_snapshot(self):
+        registry, _, broker = make_broker()
+        registry.counter("c").inc(5)
+        client = broker.subscribe()
+        hello = client.get(timeout=1)
+        assert hello["type"] == "hello"
+        assert hello["format"] == STREAM_FORMAT
+        assert hello["version"] == STREAM_VERSION
+        assert hello["client_id"] == client.client_id
+        assert "metrics" in hello["frame_types"]
+        snapshot = client.get(timeout=1)
+        assert snapshot["type"] == "metrics"
+        assert snapshot["full"] is True
+        assert snapshot["metrics"]["c"]["value"] == 5
+        assert snapshot["dashboard"]["format"] == DASHBOARD_FORMAT
+        assert broker.n_clients == 1
+
+    def test_unsubscribe_drops_client(self):
+        _, _, broker = make_broker()
+        client = broker.subscribe()
+        broker.unsubscribe(client)
+        assert broker.n_clients == 0
+        broker.unsubscribe(client)  # idempotent
+
+    def test_slow_consumer_is_evicted_not_buffered(self):
+        OBS.enable()
+        _, _, broker = make_broker(queue_maxsize=2)
+        client = broker.subscribe()  # bootstrap fills the whole queue
+        assert OBS.metrics.gauge("obs.stream.clients").value == 1
+        broker.publish({"type": "metrics", "seq": 99})
+        assert client.evicted is True
+        assert broker.n_clients == 0
+        assert broker.evictions == 1
+        assert OBS.metrics.counter("obs.stream.evictions").value == 1
+        assert OBS.metrics.gauge("obs.stream.clients").value == 0
+        # An evicted client reads None, never blocks.
+        client.get(timeout=0)  # drain regardless of contents
+        assert client.evicted
+
+    def test_healthy_consumers_survive_an_eviction(self):
+        _, _, broker = make_broker(queue_maxsize=2)
+        starving = broker.subscribe()
+        healthy = broker.subscribe()
+        drain(healthy)  # keeps up
+        broker.publish({"type": "metrics", "seq": 1})
+        assert starving.evicted is True
+        assert healthy.evicted is False
+        assert broker.n_clients == 1
+        assert drain(healthy)[-1]["seq"] == 1
+
+
+class TestBrokerTick:
+    def test_first_tick_full_then_deltas(self):
+        registry, _, broker = make_broker()
+        client = broker.subscribe()
+        drain(client)
+        registry.counter("c").inc(3)
+        first = [f for f in broker.tick() if f["type"] == "metrics"][0]
+        assert first["full"] is True
+        assert first["delta"]["c"]["value"] == 3
+        registry.counter("c").inc(4)
+        second = [f for f in broker.tick() if f["type"] == "metrics"][0]
+        assert second["full"] is False
+        assert second["delta"]["c"]["value"] == 4  # increment, not total
+        assert second["seq"] > first["seq"]
+        assert second["dashboard"]["format"] == DASHBOARD_FORMAT
+        # Published frames reached the subscriber too.
+        assert [f["type"] for f in drain(client)].count("metrics") == 2
+
+    def test_quiet_tick_delta_is_empty(self):
+        _, _, broker = make_broker()
+        broker.tick()
+        frame = [f for f in broker.tick() if f["type"] == "metrics"][0]
+        assert frame["delta"] == {}
+
+    def test_alert_frames_only_on_transitions(self):
+        _, _, broker = make_broker()
+        states = iter([
+            [{"objective": "avail", "state": "inactive"}],
+            [{"objective": "avail", "state": "inactive"}],
+            [{"objective": "avail", "state": "firing",
+              "burn_fast": 20.0, "burn_slow": 8.0}],
+            [{"objective": "avail", "state": "firing"}],
+            [{"objective": "avail", "state": "resolved"}],
+        ])
+        broker._alerts = lambda: next(states)
+        alert_frames = []
+        for _ in range(5):
+            alert_frames += [f for f in broker.tick()
+                             if f["type"] == "alert"]
+        assert [(f["previous"], f["state"]) for f in alert_frames] == \
+            [("inactive", "firing"), ("firing", "resolved")]
+        assert alert_frames[0]["objective"] == "avail"
+        assert alert_frames[0]["burn_fast"] == 20.0
+
+    def test_slow_query_frames_incremental_and_stripped(self):
+        _, recorder, broker = make_broker()
+        broker.tick()
+        recorder.record(make_record(
+            "query", engine="bwt_mismatch", k=2, duration_ms=500,
+            stats={"nodes": 9}, spans={"name": "root", "children": []},
+            trace_id="abc", profile={"stacks": []}))
+        recorder.record(make_record("query", duration_ms=1))  # not slow
+        frames = [f for f in broker.tick() if f["type"] == "slow_query"]
+        assert len(frames) == 1
+        record = frames[0]["record"]
+        assert record["trace_id"] == "abc"
+        assert record["duration_ms"] == 500
+        assert record["slow"] is True
+        # Heavyweight payloads stay on /debug/queries, not the stream.
+        assert "spans" not in record
+        assert "stats" not in record
+        assert "profile" not in record
+        # Already-streamed records do not repeat.
+        assert [f for f in broker.tick() if f["type"] == "slow_query"] == []
+        recorder.record(make_record("query", duration_ms=900))
+        assert len([f for f in broker.tick()
+                    if f["type"] == "slow_query"]) == 1
+
+    def test_publisher_thread_ticks_and_stops(self):
+        registry, _, broker = make_broker(interval_s=0.01)
+        client = broker.subscribe()
+        registry.counter("c").inc()
+        broker.start()
+        deadline = time.monotonic() + 5
+        frames = []
+        while len(frames) < 3 and time.monotonic() < deadline:
+            frame = client.get(timeout=0.5)
+            if frame is not None and frame["type"] == "metrics":
+                frames.append(frame)
+        broker.stop()
+        assert len(frames) >= 3
+        published = broker.frames_published
+        time.sleep(0.05)
+        assert broker.frames_published == published  # really stopped
+
+    def test_to_dict(self):
+        _, _, broker = make_broker(interval_s=2.5, queue_maxsize=7)
+        broker.subscribe()
+        doc = broker.to_dict()
+        assert doc["interval_s"] == 2.5
+        assert doc["queue_maxsize"] == 7
+        assert doc["n_clients"] == 1
+
+
+class TestStreamEndpoint:
+    @pytest.fixture
+    def server(self):
+        OBS.enable()
+        configure_timeseries()
+        configure_slo_engine()
+        configure_broker(interval_s=0.05)
+        server = MetricsServer(port=0).start()
+        yield server
+        server.stop()
+        get_broker().stop()
+
+    def read_frames(self, server, query):
+        with urllib.request.urlopen(server.url + "/debug/stream" + query,
+                                    timeout=10) as response:
+            assert response.status == 200
+            assert response.headers.get("Content-Type") == "text/event-stream"
+            return parse_sse(response)
+
+    def test_bounded_frames_mode(self, server):
+        frames = self.read_frames(server, "?frames=3")
+        assert len(frames) == 3
+        assert frames[0]["type"] == "hello"
+        assert frames[0]["format"] == STREAM_FORMAT
+        metrics = [f for f in frames if f["type"] == "metrics"]
+        assert metrics and metrics[0]["full"] is True
+        assert metrics[0]["dashboard"]["format"] == DASHBOARD_FORMAT
+
+    def test_bad_frames_param_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.read_frames(server, "?frames=abc")
+        assert excinfo.value.code == 400
+
+    def test_concurrent_clients_each_get_their_stream(self, server):
+        results = {}
+        errors = []
+
+        def consume(client_id):
+            try:
+                results[client_id] = self.read_frames(server, "?frames=4")
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append((client_id, exc))
+
+        threads = [threading.Thread(target=consume, args=(i,))
+                   for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert sorted(results) == [0, 1, 2]
+        hello_ids = set()
+        for frames in results.values():
+            assert frames[0]["type"] == "hello"
+            hello_ids.add(frames[0]["client_id"])
+            assert any(f["type"] == "metrics" for f in frames)
+        assert len(hello_ids) == 3  # distinct subscriptions
+        assert get_broker().n_clients == 0  # all unsubscribed after close
+
+    def test_disconnect_mid_stream_keeps_server_alive(self, server):
+        # Open an unbounded stream, read a little, hang up mid-frame.
+        response = urllib.request.urlopen(
+            server.url + "/debug/stream", timeout=10)
+        assert response.readline().startswith(b"event:")
+        response.close()
+        # The serving thread notices on its next write (BrokenPipeError
+        # swallowed, subscription dropped) instead of crashing.
+        deadline = time.monotonic() + 10
+        while get_broker().n_clients > 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert get_broker().n_clients == 0
+        # And the server still answers, both scrape and stream.
+        with urllib.request.urlopen(server.url + "/metrics",
+                                    timeout=5) as check:
+            assert check.status == 200
+        assert self.read_frames(server, "?frames=2")[0]["type"] == "hello"
+
+    def test_stream_clients_gauge_tracks_subscriptions(self, server):
+        frames = self.read_frames(server, "?frames=2")
+        assert frames, "stream yielded no frames"
+        with urllib.request.urlopen(server.url + "/metrics",
+                                    timeout=5) as response:
+            text = response.read().decode()
+        assert "repro_obs_stream_clients" in text
